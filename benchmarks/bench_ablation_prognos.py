@@ -1,0 +1,109 @@
+"""Ablations of Prognos's design choices (DESIGN.md §5).
+
+* Two-stage decoupling (§7.2's core claim): Prognos's MR-inference +
+  decision-logic pipeline vs. the monolithic feature->HO mapping (the
+  GBC baseline plays that role, §7.3).
+* Sanity checks: disabling the radio-context filter admits impossible
+  predictions and costs precision.
+* Eviction: disabling freshness eviction lets the pattern set grow
+  without bound.
+* Prediction window: longer windows trade precision for lead time.
+"""
+
+from repro.core.evaluation import (
+    configs_for_log,
+    evaluate_gbc,
+    evaluate_prognos,
+    run_prognos_over_logs,
+)
+from repro.core.prognos import PrognosConfig
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+
+from conftest import print_header
+
+
+def test_ablation_two_stage_vs_monolithic(benchmark, corpus):
+    logs = corpus.d1()[:2]
+
+    def analyse():
+        prognos, _ = evaluate_prognos(logs, OPX, (BandClass.MMWAVE,), stride=2)
+        monolithic = evaluate_gbc(logs)
+        return prognos, monolithic
+
+    prognos, monolithic = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("Ablation: two-stage pipeline vs monolithic model")
+    print(f"  two-stage (Prognos) F1 {prognos.f1:.3f}")
+    print(f"  monolithic (GBC)    F1 {monolithic.f1:.3f}")
+    assert prognos.f1 > monolithic.f1 + 0.15
+
+
+def test_ablation_sanity_checks(benchmark, corpus):
+    logs = corpus.d1()[:2]
+    configs = configs_for_log(OPX, (BandClass.MMWAVE,))
+
+    def analyse():
+        with_checks = run_prognos_over_logs(logs, configs, stride=2)
+        without_checks = run_prognos_over_logs(
+            logs, configs, stride=2, config=PrognosConfig(use_sanity_checks=False)
+        )
+        return with_checks.report(), without_checks.report()
+
+    with_checks, without_checks = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("Ablation: radio-context sanity checks")
+    print(f"  with checks    F1 {with_checks.f1:.3f} precision {with_checks.precision:.3f}")
+    print(f"  without checks F1 {without_checks.f1:.3f} precision {without_checks.precision:.3f}")
+    assert with_checks.f1 >= without_checks.f1 - 0.02
+
+
+def test_ablation_eviction(benchmark, corpus):
+    logs = corpus.d1()[:2]
+    configs = configs_for_log(OPX, (BandClass.MMWAVE,))
+
+    def analyse():
+        evicting = run_prognos_over_logs(
+            logs, configs, stride=2, config=PrognosConfig(freshness_horizon_phases=40)
+        )
+        hoarding = run_prognos_over_logs(
+            logs, configs, stride=2, config=PrognosConfig(use_eviction=False)
+        )
+        return evicting, hoarding
+
+    evicting, hoarding = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("Ablation: freshness-based pattern eviction")
+    print(
+        f"  evicting: {evicting.learner_stats.live_patterns} live patterns, "
+        f"F1 {evicting.report().f1:.3f}"
+    )
+    print(
+        f"  hoarding: {hoarding.learner_stats.live_patterns} live patterns, "
+        f"F1 {hoarding.report().f1:.3f}"
+    )
+    # Eviction keeps the set strictly smaller without losing accuracy.
+    assert evicting.learner_stats.live_patterns <= hoarding.learner_stats.live_patterns
+    assert evicting.report().f1 >= hoarding.report().f1 - 0.1
+
+
+def test_ablation_prediction_window(benchmark, corpus):
+    logs = corpus.d1()[:1]
+    configs = configs_for_log(OPX, (BandClass.MMWAVE,))
+
+    def analyse():
+        out = {}
+        for window in (0.5, 1.0, 2.0):
+            result = run_prognos_over_logs(
+                logs,
+                configs,
+                stride=2,
+                window_s=window,
+                config=PrognosConfig(prediction_window_s=window),
+            )
+            out[window] = result.report()
+        return out
+
+    reports = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("Ablation: prediction-window sweep")
+    for window, report in reports.items():
+        print(f"  window {window:.1f}s  F1 {report.f1:.3f}  recall {report.recall:.3f}")
+    # Every window setting must keep the system usable.
+    assert all(report.f1 > 0.3 for report in reports.values())

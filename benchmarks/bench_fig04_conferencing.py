@@ -1,0 +1,31 @@
+"""Fig. 4 / §4.1 — live video conferencing during handovers.
+
+Paper targets: average latency 2.26x higher in HO windows (up to 14.5x);
+average packet loss 2.24x higher.
+"""
+
+from repro.apps import ConferencingModel
+
+from conftest import print_header
+
+
+def test_fig04_conferencing_qoe(benchmark, corpus):
+    log = corpus.city_drive_low()
+
+    def analyse():
+        return ConferencingModel(seed=41).run(log)
+
+    result = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("Fig. 4: Zoom-style call, NSA low-band city drive")
+    lat, loss = result.latency_comparison, result.loss_comparison
+    print(
+        f"  latency: w/ HO {lat.with_ho_mean:6.1f} ms vs w/o {lat.without_ho_mean:6.1f} ms"
+        f" -> x{lat.mean_ratio:.2f} (paper x2.26), worst x{lat.max_ratio:.1f} (paper x14.5)"
+    )
+    print(
+        f"  loss:    w/ HO {loss.with_ho_mean:5.2f}% vs w/o {loss.without_ho_mean:5.2f}%"
+        f" -> x{loss.mean_ratio:.2f} (paper x2.24)"
+    )
+    assert lat.mean_ratio > 1.2
+    assert lat.max_ratio > 4.0
+    assert loss.mean_ratio > 1.5

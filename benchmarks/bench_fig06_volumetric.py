@@ -1,0 +1,39 @@
+"""Fig. 6 / §4.1 — volumetric streaming QoE vs radio band.
+
+Paper targets: handovers cost more on higher bands — bitrate drops ~31%
+(low-band) vs ~58% (mmWave) in HO windows; latency rises ~41% vs ~107%.
+"""
+
+from repro.apps import RateBased
+from repro.apps.volumetric import volumetric_band_impact
+
+from conftest import print_header
+
+
+def test_fig06_volumetric_band_impact(benchmark, corpus):
+    low = corpus.low_band_walk()
+    mmwave = corpus.mmwave_walk()
+
+    def analyse():
+        return (
+            volumetric_band_impact(low, RateBased()),
+            volumetric_band_impact(mmwave, RateBased()),
+        )
+
+    low_impact, mm_impact = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("Fig. 6: ViVo-style streaming, HO windows vs rest")
+    print(
+        f"  low-band : bitrate {low_impact.bitrate_reduction_pct:+5.1f}% "
+        f"(paper -31%)  latency {low_impact.latency_increase_pct:+6.1f}% (paper +41%)"
+    )
+    print(
+        f"  mmWave   : bitrate {mm_impact.bitrate_reduction_pct:+5.1f}% "
+        f"(paper -58%)  latency {mm_impact.latency_increase_pct:+6.1f}% (paper +107%)"
+    )
+    # Both bands degrade during handovers; mmWave handovers hurt more on
+    # the latency axis. (The paper's larger mmWave *bitrate* drop does
+    # not fully reproduce: the simulated mmWave capacity dwarfs the
+    # 170 Mbps ladder outside coverage gaps — see EXPERIMENTS.md.)
+    assert low_impact.bitrate_reduction_pct > 0
+    assert mm_impact.bitrate_reduction_pct > 0
+    assert mm_impact.latency_increase_pct > low_impact.latency_increase_pct

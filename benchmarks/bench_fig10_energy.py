@@ -1,0 +1,55 @@
+"""Fig. 10 — handover power/energy: LTE vs NSA low-band vs NSA mmWave.
+
+Paper targets: NSA handovers draw 1.2-2.3x the power of LTE handovers;
+a single mmWave HO runs at ~54% lower power than a low-band NSA HO yet
+mmWave costs 1.9-2.4x more energy per km (sheer frequency).
+"""
+
+from repro.analysis import energy_breakdown
+from repro.analysis.frequency import FIVE_G_NSA_TYPES, FOUR_G_TYPES
+from repro.radio.bands import BandClass
+from repro.rrc.taxonomy import HandoverType
+from repro.ue.energy import EnergyModel
+from repro.ue.state import RadioMode
+
+from conftest import print_header
+
+
+def test_fig10_handover_energy(benchmark, corpus):
+    lte_log = corpus.energy_lte()
+    low_log = corpus.energy_low()
+    mmwave_log = corpus.energy_mmwave()
+
+    def analyse():
+        return {
+            "LTE (mid)": energy_breakdown([lte_log], FOUR_G_TYPES),
+            "NSA low": energy_breakdown([low_log], FIVE_G_NSA_TYPES),
+            "NSA mmWave": energy_breakdown([mmwave_log], FIVE_G_NSA_TYPES),
+        }
+
+    rows = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("Fig. 10: per-HO power and per-km energy")
+    for name, b in rows.items():
+        print(
+            f"  {name:11s} HOs {b.handover_count:4d} over {b.distance_km:5.1f} km | "
+            f"per-HO {1000 * b.mean_energy_per_ho_mah:6.1f} uAh | "
+            f"per-km {b.energy_per_km_mah:6.3f} mAh"
+        )
+
+    # Per-HO *power* ratios come from the calibrated model itself.
+    model = EnergyModel(__import__("numpy").random.default_rng(0), jitter=0.0)
+    lte_p = model.for_handover(HandoverType.LTEH, RadioMode.LTE, None).power_w
+    low_p = model.for_handover(HandoverType.SCGM, RadioMode.NSA, BandClass.LOW).power_w
+    mm_p = model.for_handover(HandoverType.SCGM, RadioMode.NSA, BandClass.MMWAVE).power_w
+    print(f"  per-HO power: LTE {lte_p:.2f} W | NSA low {low_p:.2f} W | mmWave {mm_p:.2f} W")
+    print(f"  NSA/LTE power ratio {low_p / lte_p:.2f}x (paper 1.2-2.3x)")
+    print(f"  mmWave vs low power {100 * (1 - mm_p / low_p):.0f}% lower (paper ~54%)")
+    assert 1.2 <= low_p / lte_p <= 2.3
+    assert 0.4 <= 1 - mm_p / low_p <= 0.65
+
+    # Per-km energy: mmWave 1.9-2.4x low-band (paper); we accept a loose band.
+    per_km_ratio = rows["NSA mmWave"].energy_per_km_mah / rows["NSA low"].energy_per_km_mah
+    print(f"  mmWave/low per-km energy {per_km_ratio:.2f}x (paper 1.9-2.4x)")
+    assert 1.3 <= per_km_ratio <= 3.5
+    # NSA low-band per-km energy far above LTE's.
+    assert rows["NSA low"].energy_per_km_mah > 4 * rows["LTE (mid)"].energy_per_km_mah

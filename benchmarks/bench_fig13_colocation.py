@@ -1,0 +1,50 @@
+"""Fig. 13 / §6.3 — eNB/gNB co-location and handover duration.
+
+Paper targets: a same-PCI (co-located) NSA handover completes ~13 ms
+faster than a different-PCI one; co-located samples are 5-36% of NSA
+low-band ticks; the paper's convex-hull check validates the same-PCI
+heuristic.
+"""
+
+from repro.analysis import colocation_summary
+from repro.analysis.colocation import verify_colocation_by_hulls
+
+from conftest import print_header
+
+
+def test_fig13_colocation_duration(benchmark, corpus):
+    logs = [corpus.freeway_low(), corpus.energy_low(), corpus.coverage_low_nsa()]
+
+    def analyse():
+        return colocation_summary(logs)
+
+    summary = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("Fig. 13: NSA handover duration by PCI heuristic (ms)")
+    print(
+        f"  same PCI   mean {summary.same_pci.mean:6.1f}  "
+        f"median {summary.same_pci.median:6.1f}  n={summary.same_pci.count}"
+    )
+    print(
+        f"  diff PCI   mean {summary.different_pci.mean:6.1f}  "
+        f"median {summary.different_pci.median:6.1f}  n={summary.different_pci.count}"
+    )
+    print(f"  saving: {summary.mean_saving_ms:.1f} ms (paper ~13 ms)")
+    print(
+        f"  co-located sample fraction: {100 * summary.colocated_sample_fraction:.0f}%"
+        " (paper 5-36%)"
+    )
+    assert 3.0 <= summary.mean_saving_ms <= 30.0
+    assert 0.02 <= summary.colocated_sample_fraction <= 0.45
+
+
+def test_sec63_hull_heuristic_validation(benchmark, corpus):
+    logs = [corpus.freeway_low()]
+
+    def analyse():
+        return verify_colocation_by_hulls(logs)
+
+    overlaps = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("§6.3: convex-hull check of attached (4G, 5G) PCI pairs")
+    print(f"  pairs checked: {len(overlaps)}; overlapping: {sum(overlaps.values())}")
+    # Simultaneously-attached pairs must show overlapping footprints.
+    assert overlaps and all(overlaps.values())

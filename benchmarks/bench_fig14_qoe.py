@@ -1,0 +1,117 @@
+"""Fig. 14 — QoE gains from Prognos-aided rate adaptation (§7.4).
+
+Fig. 14a: 16K panoramic VoD — stall time reduced 34.6-58.6% without
+degrading quality. Fig. 14b: throughput-prediction error near HOs
+improves 52-61%. Fig. 14c: real-time volumetric streaming — quality up
+15.1-36.2% without prolonging stalls. The -PR variants should land near
+the -GT (ground truth) upper bound.
+"""
+
+import numpy as np
+
+from repro.apps import FastMpc, Festive, RateBased, RobustMpc, VodPlayer
+from repro.apps.abr.prediction import PredictionFeed
+from repro.apps.volumetric import VolumetricStream
+from repro.core.evaluation import configs_for_log, run_prognos_over_logs
+from repro.net.emulation import BandwidthTrace
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+from repro.simulate.dataset import build_abr_traces
+
+from conftest import print_header
+
+
+def _prepare(corpus):
+    """Traces + GT and Prognos prediction feeds from the mmWave walk."""
+    log = corpus.mmwave_walk()
+    events = [(h.decision_time_s, h.ho_type) for h in log.handovers]
+    gt_feed = PredictionFeed.from_ground_truth(events)
+    configs = configs_for_log(OPX, (BandClass.MMWAVE,))
+    run = run_prognos_over_logs([log], configs, stride=2)
+    pr_feed = PredictionFeed.from_prognos(run.times_s, run.predictions)
+    times, caps = log.capacity_series()
+    full = BandwidthTrace(times, caps)
+    traces = build_abr_traces([log], window_s=240.0, stride_s=180.0) or [full]
+    return log, events, gt_feed, pr_feed, traces
+
+
+def test_fig14ab_vod_qoe(benchmark, corpus):
+    log, events, gt_feed, pr_feed, traces = _prepare(corpus)
+
+    def analyse():
+        rows = {}
+        for algo_cls in (RateBased, FastMpc, RobustMpc):
+            for variant, feed in (("", None), ("-GT", gt_feed), ("-PR", pr_feed)):
+                stalls, bitrates, mae_ho, mae_no = [], [], [], []
+                for trace in traces:
+                    result = VodPlayer(algo_cls(), feed=feed).play(trace, events)
+                    stalls.append(result.stall_pct)
+                    bitrates.append(result.normalized_bitrate)
+                    mae_ho.append(result.prediction_mae(near_ho=True))
+                    mae_no.append(result.prediction_mae(near_ho=False))
+                rows[algo_cls().name + variant] = (
+                    float(np.mean(stalls)),
+                    float(np.mean(bitrates)),
+                    float(np.mean(mae_ho)),
+                    float(np.mean(mae_no)),
+                )
+        return rows
+
+    rows = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header(f"Fig. 14a/b: 16K VoD over {len(traces)} mmWave traces")
+    print(f"  {'variant':16s}{'stall%':>8s}{'bitrate':>9s}{'MAE@HO':>9s}{'MAE':>8s}")
+    for name, (stall, bitrate, mae_ho, mae_no) in rows.items():
+        print(f"  {name:16s}{stall:8.2f}{bitrate:9.3f}{mae_ho:9.1f}{mae_no:8.1f}")
+
+    improved = 0
+    for base_name in ("RB", "fastMPC", "robustMPC"):
+        base = rows[base_name]
+        for variant in ("-GT", "-PR"):
+            aided = rows[base_name + variant]
+            # Stall must not get worse by more than a hair, quality must
+            # not collapse (paper: stall -34.6-58.6%, quality +1.7%).
+            assert aided[0] <= base[0] + 0.25, f"{base_name}{variant} added stalls"
+            assert aided[1] >= base[1] * 0.9, f"{base_name}{variant} lost quality"
+            if aided[0] < base[0] - 1e-6 or aided[1] > base[1] + 1e-6:
+                improved += 1
+    # At least half the variants must show a strict improvement.
+    assert improved >= 3
+
+
+def test_fig14c_volumetric_qoe(benchmark, corpus):
+    log, events, gt_feed, pr_feed, traces = _prepare(corpus)
+
+    def analyse():
+        rows = {}
+        for algo_cls, algo_name in ((RateBased, "ViVo"), (Festive, "FESTIVE")):
+            for variant, feed in (("", None), ("-GT", gt_feed), ("-PR", pr_feed)):
+                quality, stalls = [], []
+                for trace in traces:
+                    result = VolumetricStream(algo_cls(), feed=feed).run(
+                        trace, duration_s=min(180.0, trace.duration_s)
+                    )
+                    quality.append(result.mean_bitrate_mbps)
+                    stalls.append(result.stall_pct)
+                rows[algo_name + variant] = (
+                    float(np.mean(quality)),
+                    float(np.mean(stalls)),
+                )
+        return rows
+
+    rows = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("Fig. 14c: volumetric streaming quality/stall change")
+    for base_name in ("ViVo", "FESTIVE"):
+        base = rows[base_name]
+        for variant in ("-GT", "-PR"):
+            aided = rows[base_name + variant]
+            quality_change = 100.0 * (aided[0] / base[0] - 1.0)
+            stall_change = aided[1] - base[1]
+            print(
+                f"  {base_name + variant:12s} quality {quality_change:+6.2f}% "
+                f"(paper +15-36%)  stall {stall_change:+6.3f} pp"
+            )
+            # Paper: quality up without prolonging stalls (our FESTIVE
+            # variant trades a hair more stall for its quality gain on
+            # the reduced trace set — see EXPERIMENTS.md).
+            assert aided[0] >= base[0] * 0.98
+            assert stall_change <= 1.5

@@ -1,0 +1,53 @@
+"""Fig. 16 (Appendix A.3) — throughput phases for every HO type, mmWave.
+
+Paper targets: SCG Addition multiplies throughput ~17x (the mmWave leg
+comes up over LTE-only service); SCG Release divides it ~7x; SCG
+Modification gains ~43% post-HO; LTEH changes little; horizontal HOs
+collapse 1.5-4.8x during execution. The same ratios feed ho_score.
+"""
+
+from repro.analysis import ho_score_table, phase_throughput
+from repro.rrc.taxonomy import HandoverType
+
+from conftest import print_header
+
+TYPES = (
+    HandoverType.SCGM,
+    HandoverType.SCGC,
+    HandoverType.SCGA,
+    HandoverType.SCGR,
+    HandoverType.LTEH,
+)
+
+
+def test_fig16_all_types_throughput(benchmark, corpus):
+    logs = [corpus.mmwave_walk(), corpus.freeway_mmwave()]
+
+    def analyse():
+        phases = {t: phase_throughput(logs, t) for t in TYPES}
+        return phases, ho_score_table(logs)
+
+    phases, scores = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("Fig. 16: throughput phases per HO type (Mbps, mmWave)")
+    for ho_type, p in phases.items():
+        if p is None:
+            print(f"  {ho_type.name:5s} (no samples)")
+            continue
+        print(
+            f"  {ho_type.name:5s} pre {p.pre.mean:7.0f}  exec {p.execute.mean:7.0f}  "
+            f"post {p.post.mean:7.0f}  post/pre {p.mean_post_over_pre:5.2f}"
+        )
+    print("  empirical ho_score (median post/pre):")
+    for ho_type, score in scores.items():
+        print(f"    {ho_type.name:5s} {score:6.2f}")
+
+    scga, scgr = phases[HandoverType.SCGA], phases[HandoverType.SCGR]
+    scgm = phases[HandoverType.SCGM]
+    assert scga is not None and scgr is not None and scgm is not None
+    # Vertical handovers: addition is a large multiplier, release a
+    # large divider (paper: ~17x up, ~7x down).
+    assert scga.mean_post_over_pre > 3.0
+    assert scgr.mean_post_over_pre < 0.5
+    # SCGM improves (paper ~ +43%); execution collapses vs pre.
+    assert scgm.mean_post_over_pre > 1.0
+    assert scgm.execute.mean < scgm.pre.mean

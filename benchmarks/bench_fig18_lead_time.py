@@ -1,0 +1,64 @@
+"""Fig. 18 / §7.3 — prediction lead time with vs without the report
+predictor.
+
+Paper targets: an actual measurement report leaves only ~70 ms (median)
+before the handover command; forecasting the report buys ~931 ms of
+extra lead at ~1.2% accuracy cost.
+"""
+
+import numpy as np
+
+from repro.core.evaluation import configs_for_log, run_prognos_over_logs
+from repro.core.prognos import PrognosConfig
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+
+from conftest import print_header
+
+
+def test_fig18_report_predictor_lead_time(benchmark, corpus):
+    logs = corpus.d1()[:2]
+    configs = configs_for_log(OPX, (BandClass.MMWAVE,))
+
+    def analyse():
+        with_rp = run_prognos_over_logs(logs, configs, stride=2)
+        without_rp = run_prognos_over_logs(
+            logs,
+            configs,
+            stride=2,
+            config=PrognosConfig(use_report_predictor=False),
+        )
+        return with_rp, without_rp
+
+    with_rp, without_rp = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("Fig. 18: prediction lead time (ms)")
+    lead_with = 1000.0 * np.array(with_rp.lead_times_s)
+    lead_without = 1000.0 * np.array(without_rp.lead_times_s)
+    assert lead_with.size > 0 and lead_without.size > 0
+    print(
+        f"  w/ report predictor : median {np.median(lead_with):6.0f}  "
+        f"p90 {np.percentile(lead_with, 90):6.0f}  n={lead_with.size}"
+    )
+    print(
+        f"  w/o report predictor: median {np.median(lead_without):6.0f}  "
+        f"p90 {np.percentile(lead_without, 90):6.0f}  n={lead_without.size}"
+    )
+    gain = np.median(lead_with) - np.median(lead_without)
+    print(f"  median lead gained: {gain:.0f} ms (paper ~931 ms)")
+
+    # Without forecasting, leads hug the preparation delay (tens of ms).
+    assert np.median(lead_without) < 250.0
+    # Forecasting buys a meaningfully earlier warning (the paper's
+    # +931 ms shrinks here because synthetic walking-pace RRS diverges
+    # late — see EXPERIMENTS.md; the tail p90 shows the forecast value).
+    assert gain > 20.0
+    assert np.percentile(lead_with, 90) > np.percentile(lead_without, 90) + 100.0
+
+    with_report = with_rp.report()
+    without_report = without_rp.report()
+    print(
+        f"  accuracy: {with_report.accuracy:.3f} w/ vs {without_report.accuracy:.3f} w/o"
+        " (paper: ~1.2% cost)"
+    )
+    # The accuracy cost of early prediction stays small.
+    assert with_report.accuracy > without_report.accuracy - 0.12

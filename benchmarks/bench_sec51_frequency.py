@@ -1,0 +1,91 @@
+"""§5.1 — handover frequency and signaling overheads.
+
+Paper targets: NSA 5G HO every ~0.4 km vs 4G every ~0.6 km vs SA every
+~0.9 km; mmWave every ~0.13 km, mid-band ~0.35 km, low-band ~0.4 km;
+SA cuts HO signaling per km several-fold versus LTE; NSA mmWave's
+PHY-layer signaling exceeds low-band's >5x.
+"""
+
+from repro.analysis import frequency_breakdown, signaling_per_km
+from repro.analysis.frequency import FIVE_G_NSA_TYPES, FOUR_G_TYPES, SA_TYPES, handover_spacing_km
+
+from conftest import print_header
+
+
+def test_sec51_handover_frequency(benchmark, corpus):
+    logs = {
+        "NSA low-band": corpus.freeway_low(),
+        "NSA mmWave": corpus.freeway_mmwave(),
+        "NSA mid-band": corpus.freeway_mid(),
+        "SA low-band": corpus.freeway_sa(),
+        "LTE-only": corpus.freeway_lte_only(),
+    }
+
+    def analyse():
+        out = {}
+        for name, log in logs.items():
+            if name.startswith("SA"):
+                types = SA_TYPES
+            elif name == "LTE-only":
+                types = FOUR_G_TYPES
+            else:
+                types = FIVE_G_NSA_TYPES
+            out[name] = handover_spacing_km([log], types)
+        out["4G under NSA"] = handover_spacing_km(
+            [logs["NSA low-band"]], FOUR_G_TYPES
+        )
+        return out
+
+    spacing = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("§5.1 handover spacing (km between HOs)")
+    paper = {
+        "NSA low-band": 0.4,
+        "NSA mmWave": 0.13,
+        "NSA mid-band": 0.35,
+        "SA low-band": 0.9,
+        "LTE-only": 0.6,
+        "4G under NSA": 0.6,
+    }
+    for name, value in spacing.items():
+        print(f"  {name:16s} measured {value:5.2f} km   (paper ~{paper[name]:.2f} km)")
+
+    # Ordering (the paper's qualitative claim) must hold exactly:
+    assert spacing["NSA mmWave"] < spacing["NSA mid-band"] < spacing["NSA low-band"]
+    assert spacing["NSA low-band"] < spacing["SA low-band"]
+    # 4G handovers are no more frequent than NSA 5G procedures:
+    assert spacing["4G under NSA"] >= spacing["NSA low-band"]
+    # Magnitudes within a loose band of the paper's values:
+    assert 0.08 <= spacing["NSA mmWave"] <= 0.35
+    assert 0.25 <= spacing["NSA low-band"] <= 0.75
+    assert 0.55 <= spacing["SA low-band"] <= 1.5
+
+
+def test_sec51_signaling_overheads(benchmark, corpus):
+    lte = corpus.freeway_lte_only()
+    sa = corpus.freeway_sa()
+    low = corpus.freeway_low()
+    mmwave = corpus.freeway_mmwave()
+
+    def analyse():
+        return {
+            "LTE": signaling_per_km([lte]),
+            "SA": signaling_per_km([sa]),
+            "NSA low": signaling_per_km([low]),
+            "NSA mmWave": signaling_per_km([mmwave]),
+        }
+
+    rates = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("§5.1 HO-related signaling per km")
+    for name, r in rates.items():
+        print(
+            f"  {name:11s} RRC {r.rrc_per_km:6.1f}  RACH {r.rach_per_km:5.1f}  "
+            f"PHY {r.phy_per_km:7.1f}  total {r.total_per_km:7.1f}"
+        )
+    # SA reduces HO-related signaling vs LTE (paper: ~3.8x fewer).
+    ratio = rates["LTE"].total_per_km / rates["SA"].total_per_km
+    print(f"  LTE/SA total signaling ratio: {ratio:.1f}x (paper ~3.8x)")
+    assert ratio > 1.5
+    # NSA mmWave PHY signaling explodes vs low-band (paper: >5x).
+    phy_ratio = rates["NSA mmWave"].phy_per_km / rates["NSA low"].phy_per_km
+    print(f"  mmWave/low PHY signaling ratio: {phy_ratio:.1f}x (paper >5x)")
+    assert phy_ratio > 5.0

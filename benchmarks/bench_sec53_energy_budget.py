@@ -1,0 +1,44 @@
+"""§5.3 — hourly energy budgets at 130 km/h.
+
+Paper targets: ~553 NSA low-band HOs per hour costing ~34.7 mAh;
+~998 mmWave HOs costing ~81.7 mAh; 4G HOs ~3.4 mAh.
+"""
+
+from repro.analysis import hourly_energy_budget
+from repro.analysis.frequency import FIVE_G_NSA_TYPES, FOUR_G_TYPES
+
+from conftest import print_header
+
+
+def test_sec53_hourly_energy_budget(benchmark, corpus):
+    lte_log = corpus.energy_lte()
+    low_log = corpus.energy_low()
+    mmwave_log = corpus.energy_mmwave()
+
+    def analyse():
+        return {
+            "4G": hourly_energy_budget([lte_log], FOUR_G_TYPES),
+            "NSA low": hourly_energy_budget([low_log], FIVE_G_NSA_TYPES),
+            "NSA mmWave": hourly_energy_budget([mmwave_log], FIVE_G_NSA_TYPES),
+        }
+
+    budgets = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    paper = {"4G": (217, 3.4), "NSA low": (553, 34.7), "NSA mmWave": (998, 81.7)}
+    print_header("§5.3: one hour at 130 km/h")
+    for name, budget in budgets.items():
+        hos, mah = paper[name]
+        print(
+            f"  {name:11s} {budget.handovers_per_hour:6.0f} HOs/h "
+            f"(paper ~{hos}) | {budget.energy_mah_per_hour:6.1f} mAh/h (paper ~{mah})"
+        )
+
+    low, mmwave, lte = budgets["NSA low"], budgets["NSA mmWave"], budgets["4G"]
+    # Frequency ordering and rough magnitudes.
+    assert mmwave.handovers_per_hour > low.handovers_per_hour > lte.handovers_per_hour
+    assert 300 <= low.handovers_per_hour <= 800
+    assert 600 <= mmwave.handovers_per_hour <= 1400
+    # Energy: NSA low an order of magnitude above 4G; mmWave the worst.
+    assert low.energy_mah_per_hour > 5 * lte.energy_mah_per_hour
+    assert mmwave.energy_mah_per_hour > low.energy_mah_per_hour
+    assert 15 <= low.energy_mah_per_hour <= 60
+    assert 40 <= mmwave.energy_mah_per_hour <= 130

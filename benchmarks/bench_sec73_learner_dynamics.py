@@ -1,0 +1,44 @@
+"""§7.3 — decision-learner dynamics: pattern learn/evict rates.
+
+Paper targets: new HO patterns learned at ~9.1 +- 2.3 per hour, old
+patterns evicted at ~8.3 +- 3.1 per hour; the pattern set stays small
+and prediction accuracy stable.
+"""
+
+from repro.core.evaluation import configs_for_log, run_prognos_over_logs
+from repro.core.prognos import PrognosConfig
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+
+from conftest import print_header
+
+
+def test_sec73_pattern_learning_dynamics(benchmark, corpus):
+    logs = corpus.d1()
+    configs = configs_for_log(OPX, (BandClass.MMWAVE,))
+
+    def analyse():
+        return run_prognos_over_logs(
+            logs,
+            configs,
+            stride=2,
+            config=PrognosConfig(freshness_horizon_phases=40),
+        )
+
+    result = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    stats = result.learner_stats
+    hours = sum(log.duration_s for log in logs) / 3600.0
+    learn_rate = stats.patterns_learned / hours
+    evict_rate = stats.patterns_evicted / hours
+    print_header("§7.3: decision-learner dynamics")
+    print(f"  phases processed : {stats.phases_processed}")
+    print(f"  live patterns    : {stats.live_patterns}")
+    print(f"  learned per hour : {learn_rate:.1f} (paper 9.1 +- 2.3)")
+    print(f"  evicted per hour : {evict_rate:.1f} (paper 8.3 +- 3.1)")
+
+    # Learning and eviction balance, keeping the live set bounded.
+    assert stats.patterns_learned > 0
+    assert stats.patterns_evicted > 0
+    assert stats.live_patterns < 200
+    assert learn_rate >= evict_rate  # net growth is small but non-negative
+    assert learn_rate - evict_rate < 30.0

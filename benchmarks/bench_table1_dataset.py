@@ -1,0 +1,54 @@
+"""Table 1 — driving dataset statistics per carrier.
+
+Simulates the cross-country trip at reduced mileage and extrapolates
+linearly, printing the same rows Table 1 reports. The shape checks:
+OpY logs the most NSA procedures (densest deployment mix plus fastest
+triggers), every carrier logs thousands of 4G handovers, and only OpY
+has SA rows.
+"""
+
+import os
+
+from repro.simulate.dataset import build_table1_dataset
+
+from conftest import print_header
+
+SCALE = 0.004 if os.environ.get("REPRO_BENCH_SCALE", "") != "full" else 0.02
+
+
+def test_table1_dataset_statistics(benchmark):
+    summaries = benchmark.pedantic(
+        lambda: build_table1_dataset(scale=SCALE, seed=2022), rounds=1, iterations=1
+    )
+    print_header(f"Table 1 (simulated at scale={SCALE}, extrapolated)")
+    rows = [
+        ("# unique cells", lambda s: s.unique_cells),
+        ("# 5G-NR bands", lambda s: s.nr_band_count),
+        ("# 4G/LTE bands", lambda s: s.lte_band_count),
+        ("City km", lambda s: round(s.city_km)),
+        ("Freeway km", lambda s: round(s.freeway_km)),
+        ("# 4G/LTE handovers", lambda s: s.lte_handovers),
+        ("# 5G-NSA procedures", lambda s: s.nsa_procedures),
+        ("# 5G-SA handovers", lambda s: s.sa_handovers if s.sa_handovers is not None else "N/A"),
+        ("5G low-band minutes", lambda s: round(s.minutes_low)),
+        ("5G mid-band minutes", lambda s: round(s.minutes_mid)),
+        ("5G mmWave minutes", lambda s: round(s.minutes_mmwave)),
+        ("NSA minutes", lambda s: round(s.minutes_nsa)),
+        ("SA minutes", lambda s: round(s.minutes_sa) if s.minutes_sa is not None else "N/A"),
+        ("LTE minutes", lambda s: round(s.minutes_lte)),
+    ]
+    names = list(summaries)
+    print(f"{'':28s}" + "".join(f"{n:>12s}" for n in names))
+    for label, getter in rows:
+        print(f"{label:28s}" + "".join(f"{getter(summaries[n])!s:>12s}" for n in names))
+
+    # Shape assertions (Table 1's qualitative structure).
+    for summary in summaries.values():
+        assert summary.lte_handovers > 1000
+        assert summary.nsa_procedures > 1000
+        assert summary.unique_cells > 500
+    assert summaries["OpY"].sa_handovers is not None
+    assert summaries["OpX"].sa_handovers is None
+    assert summaries["OpZ"].sa_handovers is None
+    # OpY deploys 9 LTE bands vs 5/6 for the others.
+    assert summaries["OpY"].lte_band_count == 9

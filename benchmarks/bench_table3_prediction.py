@@ -1,0 +1,66 @@
+"""Table 3 — Prognos vs GBC vs stacked LSTM on D1 and D2.
+
+Paper targets: Prognos F1 0.92-0.94 with accuracy 0.92-0.93; GBC F1
+0.40-0.48 despite high accuracy; stacked LSTM F1 0.24-0.28. The
+reproduction preserves the *ordering and gap* (Prognos several-fold
+above both "blind ML" baselines) on reduced-length walks.
+"""
+
+from repro.core.evaluation import evaluate_gbc, evaluate_lstm, evaluate_prognos
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+
+from conftest import print_header
+
+
+def test_table3_prediction_comparison(benchmark, corpus):
+    datasets = {
+        "D1": (corpus.d1(), (BandClass.MMWAVE,)),
+        "D2": (corpus.d2(), (BandClass.MMWAVE, BandClass.LOW)),
+    }
+
+    def analyse():
+        rows = []
+        for name, (logs, bands) in datasets.items():
+            gbc = evaluate_gbc(logs)
+            lstm = evaluate_lstm(logs, epochs=3)
+            prognos, _run = evaluate_prognos(logs, OPX, bands, stride=2)
+            rows.append((name, "GBC", gbc))
+            rows.append((name, "Stacked LSTM", lstm))
+            rows.append((name, "Prognos", prognos))
+        return rows
+
+    rows = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print_header("Table 3: handover prediction on D1/D2")
+    paper = {
+        ("D1", "GBC"): (0.475, 0.936),
+        ("D1", "Stacked LSTM"): (0.284, 0.857),
+        ("D1", "Prognos"): (0.919, 0.917),
+        ("D2", "GBC"): (0.396, 0.867),
+        ("D2", "Stacked LSTM"): (0.241, 0.420),
+        ("D2", "Prognos"): (0.936, 0.931),
+    }
+    print(f"  {'dataset':8s}{'method':14s}{'F1':>7s}{'Prec':>7s}{'Rec':>7s}{'Acc':>7s}"
+          f"{'paper F1':>10s}")
+    results = {}
+    for name, method, report in rows:
+        p_f1, _ = paper[(name, method)]
+        print(
+            f"  {name:8s}{method:14s}{report.f1:7.3f}{report.precision:7.3f}"
+            f"{report.recall:7.3f}{report.accuracy:7.3f}{p_f1:10.3f}"
+        )
+        results[(name, method)] = report
+
+    for name in datasets:
+        prognos = results[(name, "Prognos")]
+        gbc = results[(name, "GBC")]
+        lstm = results[(name, "Stacked LSTM")]
+        # The paper's core claim: Prognos far outperforms both baselines
+        # (1.9x-3.8x better F1). Absolute F1 runs below the paper's
+        # 0.92-0.94 on the reduced corpus — see EXPERIMENTS.md deviations.
+        assert prognos.f1 > 0.45, f"Prognos F1 too low on {name}"
+        assert prognos.f1 > 1.5 * max(gbc.f1, 0.01)
+        assert prognos.f1 > 1.5 * max(lstm.f1, 0.01)
+        # Baselines stay in the blind-ML regime.
+        assert gbc.f1 < 0.6
+        assert lstm.f1 < 0.6

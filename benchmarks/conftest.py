@@ -1,0 +1,244 @@
+"""Shared simulation corpus for the reproduction benches.
+
+Every bench regenerates one of the paper's tables/figures from simulated
+drive logs. The logs themselves are produced once per session and cached
+here; the ``benchmark`` fixture then times the *analysis* step that turns
+raw logs into the paper's numbers.
+
+Scale: simulating the full 6,200 km corpus is possible but slow; the
+benches default to reduced mileage/durations that keep the whole suite
+in the tens of minutes while leaving every distribution well-populated.
+Set ``REPRO_BENCH_SCALE=full`` for larger runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.net.bearer import BearerMode
+from repro.radio.bands import BandClass
+from repro.ran import OPX, OPY, OPZ
+from repro.simulate.scenarios import (
+    city_drive_scenario,
+    city_walk_scenario,
+    coverage_scenario,
+    energy_loop_scenario,
+    freeway_scenario,
+)
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "") == "full"
+
+
+def _x(reduced, full):
+    return full if FULL else reduced
+
+
+class Corpus:
+    """Lazily-built, memoised simulation corpus."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def _get(self, key, builder):
+        if key not in self._cache:
+            self._cache[key] = builder()
+        return self._cache[key]
+
+    # --- freeway characterization drives (§5.1, Figs. 8-9) ---
+
+    def freeway_low(self):
+        return self._get(
+            "freeway_low",
+            lambda: freeway_scenario(
+                OPX, BandClass.LOW, length_km=_x(20, 60), seed=211
+            ).run(),
+        )
+
+    def freeway_mmwave(self):
+        return self._get(
+            "freeway_mmwave",
+            lambda: freeway_scenario(
+                OPX, BandClass.MMWAVE, length_km=_x(6, 15), seed=212
+            ).run(),
+        )
+
+    def freeway_mid(self):
+        return self._get(
+            "freeway_mid",
+            lambda: freeway_scenario(
+                OPY, BandClass.MID, length_km=_x(12, 30), seed=213
+            ).run(),
+        )
+
+    def freeway_mid_2(self):
+        return self._get(
+            "freeway_mid_2",
+            lambda: freeway_scenario(
+                OPY, BandClass.MID, length_km=_x(12, 30), seed=214
+            ).run(),
+        )
+
+    def freeway_opy_low(self):
+        return self._get(
+            "freeway_opy_low",
+            lambda: freeway_scenario(
+                OPY, BandClass.LOW, length_km=_x(15, 40), seed=215
+            ).run(),
+        )
+
+    def freeway_sa(self):
+        return self._get(
+            "freeway_sa",
+            lambda: freeway_scenario(
+                OPY, BandClass.LOW, standalone=True, length_km=_x(15, 40), seed=216
+            ).run(),
+        )
+
+    def freeway_lte_only(self):
+        return self._get(
+            "freeway_lte_only",
+            lambda: freeway_scenario(OPX, None, length_km=_x(15, 40), seed=217).run(),
+        )
+
+    # --- bearer-mode drives (Fig. 7) ---
+
+    def bearer_dual(self):
+        return self._get(
+            "bearer_dual",
+            lambda: freeway_scenario(
+                OPX, BandClass.LOW, length_km=_x(10, 25), seed=221,
+                bearer=BearerMode.DUAL,
+            ).run(),
+        )
+
+    def bearer_5g_only(self):
+        return self._get(
+            "bearer_5g_only",
+            lambda: freeway_scenario(
+                OPX, BandClass.LOW, length_km=_x(10, 25), seed=221,
+                bearer=BearerMode.FIVE_G_ONLY,
+            ).run(),
+        )
+
+    # --- energy loops (§5.3, Fig. 10) ---
+
+    def energy_lte(self):
+        return self._get(
+            "energy_lte",
+            lambda: energy_loop_scenario(OPX, None, length_km=_x(15, 40), seed=231).run(),
+        )
+
+    def energy_low(self):
+        return self._get(
+            "energy_low",
+            lambda: energy_loop_scenario(
+                OPX, BandClass.LOW, length_km=_x(15, 40), seed=232
+            ).run(),
+        )
+
+    def energy_mmwave(self):
+        return self._get(
+            "energy_mmwave",
+            lambda: energy_loop_scenario(
+                OPX, BandClass.MMWAVE, length_km=_x(8, 20), seed=233
+            ).run(),
+        )
+
+    # --- coverage drives (§6.1, Fig. 11) ---
+
+    def coverage_low_nsa(self):
+        return self._get(
+            "coverage_low_nsa",
+            lambda: coverage_scenario(
+                OPX, BandClass.LOW, length_km=_x(40, 120), seed=241
+            ).run(),
+        )
+
+    def coverage_low_sa(self):
+        return self._get(
+            "coverage_low_sa",
+            lambda: coverage_scenario(
+                OPY, BandClass.LOW, standalone=True, length_km=_x(40, 120), seed=241
+            ).run(),
+        )
+
+    def coverage_mid_nsa(self):
+        return self._get(
+            "coverage_mid_nsa",
+            lambda: coverage_scenario(
+                OPY, BandClass.MID, length_km=_x(25, 60), seed=242
+            ).run(),
+        )
+
+    # --- city workloads (Figs. 4-6, 12, 16; §7.4) ---
+
+    def city_drive_low(self):
+        return self._get(
+            "city_drive_low",
+            lambda: city_drive_scenario(
+                OPX, BandClass.LOW, distance_km=_x(6, 14), seed=251
+            ).run(),
+        )
+
+    def city_drive_mmwave(self):
+        return self._get(
+            "city_drive_mmwave",
+            lambda: city_drive_scenario(
+                OPX, BandClass.MMWAVE, distance_km=_x(6, 14), seed=252
+            ).run(),
+        )
+
+    def mmwave_walk(self):
+        """The §6.2 iPerf walk: 35+ minutes of mmWave downtown."""
+        return self._get(
+            "mmwave_walk",
+            lambda: city_walk_scenario(
+                OPX, (BandClass.MMWAVE,), duration_min=_x(25, 35), seed=253
+            ).run(),
+        )
+
+    def low_band_walk(self):
+        return self._get(
+            "low_band_walk",
+            lambda: city_walk_scenario(
+                OPX, (BandClass.LOW,), duration_min=_x(15, 25), seed=254
+            ).run(),
+        )
+
+    # --- Prognos datasets (§7.3) ---
+
+    def d1(self):
+        return self._get(
+            "d1",
+            lambda: [
+                city_walk_scenario(
+                    OPX, (BandClass.MMWAVE,), duration_min=_x(18, 35), seed=261 + i
+                ).run()
+                for i in range(_x(2, 7))
+            ],
+        )
+
+    def d2(self):
+        return self._get(
+            "d2",
+            lambda: [
+                city_walk_scenario(
+                    OPX,
+                    (BandClass.MMWAVE, BandClass.LOW),
+                    duration_min=_x(14, 25),
+                    seed=281 + i,
+                ).run()
+                for i in range(_x(3, 10))
+            ],
+        )
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return Corpus()
+
+
+def print_header(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(8, 70 - len(title)))

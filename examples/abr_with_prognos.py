@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Handover-aware adaptive streaming — the paper's §7.4 integration.
+
+Simulates an mmWave walk, runs Prognos over it, then plays a 16K
+panoramic video over the recorded bandwidth trace three ways: the
+unmodified fastMPC, fastMPC with Prognos's ho_score correction (-PR),
+and fastMPC with the ground-truth handover schedule (-GT).
+
+Run:  python examples/abr_with_prognos.py  (takes a minute or two)
+"""
+
+from repro.apps import FastMpc, VodPlayer
+from repro.apps.abr.prediction import PredictionFeed
+from repro.core.evaluation import configs_for_log, run_prognos_over_logs
+from repro.net.emulation import BandwidthTrace
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+from repro.simulate.scenarios import city_walk_scenario
+
+
+def main() -> None:
+    print("Simulating a 15-minute mmWave walk and running Prognos ...")
+    log = city_walk_scenario(OPX, (BandClass.MMWAVE,), duration_min=15, seed=99).run()
+    events = [(h.decision_time_s, h.ho_type) for h in log.handovers]
+
+    configs = configs_for_log(OPX, (BandClass.MMWAVE,))
+    run = run_prognos_over_logs([log], configs, stride=2)
+
+    times, caps = log.capacity_series()
+    trace = BandwidthTrace(times, caps)
+    feeds = {
+        "fastMPC": None,
+        "fastMPC-PR": PredictionFeed.from_prognos(run.times_s, run.predictions),
+        "fastMPC-GT": PredictionFeed.from_ground_truth(events),
+    }
+
+    print(f"\n{'variant':12s}{'stall %':>9s}{'bitrate':>9s}{'MAE@HO Mbps':>13s}")
+    for name, feed in feeds.items():
+        result = VodPlayer(FastMpc(), feed=feed).play(trace, events)
+        print(
+            f"{name:12s}{result.stall_pct:9.2f}{result.normalized_bitrate:9.3f}"
+            f"{result.prediction_mae(near_ho=True):13.1f}"
+        )
+    print(
+        "\nThe -PR row shows the paper's result: correcting the throughput\n"
+        "prediction with Prognos's ho_score reduces stalls around handovers\n"
+        "without giving up video quality; -GT is the oracle upper bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

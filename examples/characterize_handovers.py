@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Mini §5/§6 characterization: frequency, duration, energy, coverage.
+
+Drives the same carrier through four coverage types and reproduces the
+paper's headline characterization per band — the kind of sweep behind
+Table 1 and Figures 8-11.
+
+Run:  python examples/characterize_handovers.py  (takes a minute or two)
+"""
+
+from repro.analysis import (
+    coverage_summary,
+    duration_breakdown,
+    energy_breakdown,
+    frequency_breakdown,
+)
+from repro.analysis.duration import NSA_5G_TYPES
+from repro.analysis.frequency import FIVE_G_NSA_TYPES, SA_TYPES
+from repro.radio.bands import BandClass
+from repro.ran import OPX, OPY
+from repro.simulate.scenarios import coverage_scenario, freeway_scenario
+
+
+def main() -> None:
+    drives = {
+        "NSA low-band": freeway_scenario(OPX, BandClass.LOW, length_km=12, seed=1),
+        "NSA mid-band": freeway_scenario(OPY, BandClass.MID, length_km=8, seed=2),
+        "NSA mmWave": freeway_scenario(OPX, BandClass.MMWAVE, length_km=5, seed=3),
+        "SA low-band": freeway_scenario(
+            OPY, BandClass.LOW, standalone=True, length_km=12, seed=4
+        ),
+    }
+    print(f"{'coverage':14s}{'HO/km':>8s}{'spacing':>9s}{'dur ms':>8s}{'uAh/HO':>8s}")
+    for name, scenario in drives.items():
+        log = scenario.run()
+        standalone = name.startswith("SA")
+        types = SA_TYPES if standalone else FIVE_G_NSA_TYPES
+        freq = frequency_breakdown([log])
+        spacing = freq.spacing_sa_km if standalone else freq.spacing_5g_nsa_km
+        duration = duration_breakdown([log], types=types)
+        energy = energy_breakdown([log], types)
+        print(
+            f"{name:14s}{1 / spacing:8.2f}{spacing:8.2f}km"
+            f"{duration.total.mean:8.0f}{1000 * energy.mean_energy_per_ho_mah:8.1f}"
+        )
+
+    print("\nRural low-band coverage (Fig. 11a):")
+    nsa_log = coverage_scenario(OPX, BandClass.LOW, length_km=25, seed=5).run()
+    summary = coverage_summary([nsa_log])
+    print(f"  effective footprint w/ NSA : {summary.actual.mean:6.0f} m")
+    print(f"  hypothetical w/o NSA       : {summary.merged.mean:6.0f} m")
+    print(f"  NSA coverage reduction     : {summary.nsa_reduction_factor:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

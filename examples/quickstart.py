@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a 5G drive test and look at its handovers.
+
+Builds a 10 km NSA low-band freeway deployment for carrier OpX, drives
+it once, and prints the cross-layer log summary the paper's measurement
+platform would have produced — handover counts by type, T1/T2 timings,
+signaling, and energy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import duration_breakdown, frequency_breakdown
+from repro.analysis.duration import NSA_5G_TYPES
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+from repro.simulate.scenarios import freeway_scenario
+
+
+def main() -> None:
+    print("Simulating a 10 km NSA low-band freeway drive on OpX ...")
+    scenario = freeway_scenario(OPX, BandClass.LOW, length_km=10.0, seed=7)
+    log = scenario.run()
+
+    print(f"\nDrive: {log.distance_km:.1f} km in {log.duration_s / 60:.1f} minutes")
+    print(f"Ticks logged: {len(log.ticks)} @ {1 / log.tick_interval_s:.0f} Hz")
+    print(f"Measurement reports: {len(log.reports)}")
+
+    print("\nHandovers by type (Table 2 taxonomy):")
+    for ho_type, count in sorted(log.count_by_type().items(), key=lambda kv: -kv[1]):
+        print(f"  {ho_type.acronym:5s} ({ho_type.value:16s}): {count}")
+
+    breakdown = frequency_breakdown([log])
+    print(f"\n4G handover spacing : {breakdown.spacing_4g_km:.2f} km")
+    print(f"5G procedure spacing: {breakdown.spacing_5g_nsa_km:.2f} km")
+
+    durations = duration_breakdown([log], types=NSA_5G_TYPES)
+    print(
+        f"\nNSA handover duration: mean {durations.total.mean:.0f} ms "
+        f"(T1 {durations.t1.mean:.0f} ms + T2 {durations.t2.mean:.0f} ms; "
+        f"T1 share {100 * durations.t1_share:.0f}%)"
+    )
+
+    total_signaling = log.total_signaling()
+    print(
+        f"\nHO signaling: {total_signaling.rrc_total} RRC msgs, "
+        f"{total_signaling.rach_procedures} RACH, "
+        f"{total_signaling.phy_ssb_measurements} PHY measurements"
+    )
+    print(f"HO energy: {log.total_energy_j():.1f} J "
+          f"({log.total_energy_j() / 13.86:.2f} mAh)")
+
+    print("\nFirst three handovers in detail:")
+    for record in log.handovers[:3]:
+        print(
+            f"  t={record.decision_time_s:7.2f}s {record.ho_type.acronym:5s} "
+            f"triggered by {list(record.trigger_labels)} "
+            f"T1={record.t1_ms:.0f}ms T2={record.t2_ms:.0f}ms "
+            f"{record.source_pci}->{record.target_pci}"
+        )
+
+
+if __name__ == "__main__":
+    main()

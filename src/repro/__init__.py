@@ -1,0 +1,37 @@
+"""repro — Vivisecting Mobility Management in 5G Cellular Networks.
+
+A full Python reproduction of the SIGCOMM 2022 paper: a calibrated 5G
+mobility simulator standing in for the paper's cross-country drive
+tests, the §4-§6 measurement analyses, and the Prognos handover
+prediction system with its ML baselines and application case studies.
+
+Typical entry points:
+
+>>> from repro.simulate.scenarios import freeway_scenario
+>>> from repro.ran import OPX
+>>> from repro.radio.bands import BandClass
+>>> log = freeway_scenario(OPX, BandClass.LOW, length_km=5, seed=1).run()
+
+then feed ``log`` to :mod:`repro.analysis` (measurement analyses) or
+:mod:`repro.core` (Prognos). See README.md for the architecture map.
+"""
+
+from repro.radio.bands import BandClass, RadioAccessTechnology
+from repro.ran.carrier import CARRIERS, OPX, OPY, OPZ, carrier_by_name
+from repro.rrc.taxonomy import HandoverType
+from repro.simulate.records import DriveLog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BandClass",
+    "CARRIERS",
+    "DriveLog",
+    "HandoverType",
+    "OPX",
+    "OPY",
+    "OPZ",
+    "RadioAccessTechnology",
+    "carrier_by_name",
+    "__version__",
+]

@@ -1,0 +1,63 @@
+"""Measurement analyses — the paper's Sections 4-6 pipelines.
+
+Every function here consumes :class:`repro.simulate.DriveLog` records
+(the simulator's XCAL-equivalent output) and produces the quantities the
+paper reports: handover frequencies and signaling rates (§5.1), T1/T2
+duration decompositions (§5.2), energy budgets (§5.3), coverage
+footprints (§6.1), around-handover throughput phases (§6.2), and
+co-location effects (§6.3).
+"""
+
+from repro.analysis.stats import SeriesSummary, summarize
+from repro.analysis.frequency import (
+    handover_spacing_km,
+    handover_rate_per_km,
+    signaling_per_km,
+    FrequencyBreakdown,
+    frequency_breakdown,
+)
+from repro.analysis.duration import (
+    DurationBreakdown,
+    duration_breakdown,
+    stage_durations_ms,
+)
+from repro.analysis.energy import (
+    EnergyBreakdown,
+    energy_breakdown,
+    hourly_energy_budget,
+)
+from repro.analysis.coverage import (
+    CoverageSummary,
+    nr_coverage_segments_m,
+    coverage_summary,
+)
+from repro.analysis.bandwidth import (
+    HandoverPhaseThroughput,
+    phase_throughput,
+    ho_score_table,
+)
+from repro.analysis.colocation import ColocationSummary, colocation_summary
+
+__all__ = [
+    "ColocationSummary",
+    "CoverageSummary",
+    "DurationBreakdown",
+    "EnergyBreakdown",
+    "FrequencyBreakdown",
+    "HandoverPhaseThroughput",
+    "SeriesSummary",
+    "colocation_summary",
+    "coverage_summary",
+    "duration_breakdown",
+    "energy_breakdown",
+    "frequency_breakdown",
+    "handover_rate_per_km",
+    "handover_spacing_km",
+    "ho_score_table",
+    "hourly_energy_budget",
+    "nr_coverage_segments_m",
+    "phase_throughput",
+    "signaling_per_km",
+    "stage_durations_ms",
+    "summarize",
+]

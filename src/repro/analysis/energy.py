@@ -1,0 +1,100 @@
+"""Handover energy analysis (§5.3, Fig. 10).
+
+Reports per-handover power, per-distance energy, and the paper's
+headline hourly budgets: a UE at 130 km/h sees ~553 NSA low-band
+handovers per hour costing ~34.7 mAh (mmWave: ~998 / ~81.7 mAh;
+4G: ~3.4 mAh).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.frequency import FIVE_G_NSA_TYPES, FOUR_G_TYPES
+from repro.rrc.taxonomy import HandoverType
+from repro.simulate.records import DriveLog
+from repro.ue.energy import joules_to_mah
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyBreakdown:
+    """Energy attribution for one handover population in one workload."""
+
+    handover_count: int
+    distance_km: float
+    mean_power_w: float
+    mean_energy_per_ho_j: float
+    energy_per_km_j: float
+
+    @property
+    def energy_per_km_mah(self) -> float:
+        return joules_to_mah(self.energy_per_km_j)
+
+    @property
+    def mean_energy_per_ho_mah(self) -> float:
+        return joules_to_mah(self.mean_energy_per_ho_j)
+
+
+def energy_breakdown(
+    logs: list[DriveLog], types: tuple[HandoverType, ...]
+) -> EnergyBreakdown:
+    """Per-HO and per-km energy for the given procedure types."""
+    distance = sum(log.distance_km for log in logs)
+    if distance <= 0:
+        raise ValueError("logs cover no distance")
+    records = [r for log in logs for r in log.handovers_of(*types)]
+    if not records:
+        raise ValueError("no handovers of the requested types")
+    energies = np.array([r.energy_j for r in records])
+    # Per-HO power: energy over the HO's active-signaling window. The
+    # window is not logged directly, so derive power from the calibrated
+    # energy and the procedure duration proxy used by the paper's Fig 10
+    # (energy / signaling-active window). We log energy only; the power
+    # column of Fig 10 is regenerated in the bench from the energy model.
+    return EnergyBreakdown(
+        handover_count=len(records),
+        distance_km=distance,
+        mean_power_w=float(np.mean(energies / _window_s(records))),
+        mean_energy_per_ho_j=float(np.mean(energies)),
+        energy_per_km_j=float(np.sum(energies)) / distance,
+    )
+
+
+def _window_s(records) -> np.ndarray:
+    """Active-signaling window per record (total stage time, seconds).
+
+    Used only to express measured energy as an average power for the
+    Fig. 10 left axis.
+    """
+    return np.array([max(r.total_ms, 1.0) / 1000.0 for r in records])
+
+
+@dataclass(frozen=True, slots=True)
+class HourlyBudget:
+    """The §5.3 extrapolation: one hour at a constant driving speed."""
+
+    speed_kmh: float
+    handovers_per_hour: float
+    energy_mah_per_hour: float
+
+
+def hourly_energy_budget(
+    logs: list[DriveLog],
+    types: tuple[HandoverType, ...],
+    speed_kmh: float = 130.0,
+) -> HourlyBudget:
+    """Extrapolate the measured per-km rates to one hour at ``speed_kmh``."""
+    breakdown = energy_breakdown(logs, types)
+    per_km = breakdown.handover_count / breakdown.distance_km
+    return HourlyBudget(
+        speed_kmh=speed_kmh,
+        handovers_per_hour=per_km * speed_kmh,
+        energy_mah_per_hour=breakdown.energy_per_km_mah * speed_kmh,
+    )
+
+
+#: Re-exported procedure sets for bench readability.
+NSA_TYPES = FIVE_G_NSA_TYPES
+LTE_TYPES = FOUR_G_TYPES

@@ -1,0 +1,98 @@
+"""Handover frequency and signaling-rate analysis (§5.1).
+
+The paper's headline numbers: on freeways an NSA 5G handover every
+0.4 km versus every 0.6 km for 4G and every 0.9 km for SA; mmWave every
+0.13 km, mid-band every 0.35 km, low-band every 0.4 km. Signaling: SA
+cuts HO-related messages ~3.8× versus LTE per km; NSA mmWave's PHY-layer
+procedures exceed low-band's by >5×.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rrc.signaling import SignalingTally
+from repro.rrc.taxonomy import HandoverCategory, HandoverType
+from repro.simulate.records import DriveLog
+
+#: Procedure sets used for the paper's "4G HO" vs "5G HO" accounting.
+FOUR_G_TYPES = (HandoverType.LTEH, HandoverType.MNBH)
+FIVE_G_NSA_TYPES = (
+    HandoverType.SCGA,
+    HandoverType.SCGR,
+    HandoverType.SCGM,
+    HandoverType.SCGC,
+)
+SA_TYPES = (HandoverType.MCGH,)
+
+
+def handover_rate_per_km(logs: list[DriveLog], types: tuple[HandoverType, ...]) -> float:
+    """Handovers of the given types per km across the logs."""
+    distance = sum(log.distance_km for log in logs)
+    if distance <= 0:
+        raise ValueError("logs cover no distance")
+    count = sum(len(log.handovers_of(*types)) for log in logs)
+    return count / distance
+
+
+def handover_spacing_km(logs: list[DriveLog], types: tuple[HandoverType, ...]) -> float:
+    """Mean distance between handovers of the given types (km)."""
+    rate = handover_rate_per_km(logs, types)
+    if rate == 0:
+        return float("inf")
+    return 1.0 / rate
+
+
+@dataclass(frozen=True, slots=True)
+class FrequencyBreakdown:
+    """Per-category handover spacings for one workload."""
+
+    distance_km: float
+    spacing_4g_km: float
+    spacing_5g_nsa_km: float
+    spacing_sa_km: float
+    count_by_type: dict[HandoverType, int]
+
+
+def frequency_breakdown(logs: list[DriveLog]) -> FrequencyBreakdown:
+    """Handover spacing per paper category over a set of drives."""
+    distance = sum(log.distance_km for log in logs)
+    counts: dict[HandoverType, int] = {}
+    for log in logs:
+        for ho_type, count in log.count_by_type().items():
+            counts[ho_type] = counts.get(ho_type, 0) + count
+    return FrequencyBreakdown(
+        distance_km=distance,
+        spacing_4g_km=handover_spacing_km(logs, FOUR_G_TYPES),
+        spacing_5g_nsa_km=handover_spacing_km(logs, FIVE_G_NSA_TYPES),
+        spacing_sa_km=handover_spacing_km(logs, SA_TYPES),
+        count_by_type=counts,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SignalingRates:
+    """HO-related signaling message rates per km."""
+
+    rrc_per_km: float
+    rach_per_km: float
+    phy_per_km: float
+
+    @property
+    def total_per_km(self) -> float:
+        return self.rrc_per_km + self.rach_per_km + self.phy_per_km
+
+
+def signaling_per_km(logs: list[DriveLog]) -> SignalingRates:
+    """Per-km signaling attributable to handovers across the logs."""
+    distance = sum(log.distance_km for log in logs)
+    if distance <= 0:
+        raise ValueError("logs cover no distance")
+    total = SignalingTally()
+    for log in logs:
+        total.add(log.total_signaling())
+    return SignalingRates(
+        rrc_per_km=total.rrc_total / distance,
+        rach_per_km=total.rach_procedures / distance,
+        phy_per_km=total.phy_ssb_measurements / distance,
+    )

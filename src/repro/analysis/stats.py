@@ -1,0 +1,65 @@
+"""Small statistics helpers shared by the analyses and benches."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesSummary:
+    """Five-number-style summary of a sample series."""
+
+    count: int
+    mean: float
+    std: float
+    median: float
+    p25: float
+    p75: float
+    p5: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.2f} median={self.median:.2f} "
+            f"IQR=[{self.p25:.2f}, {self.p75:.2f}]"
+        )
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> SeriesSummary:
+    """Summarise a non-empty series; raises on empty input."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarise an empty series")
+    return SeriesSummary(
+        count=int(array.size),
+        mean=float(np.mean(array)),
+        std=float(np.std(array)),
+        median=float(np.median(array)),
+        p25=float(np.percentile(array, 25)),
+        p75=float(np.percentile(array, 75)),
+        p5=float(np.percentile(array, 5)),
+        p95=float(np.percentile(array, 95)),
+        minimum=float(np.min(array)),
+        maximum=float(np.max(array)),
+    )
+
+
+def empirical_cdf(values: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(sorted values, cumulative probabilities) for CDF plotting."""
+    array = np.sort(np.asarray(list(values), dtype=float))
+    if array.size == 0:
+        raise ValueError("cannot build a CDF from an empty series")
+    probs = np.arange(1, array.size + 1) / array.size
+    return array, probs
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio; raises on zero denominator to surface analysis bugs."""
+    if denominator == 0:
+        raise ZeroDivisionError("ratio denominator is zero")
+    return numerator / denominator

@@ -1,0 +1,54 @@
+"""Application models: the workloads whose QoE the paper measures.
+
+Three §4 case studies (live conferencing, cloud gaming, real-time
+volumetric streaming) quantify what handovers do to applications, and
+two §7.4 case studies (16K panoramic VoD, volumetric streaming) show
+what Prognos's handover predictions buy back. All are trace-driven: they
+consume the drive simulator's capacity/interruption series exactly the
+way the paper replayed Mahimahi traces.
+"""
+
+from repro.apps.qoe import WindowComparison, compare_ho_windows
+from repro.apps.conferencing import ConferencingModel, ConferencingResult
+from repro.apps.gaming import CloudGamingModel, GamingResult
+from repro.apps.volumetric import (
+    VolumetricStream,
+    VolumetricResult,
+    VOLUMETRIC_LEVELS_MBPS,
+)
+from repro.apps.abr.player import VodPlayer, VodResult, VIDEO_LEVELS_MBPS
+from repro.apps.abr.algorithms import (
+    RateBased,
+    FastMpc,
+    RobustMpc,
+    Festive,
+    AbrAlgorithm,
+)
+from repro.apps.abr.prediction import (
+    HarmonicMeanPredictor,
+    HoAwareCorrector,
+    PredictionFeed,
+)
+
+__all__ = [
+    "AbrAlgorithm",
+    "CloudGamingModel",
+    "ConferencingModel",
+    "ConferencingResult",
+    "FastMpc",
+    "Festive",
+    "GamingResult",
+    "HarmonicMeanPredictor",
+    "HoAwareCorrector",
+    "PredictionFeed",
+    "RateBased",
+    "RobustMpc",
+    "VIDEO_LEVELS_MBPS",
+    "VOLUMETRIC_LEVELS_MBPS",
+    "VodPlayer",
+    "VodResult",
+    "VolumetricResult",
+    "VolumetricStream",
+    "WindowComparison",
+    "compare_ho_windows",
+]

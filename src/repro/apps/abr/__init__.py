@@ -1,0 +1,35 @@
+"""Adaptive bitrate machinery for the §7.4 case studies.
+
+Throughput prediction (harmonic mean, optionally corrected by handover
+predictions — the paper's Prognos integration), the ABR algorithms the
+paper modifies (rate-based, fastMPC, robustMPC, FESTIVE), and the
+chunked VoD player that replays them over recorded bandwidth traces.
+"""
+
+from repro.apps.abr.prediction import (
+    HarmonicMeanPredictor,
+    HoAwareCorrector,
+    PredictionFeed,
+)
+from repro.apps.abr.algorithms import (
+    AbrAlgorithm,
+    RateBased,
+    FastMpc,
+    RobustMpc,
+    Festive,
+)
+from repro.apps.abr.player import VodPlayer, VodResult, VIDEO_LEVELS_MBPS
+
+__all__ = [
+    "AbrAlgorithm",
+    "FastMpc",
+    "Festive",
+    "HarmonicMeanPredictor",
+    "HoAwareCorrector",
+    "PredictionFeed",
+    "RateBased",
+    "RobustMpc",
+    "VIDEO_LEVELS_MBPS",
+    "VodPlayer",
+    "VodResult",
+]

@@ -1,0 +1,176 @@
+"""The ABR algorithms the paper evaluates (§7.4).
+
+* rate-based (RB): pick the highest level sustainable at the predicted
+  throughput;
+* fastMPC / robustMPC (Yin et al.): model-predictive control over a
+  short look-ahead horizon maximising a bitrate/rebuffering/smoothness
+  QoE; robustMPC discounts the prediction by its recent maximum error;
+* FESTIVE (Jiang et al.): harmonic-mean bandwidth estimate, gradual
+  (one-level) switching with an up-switch stability counter.
+
+All algorithms receive the throughput prediction from outside — that is
+the seam where the paper splices Prognos in.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Protocol
+
+
+class AbrAlgorithm(Protocol):
+    """Selects the next chunk's quality level."""
+
+    name: str
+
+    def select(
+        self,
+        levels_mbps: list[float],
+        buffer_s: float,
+        last_level: int,
+        predicted_mbps: float,
+        chunk_s: float,
+    ) -> int: ...
+
+    def observe_error(self, predicted_mbps: float, actual_mbps: float) -> None: ...
+
+
+class RateBased:
+    """Highest level whose bitrate fits under the predicted throughput."""
+
+    def __init__(self, safety: float = 0.9):
+        if not 0.0 < safety <= 1.0:
+            raise ValueError("safety factor must lie in (0, 1]")
+        self.name = "RB"
+        self._safety = safety
+
+    def select(
+        self,
+        levels_mbps: list[float],
+        buffer_s: float,
+        last_level: int,
+        predicted_mbps: float,
+        chunk_s: float,
+    ) -> int:
+        budget = predicted_mbps * self._safety
+        level = 0
+        for i, rate in enumerate(levels_mbps):
+            if rate <= budget:
+                level = i
+        return level
+
+    def observe_error(self, predicted_mbps: float, actual_mbps: float) -> None:
+        pass
+
+
+class _MpcBase:
+    """Shared look-ahead optimisation for the MPC family."""
+
+    HORIZON = 3
+    REBUF_PENALTY = 8.0
+    SMOOTH_PENALTY = 0.5
+
+    def __init__(self) -> None:
+        self._recent_errors: list[float] = []
+
+    def _discounted(self, predicted_mbps: float) -> float:
+        return predicted_mbps
+
+    def select(
+        self,
+        levels_mbps: list[float],
+        buffer_s: float,
+        last_level: int,
+        predicted_mbps: float,
+        chunk_s: float,
+    ) -> int:
+        throughput = max(self._discounted(predicted_mbps), 0.1)
+        best_value = float("-inf")
+        best_first = last_level
+        for plan in itertools.product(range(len(levels_mbps)), repeat=self.HORIZON):
+            value = 0.0
+            buf = buffer_s
+            prev = last_level
+            for level in plan:
+                download_s = levels_mbps[level] * chunk_s / throughput
+                stall = max(download_s - buf, 0.0)
+                buf = max(buf - download_s, 0.0) + chunk_s
+                value += (
+                    levels_mbps[level] / levels_mbps[-1] * 10.0
+                    - self.REBUF_PENALTY * stall
+                    - self.SMOOTH_PENALTY * abs(level - prev)
+                )
+                prev = level
+            if value > best_value:
+                best_value = value
+                best_first = plan[0]
+        return best_first
+
+    def observe_error(self, predicted_mbps: float, actual_mbps: float) -> None:
+        if actual_mbps <= 0:
+            return
+        error = abs(predicted_mbps - actual_mbps) / actual_mbps
+        self._recent_errors.append(error)
+        del self._recent_errors[:-5]
+
+
+class FastMpc(_MpcBase):
+    """MPC with the raw throughput prediction."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.name = "fastMPC"
+
+
+class RobustMpc(_MpcBase):
+    """MPC discounting the prediction by its recent maximum error."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.name = "robustMPC"
+
+    def _discounted(self, predicted_mbps: float) -> float:
+        if not self._recent_errors:
+            return predicted_mbps
+        return predicted_mbps / (1.0 + max(self._recent_errors))
+
+
+class Festive:
+    """FESTIVE: gradual switching with an up-switch stability counter."""
+
+    def __init__(self, safety: float = 0.85, up_patience: int = 2):
+        if not 0.0 < safety <= 1.0:
+            raise ValueError("safety factor must lie in (0, 1]")
+        if up_patience < 1:
+            raise ValueError("up patience must be at least 1")
+        self.name = "FESTIVE"
+        self._safety = safety
+        self._up_patience = up_patience
+        self._up_votes = 0
+
+    def select(
+        self,
+        levels_mbps: list[float],
+        buffer_s: float,
+        last_level: int,
+        predicted_mbps: float,
+        chunk_s: float,
+    ) -> int:
+        budget = predicted_mbps * self._safety
+        target = 0
+        for i, rate in enumerate(levels_mbps):
+            if rate <= budget:
+                target = i
+        if target > last_level:
+            self._up_votes += 1
+            if self._up_votes >= self._up_patience:
+                self._up_votes = 0
+                return last_level + 1  # gradual up-switch
+            return last_level
+        self._up_votes = 0
+        if target < last_level:
+            return last_level - 1  # gradual down-switch
+        return last_level
+
+    def observe_error(self, predicted_mbps: float, actual_mbps: float) -> None:
+        pass

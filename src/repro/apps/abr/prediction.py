@@ -1,0 +1,145 @@
+"""Throughput prediction for rate adaptation, with HO-aware correction.
+
+The paper's Prognos integration is deliberately minimal (§7.4): take
+whatever throughput prediction the ABR scheme already uses and multiply
+it by the ``ho_score`` Prognos emits when a handover is expected in the
+next window; touch nothing in "no HO" periods. ``PredictionFeed`` is
+the time-indexed channel between the predictor (Prognos output or the
+ground-truth schedule) and the rate adaptation loop.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ho_score import DEFAULT_HO_SCORES, ho_score_for
+from repro.rrc.taxonomy import HandoverType
+
+
+class HarmonicMeanPredictor:
+    """The default throughput predictor of MPC-family ABR schemes."""
+
+    def __init__(self, history: int = 5):
+        if history < 1:
+            raise ValueError("history must be at least 1")
+        self._rates: deque[float] = deque(maxlen=history)
+
+    def observe(self, rate_mbps: float) -> None:
+        if rate_mbps <= 0:
+            raise ValueError("observed rate must be positive")
+        self._rates.append(rate_mbps)
+
+    def predict_mbps(self, default: float = 5.0) -> float:
+        if not self._rates:
+            return default
+        return len(self._rates) / sum(1.0 / r for r in self._rates)
+
+
+@dataclass(frozen=True)
+class PredictionFeed:
+    """Time-indexed handover predictions: (time, type, ho_score).
+
+    Build from Prognos output (:meth:`from_prognos`) or from the actual
+    handover schedule (:meth:`from_ground_truth` — the paper's "-GT"
+    upper bound).
+    """
+
+    times_s: np.ndarray
+    scores: np.ndarray
+    #: How far past the query each entry stays pertinent. A Prognos feed
+    #: is causal — entries are predictions already made, looked *back*
+    #: at. A ground-truth feed is an oracle over the whole schedule, so
+    #: a handover landing mid-download (a couple of seconds ahead) is
+    #: known and marked with a positive horizon.
+    lookahead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.times_s) != len(self.scores):
+            raise ValueError("times and scores must align")
+
+    def score_at(self, time_s: float, lookback_s: float = 0.75) -> float:
+        """ho_score in force at ``time_s`` (1.0 = no handover expected).
+
+        Considers entries within ``[time_s - lookback_s,
+        time_s + lookahead_s]`` and returns the most conservative
+        (minimum) score among them.
+        """
+        if len(self.times_s) == 0:
+            return 1.0
+        times = self.times_s
+        lo = bisect.bisect_left(times.tolist(), time_s - lookback_s)
+        hi = bisect.bisect_right(times.tolist(), time_s + self.lookahead_s)
+        if lo >= hi:
+            return 1.0
+        return float(np.min(self.scores[lo:hi]))
+
+    @classmethod
+    def from_prognos(
+        cls,
+        times_s: np.ndarray,
+        predictions: list[HandoverType],
+        ho_scores: dict[HandoverType, float] | None = None,
+    ) -> "PredictionFeed":
+        """Causal feed from a Prognos replay (HO-predicting ticks kept)."""
+        keep_t, keep_s = [], []
+        for t, p in zip(times_s, predictions):
+            if p is not HandoverType.NONE:
+                keep_t.append(float(t))
+                keep_s.append(ho_score_for(p, ho_scores))
+        return cls(np.array(keep_t), np.array(keep_s), lookahead_s=0.0)
+
+    @classmethod
+    def from_ground_truth(
+        cls,
+        events: list[tuple[float, HandoverType]],
+        ho_scores: dict[HandoverType, float] | None = None,
+        lookahead_s: float = 2.5,
+    ) -> "PredictionFeed":
+        """Oracle feed: the actual schedule, visible ``lookahead_s`` out."""
+        times = [t for t, _ in events]
+        scores = [ho_score_for(ho_type, ho_scores) for _, ho_type in events]
+        order = np.argsort(times)
+        return cls(
+            np.array(times)[order], np.array(scores)[order], lookahead_s=lookahead_s
+        )
+
+    @classmethod
+    def empty(cls) -> "PredictionFeed":
+        return cls(np.array([]), np.array([]))
+
+
+def effective_score(score: float) -> float:
+    """Blend an ho_score for a download that straddles the handover.
+
+    A downward score (SCG release ahead) applies in full — the paper's
+    stall savings come from being conservative there. An upward score
+    (SCG addition ahead) only partially materialises within the next
+    chunk: the download spends its first part at pre-handover capacity,
+    so we apply the average of pre (1.0) and post (score), capped.
+    """
+    if score <= 1.0:
+        return score
+    return min((1.0 + score) / 2.0, 1.5)
+
+
+class HoAwareCorrector:
+    """Scales a base throughput prediction by the expected HO impact.
+
+    This is exactly the paper's modification: predicted_throughput x
+    ho_score, applied only when a handover is expected.
+    """
+
+    def __init__(self, base: HarmonicMeanPredictor, feed: PredictionFeed):
+        self._base = base
+        self._feed = feed
+
+    def observe(self, rate_mbps: float) -> None:
+        self._base.observe(rate_mbps)
+
+    def predict_mbps(self, time_s: float, default: float = 5.0) -> float:
+        score = effective_score(self._feed.score_at(time_s))
+        return self._base.predict_mbps(default) * score

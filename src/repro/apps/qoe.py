@@ -1,0 +1,77 @@
+"""QoE analysis helpers: comparing metrics around handovers (§4.1).
+
+The paper's recipe: extract a 1-second window around each handover and
+compare the metric inside those windows against the no-handover rest of
+the trace — that is where "latency increases 2.26x during HOs" comes
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulate.records import DriveLog, HandoverRecord
+
+
+@dataclass(frozen=True, slots=True)
+class WindowComparison:
+    """Metric inside HO windows vs. outside."""
+
+    with_ho_mean: float
+    without_ho_mean: float
+    with_ho_max: float
+    samples_with: int
+    samples_without: int
+
+    @property
+    def mean_ratio(self) -> float:
+        if self.without_ho_mean == 0:
+            return float("inf")
+        return self.with_ho_mean / self.without_ho_mean
+
+    @property
+    def max_ratio(self) -> float:
+        if self.without_ho_mean == 0:
+            return float("inf")
+        return self.with_ho_max / self.without_ho_mean
+
+
+def ho_window_mask(
+    times_s: np.ndarray,
+    handovers: list[HandoverRecord],
+    *,
+    window_s: float = 1.0,
+) -> np.ndarray:
+    """Boolean mask of samples lying within +-window of any handover."""
+    mask = np.zeros(len(times_s), dtype=bool)
+    for record in handovers:
+        mask |= (times_s >= record.decision_time_s - window_s) & (
+            times_s <= record.complete_s + window_s
+        )
+    return mask
+
+
+def compare_ho_windows(
+    times_s: np.ndarray,
+    values: np.ndarray,
+    handovers: list[HandoverRecord],
+    *,
+    window_s: float = 1.0,
+) -> WindowComparison:
+    """Compare a metric series inside vs. outside handover windows."""
+    if len(times_s) != len(values):
+        raise ValueError("times and values must align")
+    mask = ho_window_mask(times_s, handovers, window_s=window_s)
+    inside = values[mask]
+    outside = values[~mask]
+    if inside.size == 0 or outside.size == 0:
+        raise ValueError("need samples both inside and outside HO windows")
+    return WindowComparison(
+        with_ho_mean=float(np.mean(inside)),
+        without_ho_mean=float(np.mean(outside)),
+        with_ho_max=float(np.max(inside)),
+        samples_with=int(inside.size),
+        samples_without=int(outside.size),
+    )

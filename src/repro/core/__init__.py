@@ -1,0 +1,49 @@
+"""Prognos: the paper's holistic 4G/5G handover prediction system (§7).
+
+Prognos decouples handover prediction into two learned stages — that is
+the paper's central design claim (§7.2):
+
+1. a *report predictor* that forecasts which measurement reports the UE
+   will send, by extrapolating smoothed RRS with linear regression and
+   replaying the 3GPP event trigger logic on the forecast
+   (:mod:`repro.core.report_predictor`), and
+2. a *decision learner* that mines the carrier's black-box HO logic as
+   sequential patterns "MR sequence → HO type" in an online fashion
+   (:mod:`repro.core.decision_learner`), with support counting,
+   freshness-based eviction, and bootstrapping.
+
+The *handover predictor* (:mod:`repro.core.predictor`) matches the
+predicted report stream against the learned patterns and emits the HO
+type plus ``ho_score`` — the expected throughput-change ratio
+applications use to correct their bandwidth predictions (§7.4).
+"""
+
+from repro.core.smoothing import TriangularKernelSmoother
+from repro.core.rrs_predictor import RRSPredictor, CellHistory
+from repro.core.report_predictor import ReportPredictor, PredictedReport
+from repro.core.patterns import Phase, Pattern, PatternStats
+from repro.core.decision_learner import DecisionLearner, LearnerStats
+from repro.core.ho_score import DEFAULT_HO_SCORES, ho_score_for
+from repro.core.predictor import HandoverPredictor, HandoverPrediction
+from repro.core.prognos import Prognos, PrognosConfig
+from repro.core.bootstrap import frequent_patterns_from_logs
+
+__all__ = [
+    "CellHistory",
+    "DEFAULT_HO_SCORES",
+    "DecisionLearner",
+    "HandoverPrediction",
+    "HandoverPredictor",
+    "LearnerStats",
+    "Pattern",
+    "PatternStats",
+    "Phase",
+    "PredictedReport",
+    "Prognos",
+    "PrognosConfig",
+    "RRSPredictor",
+    "ReportPredictor",
+    "TriangularKernelSmoother",
+    "frequent_patterns_from_logs",
+    "ho_score_for",
+]

@@ -1,0 +1,64 @@
+"""Pattern bootstrapping (§9 / Fig. 15).
+
+Prognos learns online, so its cold-start predictions are weak until a
+few phases have been mined. The paper's remedy: seed the learner with
+the most frequent pattern per handover type, mined offline from an
+existing corpus. This module mines those seeds from drive logs.
+"""
+
+from __future__ import annotations
+
+from repro.core.patterns import Pattern, dedup_labels, subsequences_for_phase
+from repro.rrc.taxonomy import HandoverType
+from repro.simulate.records import DriveLog
+
+
+def phases_from_log(log: DriveLog) -> list[tuple[tuple[str, ...], HandoverType]]:
+    """Split a drive log's RRC stream into (MR labels, HO type) phases.
+
+    A handover command is observed by the UE at the start of execution
+    (the RRC reconfiguration message), so phases close at
+    ``exec_start_s``.
+    """
+    phases: list[tuple[tuple[str, ...], HandoverType]] = []
+    reports = sorted(log.reports, key=lambda r: r.time_s)
+    commands = sorted(log.handovers, key=lambda h: h.exec_start_s)
+    cursor = 0
+    pending: list[str] = []
+    for command in commands:
+        while cursor < len(reports) and reports[cursor].time_s <= command.exec_start_s:
+            pending.append(reports[cursor].label)
+            cursor += 1
+        labels = dedup_labels(pending) or ("<none>",)
+        phases.append((labels, command.ho_type))
+        pending = []
+    return phases
+
+
+def frequent_patterns_from_logs(
+    logs: list[DriveLog],
+    *,
+    per_type: int = 1,
+) -> dict[Pattern, int]:
+    """The ``per_type`` most frequent patterns per handover type.
+
+    Returns a mapping pattern -> support suitable for
+    :meth:`repro.core.prognos.Prognos.bootstrap`.
+    """
+    if per_type < 1:
+        raise ValueError("per_type must be at least 1")
+    support: dict[Pattern, int] = {}
+    for log in logs:
+        for labels, ho_type in phases_from_log(log):
+            for sub in subsequences_for_phase(labels):
+                pattern = Pattern(labels=sub, ho_type=ho_type)
+                support[pattern] = support.get(pattern, 0) + 1
+    best: dict[Pattern, int] = {}
+    by_type: dict[HandoverType, list[tuple[Pattern, int]]] = {}
+    for pattern, count in support.items():
+        by_type.setdefault(pattern.ho_type, []).append((pattern, count))
+    for candidates in by_type.values():
+        candidates.sort(key=lambda item: (-item[1], -len(item[0].labels)))
+        for pattern, count in candidates[:per_type]:
+            best[pattern] = count
+    return best

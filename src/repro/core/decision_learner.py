@@ -1,0 +1,165 @@
+"""Online handover decision-logic learning (§7.2's "Decision Learner").
+
+Consumes the RRC stream phase by phase (MRs, then a handover command)
+and maintains the set of live patterns with their support counts. The
+paper's design points, all implemented here:
+
+* online prefixSpan-style mining — at each phase end either increment
+  the support of known (sub)sequences or admit new ones;
+* freshness-based eviction — patterns unseen for a configurable number
+  of phases are dropped, keeping the pattern set small and current
+  (the paper measures ~9.1 patterns/hour learned, ~8.3/hour evicted on
+  D1/D2, with prediction accuracy stable);
+* bootstrapping — the learner can be seeded with frequent patterns
+  mined offline (Fig. 15 shows this lifts the cold-start F1 to 0.8
+  within 1.5 minutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.patterns import (
+    Pattern,
+    PatternStats,
+    Phase,
+    dedup_labels,
+    subsequences_for_phase,
+)
+from repro.rrc.taxonomy import HandoverType
+
+
+@dataclass(frozen=True, slots=True)
+class LearnerStats:
+    """Counters for the §7.3 learning-dynamics analysis."""
+
+    phases_processed: int
+    live_patterns: int
+    patterns_learned: int
+    patterns_evicted: int
+    learn_events_s: tuple[float, ...]
+    evict_events_s: tuple[float, ...]
+
+
+class DecisionLearner:
+    """Online sequential-pattern miner over the RRC phase stream."""
+
+    def __init__(
+        self,
+        *,
+        freshness_horizon_phases: int = 120,
+        max_patterns: int = 400,
+    ):
+        if freshness_horizon_phases < 1:
+            raise ValueError("freshness horizon must be positive")
+        if max_patterns < 8:
+            raise ValueError("pattern capacity unreasonably small")
+        self._horizon = freshness_horizon_phases
+        self._max_patterns = max_patterns
+        self._patterns: dict[Pattern, PatternStats] = {}
+        self._phase_count = 0
+        self._learned = 0
+        self._evicted = 0
+        self._learn_events: list[float] = []
+        self._evict_events: list[float] = []
+        self._pending_labels: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Streaming interface.
+    # ------------------------------------------------------------------
+
+    def observe_report(self, label: str) -> None:
+        """Feed one measurement report (in arrival order)."""
+        self._pending_labels.append(label)
+
+    def observe_handover(self, ho_type: HandoverType, time_s: float) -> Phase:
+        """Feed a handover command: closes and mines the current phase."""
+        labels = dedup_labels(self._pending_labels) or ("<none>",)
+        self._pending_labels = []
+        phase = Phase(labels=labels, ho_type=ho_type, command_time_s=time_s)
+        self._mine(phase, time_s)
+        return phase
+
+    @property
+    def current_phase_labels(self) -> tuple[str, ...]:
+        """Deduped labels of the phase currently being assembled."""
+        return dedup_labels(self._pending_labels)
+
+    # ------------------------------------------------------------------
+    # Mining.
+    # ------------------------------------------------------------------
+
+    def _mine(self, phase: Phase, time_s: float) -> None:
+        self._phase_count += 1
+        for labels in subsequences_for_phase(phase.labels):
+            pattern = Pattern(labels=labels, ho_type=phase.ho_type)
+            stats = self._patterns.get(pattern)
+            if stats is None:
+                self._patterns[pattern] = PatternStats(
+                    support=1,
+                    first_seen_phase=self._phase_count,
+                    last_seen_phase=self._phase_count,
+                )
+                self._learned += 1
+                self._learn_events.append(time_s)
+            else:
+                stats.support += 1
+                stats.last_seen_phase = self._phase_count
+        self._evict(time_s)
+
+    def _evict(self, time_s: float) -> None:
+        stale = [
+            pattern
+            for pattern, stats in self._patterns.items()
+            if self._phase_count - stats.last_seen_phase > self._horizon
+        ]
+        for pattern in stale:
+            del self._patterns[pattern]
+        self._evicted += len(stale)
+        self._evict_events.extend([time_s] * len(stale))
+        # Capacity guard: drop the least fresh patterns beyond the cap.
+        overflow = len(self._patterns) - self._max_patterns
+        if overflow > 0:
+            by_staleness = sorted(
+                self._patterns.items(), key=lambda item: item[1].last_seen_phase
+            )
+            for pattern, _ in by_staleness[:overflow]:
+                del self._patterns[pattern]
+            self._evicted += overflow
+            self._evict_events.extend([time_s] * overflow)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, patterns: dict[Pattern, int]) -> None:
+        """Seed with offline-mined patterns (support counts given)."""
+        for pattern, support in patterns.items():
+            if support < 1:
+                raise ValueError("bootstrap support must be positive")
+            stats = self._patterns.get(pattern)
+            if stats is None:
+                self._patterns[pattern] = PatternStats(
+                    support=support,
+                    first_seen_phase=self._phase_count,
+                    last_seen_phase=self._phase_count,
+                )
+            else:
+                stats.support += support
+
+    def live_patterns(self) -> dict[Pattern, PatternStats]:
+        return dict(self._patterns)
+
+    @property
+    def phase_count(self) -> int:
+        return self._phase_count
+
+    def stats(self) -> LearnerStats:
+        return LearnerStats(
+            phases_processed=self._phase_count,
+            live_patterns=len(self._patterns),
+            patterns_learned=self._learned,
+            patterns_evicted=self._evicted,
+            learn_events_s=tuple(self._learn_events),
+            evict_events_s=tuple(self._evict_events),
+        )

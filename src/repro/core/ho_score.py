@@ -1,0 +1,42 @@
+"""ho_score: the expected throughput-change ratio per handover (§7.2).
+
+``ho_score`` lives in (0, inf): 0.4 means "expect a 60% throughput
+drop", 1.0 means "no change / no handover", and values above 1 signal
+improvement (an SCG Addition bringing the NR leg up). The paper derives
+the table empirically as the median post/pre throughput ratio per
+procedure from its Fig. 16 measurements; we do the same from simulated
+drives via :func:`repro.analysis.bandwidth.ho_score_table`, and ship
+these defaults (derived from the mmWave walk workload) for users
+without their own logs.
+"""
+
+from __future__ import annotations
+
+from repro.rrc.taxonomy import HandoverType
+
+#: Default scores: medians of post/pre capacity per procedure, matching
+#: the paper's Fig. 16 shape — SCGA up ~17x, SCGR down ~7x, SCGM up
+#: ~1.4x, SCGC slightly *down* (the §6.2 inefficiency), LTEH slightly
+#: down, MNBH mildly down (interrupts both radios), MCGH neutral-plus.
+DEFAULT_HO_SCORES: dict[HandoverType, float] = {
+    HandoverType.SCGA: 17.0,
+    HandoverType.SCGR: 0.14,
+    HandoverType.SCGM: 1.43,
+    HandoverType.SCGC: 0.86,
+    HandoverType.MNBH: 0.80,
+    HandoverType.LTEH: 0.96,
+    HandoverType.MCGH: 1.05,
+    HandoverType.NONE: 1.0,
+}
+
+
+def ho_score_for(
+    ho_type: HandoverType,
+    table: dict[HandoverType, float] | None = None,
+) -> float:
+    """Score for a predicted handover type (1.0 for unknown/none)."""
+    scores = table if table is not None else DEFAULT_HO_SCORES
+    score = scores.get(ho_type, 1.0)
+    if score <= 0:
+        raise ValueError(f"ho_score must be positive, got {score} for {ho_type}")
+    return score

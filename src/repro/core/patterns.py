@@ -1,0 +1,89 @@
+"""Phases and sequential patterns (§7.2's decision-logic representation).
+
+A *phase* is the stream segment "measurement report(s) followed by one
+handover command". A *pattern* is a unique MR-label sequence that
+repeatedly precedes a specific handover type — e.g. the paper's example
+``[A2, A5] -> inter-frequency LTE HO``. Patterns carry a support count
+(how often observed) and a freshness stamp (when last observed), both
+of which feed the predictor's similarity score and the learner's
+eviction policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.rrc.taxonomy import HandoverType
+
+#: Longest MR sequence kept per pattern (prefixSpan projection cap).
+MAX_PATTERN_LENGTH = 4
+
+
+def dedup_labels(labels: list[str]) -> tuple[str, ...]:
+    """Collapse consecutive duplicate MR labels (periodic re-reports)."""
+    out: list[str] = []
+    for label in labels:
+        if not out or out[-1] != label:
+            out.append(label)
+    return tuple(out)
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """One mined phase: the MRs that preceded one handover command."""
+
+    labels: tuple[str, ...]
+    ho_type: HandoverType
+    command_time_s: float
+
+    def __post_init__(self) -> None:
+        if self.ho_type is HandoverType.NONE:
+            raise ValueError("a phase must end in an actual handover")
+
+
+@dataclass(frozen=True, slots=True)
+class Pattern:
+    """A candidate rule: this MR sequence triggers this handover type."""
+
+    labels: tuple[str, ...]
+    ho_type: HandoverType
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            raise ValueError("pattern needs at least one label")
+        if len(self.labels) > MAX_PATTERN_LENGTH:
+            raise ValueError(f"pattern longer than {MAX_PATTERN_LENGTH}")
+
+    def matches_suffix(self, observed: tuple[str, ...]) -> bool:
+        """True if ``observed`` ends with this pattern's label sequence."""
+        if len(observed) < len(self.labels):
+            return False
+        return observed[-len(self.labels) :] == self.labels
+
+
+@dataclass(slots=True)
+class PatternStats:
+    """Bookkeeping attached to one learned pattern."""
+
+    support: int = 0
+    first_seen_phase: int = 0
+    last_seen_phase: int = 0
+
+    def freshness(self, current_phase: int, horizon_phases: int) -> float:
+        """1.0 when just seen, decaying linearly to 0 at the horizon."""
+        if horizon_phases <= 0:
+            raise ValueError("freshness horizon must be positive")
+        age = current_phase - self.last_seen_phase
+        return max(0.0, 1.0 - age / horizon_phases)
+
+
+def subsequences_for_phase(labels: tuple[str, ...]) -> list[tuple[str, ...]]:
+    """The suffixes of a phase's (deduped) label sequence, shortest first.
+
+    PrefixSpan grows patterns by prefix projection; for the HO problem
+    the discriminative part of a phase is its *tail* (the reports
+    closest to the command), so the online variant mines every suffix up
+    to :data:`MAX_PATTERN_LENGTH`.
+    """
+    tail = labels[-MAX_PATTERN_LENGTH:]
+    return [tail[len(tail) - k :] for k in range(1, len(tail) + 1)]

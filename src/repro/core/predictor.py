@@ -1,0 +1,170 @@
+"""Handover prediction from patterns + predicted reports (§7.2).
+
+The handover predictor concatenates the current phase's actual MR
+labels with the report predictor's forecast labels, then searches the
+learned patterns for the best suffix match. Matching is filtered by
+*sanity checks* derived from the radio context — the paper's example:
+an SCGM prediction is impossible while the device has no 5G leg. The
+winning pattern's type is emitted together with its ``ho_score``.
+
+Similarity of a candidate pattern is a function of its support, length
+and freshness (§7.2 verbatim).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.decision_learner import DecisionLearner
+from repro.core.ho_score import ho_score_for
+from repro.core.patterns import Pattern, dedup_labels
+from repro.rrc.taxonomy import HandoverType
+
+
+@dataclass(frozen=True, slots=True)
+class RadioContext:
+    """What the UE currently is, for sanity-checking predictions."""
+
+    standalone: bool
+    nr_attached: bool
+    lte_attached: bool
+
+    def allows(self, ho_type: HandoverType) -> bool:
+        if self.standalone:
+            return ho_type is HandoverType.MCGH
+        if ho_type is HandoverType.MCGH:
+            return False
+        if ho_type in (HandoverType.SCGM, HandoverType.SCGR, HandoverType.SCGC):
+            return self.nr_attached
+        if ho_type is HandoverType.SCGA:
+            return self.lte_attached and not self.nr_attached
+        if ho_type is HandoverType.MNBH:
+            return self.lte_attached and self.nr_attached
+        if ho_type is HandoverType.LTEH:
+            return self.lte_attached
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class HandoverPrediction:
+    """Prognos's output for one prediction window."""
+
+    ho_type: HandoverType
+    ho_score: float
+    similarity: float
+    matched_pattern: Pattern | None
+    lead_time_s: float | None
+
+    @property
+    def predicts_handover(self) -> bool:
+        return self.ho_type is not HandoverType.NONE
+
+
+NO_HANDOVER = HandoverPrediction(
+    ho_type=HandoverType.NONE,
+    ho_score=1.0,
+    similarity=0.0,
+    matched_pattern=None,
+    lead_time_s=None,
+)
+
+
+class HandoverPredictor:
+    """Pattern matcher with similarity scoring and sanity checks."""
+
+    def __init__(
+        self,
+        learner: DecisionLearner,
+        *,
+        support_weight: float = 1.0,
+        length_weight: float = 0.5,
+        freshness_weight: float = 1.0,
+        freshness_horizon_phases: int = 120,
+        min_similarity: float = 0.8,
+        min_support: int = 1,
+        ho_scores: dict[HandoverType, float] | None = None,
+    ):
+        self._learner = learner
+        self._w_support = support_weight
+        self._w_length = length_weight
+        self._w_fresh = freshness_weight
+        self._horizon = freshness_horizon_phases
+        self._min_similarity = min_similarity
+        self._min_support = min_support
+        self._scores = ho_scores
+
+    def set_ho_scores(self, scores: dict[HandoverType, float]) -> None:
+        self._scores = dict(scores)
+
+    #: An actual MR counts as "imminent" evidence this long after it
+    #: arrives — roughly the network's preparation delay (T1).
+    IMMINENT_ACTUAL_S = 0.6
+
+    def predict(
+        self,
+        observed_labels: list[tuple[str, float]],
+        predicted_labels: list[tuple[str, float]],
+        context: RadioContext,
+    ) -> HandoverPrediction:
+        """Predict the handover for the next window.
+
+        The HO command follows the phase-completing measurement report
+        within tens of milliseconds (the preparation stage), so a
+        prediction only fires when the label *completing* a learned
+        pattern is imminent: it is forecast to fire inside the
+        prediction window, or it actually arrived moments ago. Older
+        phase labels contribute prefix context only — this is precisely
+        why the report predictor exists (§7.2: a triggered MR leaves a
+        ~70 ms median reaction window).
+
+        Args:
+            observed_labels: (label, age_s) of the current phase's actual
+                reports, oldest first.
+            predicted_labels: (label, fire_in_s) pairs from the report
+                predictor, soonest first.
+            context: current radio context for sanity checks.
+        """
+        actual = [label for label, _ in observed_labels]
+        predicted = [label for label, _ in predicted_labels]
+        sequence = dedup_labels(actual + predicted)
+        if not sequence:
+            return NO_HANDOVER
+        imminent = {label for label, _ in predicted_labels}
+        imminent.update(
+            label
+            for label, age_s in observed_labels
+            if age_s <= self.IMMINENT_ACTUAL_S
+        )
+        if not imminent:
+            return NO_HANDOVER
+        first_predicted_at = predicted_labels[0][1] if predicted_labels else None
+
+        best: tuple[float, Pattern] | None = None
+        current_phase = self._learner.phase_count
+        for pattern, stats in self._learner.live_patterns().items():
+            if stats.support < self._min_support:
+                continue
+            if not context.allows(pattern.ho_type):
+                continue
+            if pattern.labels[-1] not in imminent:
+                continue
+            if not pattern.matches_suffix(sequence):
+                continue
+            similarity = (
+                self._w_support * math.log1p(stats.support)
+                + self._w_length * len(pattern.labels)
+                + self._w_fresh * stats.freshness(current_phase, self._horizon)
+            )
+            if best is None or similarity > best[0]:
+                best = (similarity, pattern)
+        if best is None or best[0] < self._min_similarity:
+            return NO_HANDOVER
+        similarity, pattern = best
+        return HandoverPrediction(
+            ho_type=pattern.ho_type,
+            ho_score=ho_score_for(pattern.ho_type, self._scores),
+            similarity=similarity,
+            matched_pattern=pattern,
+            lead_time_s=first_predicted_at,
+        )

@@ -1,0 +1,164 @@
+"""The Prognos facade: streaming prediction over the RRC/PHY feed.
+
+Wires the three components together exactly as the paper's Fig. 17:
+RRS values flow into the report predictor; actual measurement reports
+and handover commands flow into the decision learner; each tick the
+handover predictor matches (observed + predicted) reports against the
+learned patterns and emits a typed prediction with its ``ho_score``.
+
+Ablation flags (``use_report_predictor``, ``use_sanity_checks``,
+``use_eviction``) let the benches quantify each design choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.decision_learner import DecisionLearner, LearnerStats
+from repro.core.patterns import Pattern
+from repro.core.predictor import (
+    HandoverPrediction,
+    HandoverPredictor,
+    NO_HANDOVER,
+    RadioContext,
+)
+from repro.core.report_predictor import ReportPredictor
+from repro.core.rrs_predictor import RRSPredictor
+from repro.rrc.events import EventConfig, MeasurementObject
+from repro.rrc.taxonomy import HandoverType
+
+
+@dataclass(frozen=True)
+class PrognosConfig:
+    """Tunables of one Prognos instance."""
+
+    prediction_window_s: float = 1.0
+    history_window_ticks: int = 20
+    smoother_window: int = 16
+    freshness_horizon_phases: int = 120
+    max_patterns: int = 400
+    min_similarity: float = 0.8
+    min_support: int = 1
+    #: Ablation switches (all on = the paper's system).
+    use_report_predictor: bool = True
+    use_sanity_checks: bool = True
+    use_eviction: bool = True
+
+
+class Prognos:
+    """Streaming 4G/5G handover prediction (§7.2)."""
+
+    def __init__(
+        self,
+        event_configs: list[EventConfig],
+        config: PrognosConfig | None = None,
+        ho_scores: dict[HandoverType, float] | None = None,
+    ):
+        self.config = config or PrognosConfig()
+        horizon = (
+            self.config.freshness_horizon_phases
+            if self.config.use_eviction
+            else 10**9  # effectively never evict
+        )
+        self.learner = DecisionLearner(
+            freshness_horizon_phases=horizon,
+            max_patterns=self.config.max_patterns if self.config.use_eviction else 10**6,
+        )
+        rrs = RRSPredictor(
+            history_window_ticks=self.config.history_window_ticks,
+            smoother_window=self.config.smoother_window,
+        )
+        self.report_predictor = ReportPredictor(
+            event_configs,
+            rrs,
+            prediction_window_s=self.config.prediction_window_s,
+        )
+        self.handover_predictor = HandoverPredictor(
+            self.learner,
+            freshness_horizon_phases=self.config.freshness_horizon_phases,
+            min_similarity=self.config.min_similarity,
+            min_support=self.config.min_support,
+            ho_scores=ho_scores,
+        )
+        self._phase_reports = []
+
+    # ------------------------------------------------------------------
+    # Streaming inputs.
+    # ------------------------------------------------------------------
+
+    _phase_reports: list[tuple[str, float]]
+
+    def observe_report(self, label: str, time_s: float = 0.0) -> None:
+        """An actual measurement report arrived on the RRC layer."""
+        self.learner.observe_report(label)
+        self._phase_reports.append((label, time_s))
+
+    def observe_command(self, ho_type: HandoverType, time_s: float) -> None:
+        """An actual handover command arrived — close the phase."""
+        self.learner.observe_handover(ho_type, time_s)
+        self._phase_reports = []
+
+    def bootstrap(self, patterns: dict[Pattern, int]) -> None:
+        """Warm-start the learner with offline-mined frequent patterns."""
+        self.learner.bootstrap(patterns)
+
+    def set_ho_scores(self, scores: dict[HandoverType, float]) -> None:
+        self.handover_predictor.set_ho_scores(scores)
+
+    # ------------------------------------------------------------------
+    # Per-tick prediction.
+    # ------------------------------------------------------------------
+
+    def step(
+        self,
+        time_s: float,
+        rsrp_by_cell: dict[object, float],
+        serving: dict[MeasurementObject, object | None],
+        neighbours: dict[MeasurementObject, list[object]],
+        *,
+        standalone: bool = False,
+        scoped_neighbours: dict[MeasurementObject, list[object]] | None = None,
+    ) -> HandoverPrediction:
+        """Feed one tick of RRS and predict the next window's handover.
+
+        Args:
+            time_s: tick timestamp.
+            rsrp_by_cell: raw RSRP of every audible cell this tick.
+            serving: serving cell key per measurement object.
+            neighbours: neighbour cell keys per measurement object.
+            standalone: SA attachment flag (for sanity checks).
+            scoped_neighbours: per object, the neighbours configured in
+                intra-node measurement objects (A3 scope).
+        """
+        self.report_predictor.observe(time_s, rsrp_by_cell)
+        predicted: list[tuple[str, float]] = []
+        if self.config.use_report_predictor:
+            predicted = [
+                (report.label, report.fire_in_s)
+                for report in self.report_predictor.predict_reports(
+                    serving, neighbours, scoped_neighbours
+                )
+            ]
+        nr_serving = serving.get(MeasurementObject.NR)
+        lte_serving = serving.get(MeasurementObject.LTE)
+        if self.config.use_sanity_checks:
+            context = RadioContext(
+                standalone=standalone,
+                nr_attached=nr_serving is not None,
+                lte_attached=lte_serving is not None,
+            )
+        else:
+            context = _PERMISSIVE_CONTEXT
+        observed = [(label, time_s - t) for label, t in self._phase_reports]
+        return self.handover_predictor.predict(observed, predicted, context)
+
+    def stats(self) -> LearnerStats:
+        return self.learner.stats()
+
+
+class _AllowAll(RadioContext):
+    def allows(self, ho_type: HandoverType) -> bool:  # noqa: D102
+        return True
+
+
+_PERMISSIVE_CONTEXT = _AllowAll(standalone=False, nr_attached=True, lte_attached=True)

@@ -1,0 +1,175 @@
+"""Measurement-report forecasting (§7.2's "Report Predictor").
+
+Waiting for a real measurement report leaves ~70 ms (median) before the
+handover command lands — far too little for an application to react.
+The report predictor instead replays the carrier's event trigger logic
+(Table 4 conditions with time-to-trigger) on *predicted* RRS, declaring
+a future report whenever a trigger condition is forecast to hold for
+TTT within the prediction window. That buys Prognos ~931 ms of lead
+time at ~1.2% accuracy cost (Fig. 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rrs_predictor import RRSPredictor
+from repro.rrc.events import EventConfig, EventType, MeasurementObject
+
+
+@dataclass(frozen=True, slots=True)
+class PredictedReport:
+    """A measurement report forecast to fire within the window."""
+
+    label: str
+    fire_in_s: float
+    cell: object | None
+
+
+class ReportPredictor:
+    """Forecasts event triggers from predicted RRS series."""
+
+    def __init__(
+        self,
+        configs: list[EventConfig],
+        predictor: RRSPredictor | None = None,
+        *,
+        prediction_window_s: float = 1.0,
+        steps: int = 4,
+        margin_db: float = 0.0,
+    ):
+        if not configs:
+            raise ValueError("need at least one event config")
+        if prediction_window_s <= 0:
+            raise ValueError("prediction window must be positive")
+        self._configs = list(configs)
+        self.rrs = predictor or RRSPredictor()
+        self._window_s = prediction_window_s
+        self._steps = steps
+        self._margin_db = margin_db
+
+    def observe(self, time_s: float, rsrp_by_cell: dict[object, float]) -> None:
+        """Feed one tick of raw RSRP measurements."""
+        self.rrs.observe(time_s, rsrp_by_cell)
+
+    def predict_reports(
+        self,
+        serving: dict[MeasurementObject, object | None],
+        neighbours: dict[MeasurementObject, list[object]],
+        scoped_neighbours: dict[MeasurementObject, list[object]] | None = None,
+    ) -> list[PredictedReport]:
+        """Forecast reports for the next prediction window.
+
+        Args:
+            serving: serving cell per measurement object (None = no leg).
+            neighbours: candidate neighbour cells per object.
+            scoped_neighbours: candidates for ``intra_node_only`` events
+                (the measurement-object neighbour list the network
+                configured); None treats every neighbour as in scope.
+        """
+        step_s = self._window_s / self._steps
+        predictions: dict[object, np.ndarray] = {}
+
+        def series(cell: object | None) -> np.ndarray | None:
+            if cell is None:
+                return None
+            if cell not in predictions:
+                forecast = self.rrs.predict(cell, self._window_s, self._steps)
+                if forecast is None:
+                    return None
+                predictions[cell] = forecast
+            return predictions[cell]
+
+        reports: list[PredictedReport] = []
+        for config in self._configs:
+            serving_cell = serving.get(config.measurement)
+            # Mirror the UE-side configuration gating (events.py).
+            if (config.needs_serving and serving_cell is None) or (
+                config.only_when_detached and serving_cell is not None
+            ):
+                continue
+            serving_series = series(serving_cell)
+            if config.event.needs_neighbour:
+                scoping = config.intra_node_only or config.intra_frequency_only
+                if scoping and scoped_neighbours is not None:
+                    candidates = scoped_neighbours.get(config.measurement, [])
+                else:
+                    candidates = neighbours.get(config.measurement, [])
+                for cell in candidates:
+                    neighbour_series = series(cell)
+                    if neighbour_series is None:
+                        continue
+                    fire = self._first_sustained_trigger(
+                        config, serving_series, neighbour_series, step_s
+                    )
+                    if fire is not None:
+                        reports.append(PredictedReport(config.label, fire, cell))
+            else:
+                if serving_series is None:
+                    continue
+                fire = self._first_sustained_trigger(config, serving_series, None, step_s)
+                if fire is not None:
+                    reports.append(PredictedReport(config.label, fire, None))
+        reports.sort(key=lambda r: r.fire_in_s)
+        return reports
+
+    def _first_sustained_trigger(
+        self,
+        config: EventConfig,
+        serving_series: np.ndarray | None,
+        neighbour_series: np.ndarray | None,
+        step_s: float,
+    ) -> float | None:
+        """First forecast time at which the condition has held for TTT."""
+        steps = (
+            neighbour_series.size
+            if neighbour_series is not None
+            else (serving_series.size if serving_series is not None else 0)
+        )
+        if steps == 0:
+            return None
+        held_from: int | None = None
+        needed_steps = int(np.ceil(config.time_to_trigger_s / step_s))
+        for i in range(steps):
+            serving_value = (
+                serving_series[i] if serving_series is not None else float("-inf")
+            )
+            neighbour_value = (
+                neighbour_series[i] if neighbour_series is not None else float("-inf")
+            )
+            if self._condition(config, serving_value, neighbour_value, self._margin_db):
+                if held_from is None:
+                    held_from = i
+                if i - held_from + 1 >= max(needed_steps, 1):
+                    return (i + 1) * step_s
+            else:
+                held_from = None
+        return None
+
+    @staticmethod
+    def _condition(
+        config: EventConfig,
+        serving_dbm: float,
+        neighbour_dbm: float,
+        margin_db: float = 0.0,
+    ) -> bool:
+        hys = config.hysteresis_db + margin_db
+        event = config.event
+        if event is EventType.A1:
+            return serving_dbm - hys > config.threshold_dbm
+        if event is EventType.A2:
+            return serving_dbm + hys < config.threshold_dbm
+        if event is EventType.A3:
+            return neighbour_dbm > serving_dbm + config.offset_db + hys
+        if event in (EventType.A4, EventType.B1):
+            return neighbour_dbm - hys > config.threshold_dbm
+        if event is EventType.A5:
+            return (
+                serving_dbm + hys < config.threshold_dbm
+                and neighbour_dbm - hys > config.threshold2_dbm
+            )
+        if event is EventType.PERIODIC:
+            return True
+        raise ValueError(f"unhandled event {event}")

@@ -1,0 +1,23 @@
+"""Geometric primitives used across the simulator.
+
+The paper's analyses are inherently spatial: cell coverage footprints
+(Section 6.1), convex-hull based eNB/gNB co-location detection
+(Section 6.3), and trajectory-driven handover frequency (Section 5.1).
+This package provides the small, dependency-light geometry layer those
+analyses are built on.
+"""
+
+from repro.geo.point import Point, distance, heading, interpolate
+from repro.geo.polyline import Polyline
+from repro.geo.hull import convex_hull, hulls_overlap, polygon_area
+
+__all__ = [
+    "Point",
+    "Polyline",
+    "convex_hull",
+    "distance",
+    "heading",
+    "hulls_overlap",
+    "interpolate",
+    "polygon_area",
+]

@@ -1,0 +1,100 @@
+"""Convex hulls and hull overlap tests.
+
+Section 6.3 of the paper identifies eNB/gNB co-location by building convex
+hulls over the geolocations at which each PCI was observed and testing the
+4G hull against the 5G hull for overlap.  We implement the same method:
+Andrew's monotone chain for hull construction and a separating-axis test
+for convex polygon intersection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.geo.point import Point
+
+
+def _cross(o: Point, a: Point, b: Point) -> float:
+    """Z component of (a - o) x (b - o)."""
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+def convex_hull(points: Iterable[Point]) -> list[Point]:
+    """Convex hull (CCW, no repeated endpoint) via Andrew's monotone chain.
+
+    Degenerate inputs (fewer than 3 distinct points, collinear sets) return
+    the distinct points in sorted order, which downstream overlap tests
+    handle as segments/points.
+    """
+    distinct = sorted(set((p.x, p.y) for p in points))
+    pts = [Point(x, y) for x, y in distinct]
+    if len(pts) <= 2:
+        return pts
+
+    lower: list[Point] = []
+    for p in pts:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list[Point] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:  # all points collinear
+        return pts
+    return hull
+
+
+def polygon_area(polygon: Sequence[Point]) -> float:
+    """Unsigned area via the shoelace formula; 0 for degenerate polygons."""
+    if len(polygon) < 3:
+        return 0.0
+    total = 0.0
+    for i, p in enumerate(polygon):
+        q = polygon[(i + 1) % len(polygon)]
+        total += p.x * q.y - q.x * p.y
+    return abs(total) / 2.0
+
+
+def _project(polygon: Sequence[Point], axis: tuple[float, float]) -> tuple[float, float]:
+    dots = [p.x * axis[0] + p.y * axis[1] for p in polygon]
+    return min(dots), max(dots)
+
+
+def _axes(polygon: Sequence[Point]) -> list[tuple[float, float]]:
+    axes = []
+    n = len(polygon)
+    for i, p in enumerate(polygon):
+        q = polygon[(i + 1) % n]
+        edge = (q.x - p.x, q.y - p.y)
+        axes.append((-edge[1], edge[0]))
+    return axes
+
+
+def hulls_overlap(a: Sequence[Point], b: Sequence[Point]) -> bool:
+    """True if the two convex polygons intersect (separating-axis theorem).
+
+    Degenerate hulls (points or segments) are handled: a point inside the
+    other hull or overlapping projections on all axes count as overlap.
+    """
+    if not a or not b:
+        return False
+    polys = [list(a), list(b)]
+    # For degenerate shapes, SAT still works as long as we gather axes from
+    # whichever polygon has edges; for two single points compare directly.
+    if len(polys[0]) == 1 and len(polys[1]) == 1:
+        return polys[0][0] == polys[1][0]
+    axes: list[tuple[float, float]] = []
+    for poly in polys:
+        if len(poly) >= 2:
+            axes.extend(_axes(poly))
+    for axis in axes:
+        if axis == (0.0, 0.0):
+            continue
+        a_min, a_max = _project(polys[0], axis)
+        b_min, b_max = _project(polys[1], axis)
+        if a_max < b_min or b_max < a_min:
+            return False
+    return True

@@ -1,0 +1,58 @@
+"""Planar points and basic vector helpers.
+
+All simulator coordinates are planar metres (a local tangent projection).
+Driving distances in the paper are a few km between handovers, so earth
+curvature is irrelevant; a flat local frame keeps every downstream model
+(path loss, coverage diameters, hull intersection) simple and exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the local planar frame, in metres."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def scaled(self, factor: float) -> "Point":
+        """Return this point scaled about the origin."""
+        return Point(self.x * factor, self.y * factor)
+
+    def norm(self) -> float:
+        """Euclidean distance from the origin."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in metres."""
+    return a.distance_to(b)
+
+
+def heading(a: Point, b: Point) -> float:
+    """Heading (radians, CCW from +x axis) of travel from ``a`` to ``b``."""
+    return math.atan2(b.y - a.y, b.x - a.x)
+
+
+def interpolate(a: Point, b: Point, fraction: float) -> Point:
+    """Linearly interpolate between ``a`` (fraction 0) and ``b`` (fraction 1)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"interpolation fraction {fraction} outside [0, 1]")
+    return Point(a.x + (b.x - a.x) * fraction, a.y + (b.y - a.y) * fraction)

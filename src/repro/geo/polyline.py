@@ -1,0 +1,96 @@
+"""Polylines: routes that trajectories and deployments are anchored to.
+
+A drive test is a vehicle moving along a route; towers are placed relative
+to the same route. ``Polyline`` supports arc-length parameterisation so
+both sides agree on "distance along the route".
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.geo.point import Point, interpolate
+
+
+class Polyline:
+    """An ordered sequence of waypoints with arc-length addressing."""
+
+    def __init__(self, waypoints: Iterable[Point]):
+        points = list(waypoints)
+        if len(points) < 2:
+            raise ValueError("a polyline needs at least two waypoints")
+        self._points: Sequence[Point] = points
+        cumulative = [0.0]
+        for prev, nxt in zip(points, points[1:]):
+            cumulative.append(cumulative[-1] + prev.distance_to(nxt))
+        self._cumulative = cumulative
+
+    @property
+    def length(self) -> float:
+        """Total arc length in metres."""
+        return self._cumulative[-1]
+
+    @property
+    def waypoints(self) -> Sequence[Point]:
+        return self._points
+
+    def point_at(self, arc_length: float) -> Point:
+        """Return the point at ``arc_length`` metres along the route.
+
+        Values are clamped to the route ends, which lets callers step a
+        vehicle slightly past the nominal end without special-casing.
+        """
+        s = min(max(arc_length, 0.0), self.length)
+        # Find the segment containing s.
+        index = bisect.bisect_right(self._cumulative, s) - 1
+        index = min(index, len(self._points) - 2)
+        seg_start = self._cumulative[index]
+        seg_len = self._cumulative[index + 1] - seg_start
+        if seg_len <= 0.0:
+            return self._points[index]
+        fraction = (s - seg_start) / seg_len
+        return interpolate(self._points[index], self._points[index + 1], fraction)
+
+    def heading_at(self, arc_length: float) -> float:
+        """Heading (radians) of the segment containing ``arc_length``."""
+        s = min(max(arc_length, 0.0), self.length)
+        index = bisect.bisect_right(self._cumulative, s) - 1
+        index = min(index, len(self._points) - 2)
+        a, b = self._points[index], self._points[index + 1]
+        return math.atan2(b.y - a.y, b.x - a.x)
+
+    def offset_point(self, arc_length: float, lateral: float) -> Point:
+        """Point at ``arc_length`` displaced ``lateral`` metres to the left.
+
+        Used to place towers at a standoff from the roadway.
+        """
+        base = self.point_at(arc_length)
+        theta = self.heading_at(arc_length)
+        return Point(
+            base.x - lateral * math.sin(theta),
+            base.y + lateral * math.cos(theta),
+        )
+
+    @classmethod
+    def straight(cls, length_m: float, origin: Point = Point(0.0, 0.0)) -> "Polyline":
+        """A straight west-to-east route — the freeway abstraction."""
+        if length_m <= 0:
+            raise ValueError("route length must be positive")
+        return cls([origin, Point(origin.x + length_m, origin.y)])
+
+    @classmethod
+    def rectangle(cls, width_m: float, height_m: float) -> "Polyline":
+        """A closed rectangular loop — the city / walking loop abstraction."""
+        if width_m <= 0 or height_m <= 0:
+            raise ValueError("loop dimensions must be positive")
+        return cls(
+            [
+                Point(0.0, 0.0),
+                Point(width_m, 0.0),
+                Point(width_m, height_m),
+                Point(0.0, height_m),
+                Point(0.0, 0.0),
+            ]
+        )

@@ -1,0 +1,39 @@
+"""From-scratch machine learning used by the prediction study (§7.3).
+
+The paper compares Prognos against two offline-trained baselines: a
+gradient boosting classifier over lower-layer radio features (Mei et
+al.) and a stacked LSTM over device location (Ozturk et al.). Neither
+sklearn nor a deep-learning framework is available offline, so this
+package implements everything needed on numpy: OLS linear regression
+(also used by Prognos's RRS predictor), CART regression trees, softmax
+gradient boosting, a stacked LSTM trained with Adam, and the evaluation
+metrics (precision / recall / F1 / accuracy) the paper reports.
+"""
+
+from repro.ml.linreg import LinearRegressor
+from repro.ml.tree import RegressionTree
+from repro.ml.gbc import GradientBoostingClassifier
+from repro.ml.lstm import StackedLstmClassifier
+from repro.ml.metrics import (
+    ClassificationReport,
+    classification_report,
+    confusion_matrix,
+)
+from repro.ml.features import (
+    LabeledDataset,
+    build_radio_feature_dataset,
+    build_location_sequence_dataset,
+)
+
+__all__ = [
+    "ClassificationReport",
+    "GradientBoostingClassifier",
+    "LabeledDataset",
+    "LinearRegressor",
+    "RegressionTree",
+    "StackedLstmClassifier",
+    "build_location_sequence_dataset",
+    "build_radio_feature_dataset",
+    "classification_report",
+    "confusion_matrix",
+]

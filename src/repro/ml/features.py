@@ -1,0 +1,175 @@
+"""Feature/label extraction from drive logs for the §7.3 baselines.
+
+Ground-truth labelling matches the paper's prediction problem: at tick
+time t, the label is the type of the handover whose *decision* falls in
+the next prediction window (t, t + 1 s], or NONE. The two baselines see
+different inputs:
+
+* GBC (Mei et al.): lower-layer radio features of the serving and
+  strongest neighbouring cells, plus short-horizon RSRP slopes.
+* Stacked LSTM (Ozturk et al.): the location track (position, speed) as
+  a sequence window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rrc.taxonomy import HandoverType
+from repro.simulate.records import DriveLog, TickRecord
+
+#: Sentinel RRS values for absent legs/neighbours (below any real value).
+_ABSENT_RSRP = -140.0
+_ABSENT_RSRQ = -25.0
+_ABSENT_SINR = -15.0
+
+
+@dataclass(frozen=True)
+class LabeledDataset:
+    """Features (flat or sequential) with aligned labels and times."""
+
+    x: np.ndarray
+    labels: list[HandoverType]
+    times_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.x.shape[0] != len(self.labels) or self.x.shape[0] != len(self.times_s):
+            raise ValueError("features, labels, times must align")
+
+    @property
+    def positives(self) -> int:
+        return sum(1 for label in self.labels if label is not HandoverType.NONE)
+
+
+def label_for_tick(log: DriveLog, time_s: float, window_s: float) -> HandoverType:
+    """Handover type decided within (time_s, time_s + window_s], or NONE."""
+    for record in log.handovers:
+        if time_s < record.decision_time_s <= time_s + window_s:
+            return record.ho_type
+    return HandoverType.NONE
+
+
+def _tick_radio_features(ticks: list[TickRecord], index: int, slope_ticks: int) -> list[float]:
+    tick = ticks[index]
+    lte = tick.lte_rrs
+    nr = tick.nr_rrs
+
+    def triple(sample):
+        if sample is None:
+            return [_ABSENT_RSRP, _ABSENT_RSRQ, _ABSENT_SINR]
+        return [sample.rsrp_dbm, sample.rsrq_db, sample.sinr_db]
+
+    features = triple(lte) + triple(nr)
+    for neighbours in (tick.lte_neighbours, tick.nr_neighbours):
+        top = [n.rrs.rsrp_dbm for n in neighbours[:2]]
+        top += [_ABSENT_RSRP] * (2 - len(top))
+        features.extend(top)
+    # Differentials: strongest neighbour minus serving, per object.
+    lte_best = tick.lte_neighbours[0].rrs.rsrp_dbm if tick.lte_neighbours else _ABSENT_RSRP
+    nr_best = tick.nr_neighbours[0].rrs.rsrp_dbm if tick.nr_neighbours else _ABSENT_RSRP
+    features.append(lte_best - (lte.rsrp_dbm if lte else _ABSENT_RSRP))
+    features.append(nr_best - (nr.rsrp_dbm if nr else _ABSENT_RSRP))
+    # Serving RSRP slopes over the recent past.
+    past = ticks[max(index - slope_ticks, 0)]
+    past_lte = past.lte_rrs.rsrp_dbm if past.lte_rrs else _ABSENT_RSRP
+    past_nr = past.nr_rrs.rsrp_dbm if past.nr_rrs else _ABSENT_RSRP
+    features.append((lte.rsrp_dbm if lte else _ABSENT_RSRP) - past_lte)
+    features.append((nr.rsrp_dbm if nr else _ABSENT_RSRP) - past_nr)
+    # Attachment indicator.
+    features.append(1.0 if tick.nr_serving_gci is not None else 0.0)
+    return features
+
+
+def log_time_offsets(logs: list[DriveLog]) -> list[float]:
+    """Global time offset per log when concatenating a dataset.
+
+    The same convention is used by the Prognos replay driver, so tick
+    times, labels, and handover events line up across methods.
+    """
+    offsets = []
+    offset = 0.0
+    for log in logs:
+        offsets.append(offset)
+        offset += log.duration_s + 1.0
+    return offsets
+
+
+def handover_events(logs: list[DriveLog]) -> list[tuple[float, HandoverType]]:
+    """(global time, type) of every handover decision across the logs."""
+    events: list[tuple[float, HandoverType]] = []
+    for log, offset in zip(logs, log_time_offsets(logs)):
+        for record in log.handovers:
+            events.append((record.decision_time_s + offset, record.ho_type))
+    events.sort(key=lambda item: item[0])
+    return events
+
+
+def build_radio_feature_dataset(
+    logs: list[DriveLog],
+    *,
+    window_s: float = 1.0,
+    stride: int = 5,
+) -> LabeledDataset:
+    """Flat radio-feature dataset for the GBC baseline.
+
+    Args:
+        window_s: prediction window for labelling.
+        stride: keep every ``stride``-th tick (training tractability; the
+            paper's logs are 20 Hz).
+    """
+    rows: list[list[float]] = []
+    labels: list[HandoverType] = []
+    times: list[float] = []
+    for log, offset in zip(logs, log_time_offsets(logs)):
+        slope_ticks = max(int(1.0 / max(log.tick_interval_s, 1e-3)), 1)
+        for index in range(0, len(log.ticks), stride):
+            tick = log.ticks[index]
+            rows.append(_tick_radio_features(log.ticks, index, slope_ticks))
+            labels.append(label_for_tick(log, tick.time_s, window_s))
+            times.append(tick.time_s + offset)
+    if not rows:
+        raise ValueError("no ticks in the provided logs")
+    return LabeledDataset(np.array(rows), labels, np.array(times))
+
+
+def build_location_sequence_dataset(
+    logs: list[DriveLog],
+    *,
+    window_s: float = 1.0,
+    history_ticks: int = 20,
+    stride: int = 5,
+) -> LabeledDataset:
+    """Location-sequence dataset for the stacked LSTM baseline."""
+    sequences: list[np.ndarray] = []
+    labels: list[HandoverType] = []
+    times: list[float] = []
+    for log, offset in zip(logs, log_time_offsets(logs)):
+        track = np.array(
+            [[t.x_m, t.y_m, t.speed_mps, t.arc_m] for t in log.ticks], dtype=float
+        )
+        for index in range(history_ticks, len(log.ticks), stride):
+            window = track[index - history_ticks : index]
+            sequences.append(window)
+            tick = log.ticks[index]
+            labels.append(label_for_tick(log, tick.time_s, window_s))
+            times.append(tick.time_s + offset)
+    if not sequences:
+        raise ValueError("logs too short for the requested history window")
+    return LabeledDataset(np.array(sequences), labels, np.array(times))
+
+
+def train_test_split_by_time(
+    dataset: LabeledDataset, train_fraction: float = 0.6
+) -> tuple[LabeledDataset, LabeledDataset]:
+    """Chronological split (the paper trains on the first 60%)."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train fraction must lie in (0, 1)")
+    cut = int(dataset.x.shape[0] * train_fraction)
+    if cut < 1 or cut >= dataset.x.shape[0]:
+        raise ValueError("split leaves an empty side")
+    return (
+        LabeledDataset(dataset.x[:cut], dataset.labels[:cut], dataset.times_s[:cut]),
+        LabeledDataset(dataset.x[cut:], dataset.labels[cut:], dataset.times_s[cut:]),
+    )

@@ -1,0 +1,110 @@
+"""Gradient boosting classifier (softmax multiclass, CART weak learners).
+
+The Mei et al. baseline the paper compares Prognos against (§7.3): an
+offline-trained GBC over lower-layer radio features. Implementation is
+the standard multinomial deviance boosting: per round, fit one
+regression tree per class to the softmax residuals ``y_k - p_k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import RegressionTree
+
+
+def _softmax(scores: np.ndarray) -> np.ndarray:
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class GradientBoostingClassifier:
+    """Multinomial gradient boosting on regression trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 40,
+        learning_rate: float = 0.15,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        subsample: float = 1.0,
+        random_state: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("need at least one boosting round")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning rate must lie in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must lie in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.random_state = random_state
+        self.classes_: list[object] = []
+        self._trees: list[list[RegressionTree]] = []
+        self._base_scores: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: list[object]) -> "GradientBoostingClassifier":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        if x.shape[0] != len(y):
+            raise ValueError("x and y row counts differ")
+        rng = np.random.default_rng(self.random_state)
+        self.classes_ = sorted(set(y), key=repr)
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        n, k = x.shape[0], len(self.classes_)
+        onehot = np.zeros((n, k))
+        for row, label in enumerate(y):
+            onehot[row, class_index[label]] = 1.0
+
+        # Base score: log prior (with clamping for absent classes).
+        priors = np.clip(onehot.mean(axis=0), 1e-6, None)
+        self._base_scores = np.log(priors)
+        scores = np.tile(self._base_scores, (n, 1))
+
+        self._trees = []
+        for _ in range(self.n_estimators):
+            probs = _softmax(scores)
+            residuals = onehot - probs
+            round_trees: list[RegressionTree] = []
+            if self.subsample < 1.0:
+                take = max(int(n * self.subsample), 2)
+                idx = rng.choice(n, size=take, replace=False)
+            else:
+                idx = np.arange(n)
+            for cls in range(k):
+                tree = RegressionTree(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                )
+                tree.fit(x[idx], residuals[idx, cls])
+                # Newton-style scaling of the mean-residual leaves
+                # ((K-1)/K factor of multinomial boosting).
+                tree.apply_leaf_values(lambda v: v * (k - 1) / k)
+                round_trees.append(tree)
+                scores[:, cls] += self.learning_rate * tree.predict(x)
+            self._trees.append(round_trees)
+        return self
+
+    def decision_scores(self, x: np.ndarray) -> np.ndarray:
+        if self._base_scores is None:
+            raise RuntimeError("classifier is not fitted")
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        scores = np.tile(self._base_scores, (x.shape[0], 1))
+        for round_trees in self._trees:
+            for cls, tree in enumerate(round_trees):
+                scores[:, cls] += self.learning_rate * tree.predict(x)
+        return scores
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return _softmax(self.decision_scores(x))
+
+    def predict(self, x: np.ndarray) -> list[object]:
+        probs = self.predict_proba(x)
+        return [self.classes_[i] for i in probs.argmax(axis=1)]

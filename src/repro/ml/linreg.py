@@ -1,0 +1,77 @@
+"""Ordinary least-squares linear regression.
+
+Used two ways in the reproduction: as the light-weight RRS extrapolator
+inside Prognos's report predictor (§7.2 explicitly chooses linear
+regression for its low cost on energy-constrained devices), and as a
+building block for feature baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LinearRegressor:
+    """OLS with an intercept, solved via least squares."""
+
+    def __init__(self) -> None:
+        self._coef: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._coef is not None
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """[intercept, slope_1, ..., slope_d]; raises before fitting."""
+        if self._coef is None:
+            raise RuntimeError("regressor is not fitted")
+        return self._coef.copy()
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearRegressor":
+        """Fit on features ``x`` (n,) or (n, d) against targets ``y`` (n,)."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim == 1:
+            x = x[:, None]
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y row counts differ")
+        if x.shape[0] < 2:
+            raise ValueError("need at least two samples")
+        design = np.hstack([np.ones((x.shape[0], 1)), x])
+        coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+        self._coef = coef
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for ``x`` (n,) or (n, d)."""
+        if self._coef is None:
+            raise RuntimeError("regressor is not fitted")
+        x = np.asarray(x, dtype=float)
+        scalar = x.ndim == 0
+        if x.ndim <= 1 and self._coef.shape[0] == 2:
+            x = np.atleast_1d(x)[:, None]
+        elif x.ndim == 1:
+            x = x[None, :]
+        design = np.hstack([np.ones((x.shape[0], 1)), x])
+        result = design @ self._coef
+        return float(result[0]) if scalar else result
+
+
+def extrapolate_series(
+    values: np.ndarray, horizon_steps: int
+) -> np.ndarray:
+    """Fit a line to a series (indexed 0..n-1) and extend it.
+
+    Returns the ``horizon_steps`` predicted values after the series end —
+    the core of Prognos's RRS prediction.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size < 2:
+        raise ValueError("need at least two history samples")
+    if horizon_steps < 1:
+        raise ValueError("horizon must be at least one step")
+    t = np.arange(values.size, dtype=float)
+    model = LinearRegressor().fit(t, values)
+    future = np.arange(values.size, values.size + horizon_steps, dtype=float)
+    return model.predict(future)

@@ -1,0 +1,219 @@
+"""Stacked LSTM classifier in numpy (BPTT + Adam).
+
+The Ozturk et al. baseline (§7.3): a stacked LSTM that predicts
+handovers from the device's location track. Two LSTM layers feed a
+softmax head; training is truncated-BPTT over fixed-length windows with
+Adam and class-frequency weighting.
+
+The implementation is deliberately compact but complete: full forward
+pass caching, exact gradients through both layers, gradient clipping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+
+class _LstmLayer:
+    """One LSTM layer with fused gate weights."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        scale = 1.0 / np.sqrt(input_dim + hidden_dim)
+        self.w = rng.normal(0, scale, size=(4 * hidden_dim, input_dim + hidden_dim))
+        self.b = np.zeros(4 * hidden_dim)
+        self.b[:hidden_dim] = 1.0  # forget-gate bias init
+        self.hidden_dim = hidden_dim
+        self._cache: list[tuple] = []
+
+    def forward(self, xs: np.ndarray) -> np.ndarray:
+        """xs: (T, input_dim) -> hidden states (T, hidden_dim)."""
+        h = np.zeros(self.hidden_dim)
+        c = np.zeros(self.hidden_dim)
+        self._cache = []
+        outputs = np.empty((xs.shape[0], self.hidden_dim))
+        hd = self.hidden_dim
+        for t, x in enumerate(xs):
+            z = np.concatenate([h, x])
+            gates = self.w @ z + self.b
+            f = _sigmoid(gates[:hd])
+            i = _sigmoid(gates[hd : 2 * hd])
+            o = _sigmoid(gates[2 * hd : 3 * hd])
+            g = np.tanh(gates[3 * hd :])
+            c_new = f * c + i * g
+            h_new = o * np.tanh(c_new)
+            self._cache.append((z, f, i, o, g, c, c_new))
+            h, c = h_new, c_new
+            outputs[t] = h
+        return outputs
+
+    def backward(self, d_outputs: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """d_outputs: (T, hidden) -> (d_inputs, dW, db)."""
+        hd = self.hidden_dim
+        dw = np.zeros_like(self.w)
+        db = np.zeros_like(self.b)
+        d_inputs = np.empty((d_outputs.shape[0], self.w.shape[1] - hd))
+        dh_next = np.zeros(hd)
+        dc_next = np.zeros(hd)
+        for t in range(d_outputs.shape[0] - 1, -1, -1):
+            z, f, i, o, g, c_prev, c_new = self._cache[t]
+            dh = d_outputs[t] + dh_next
+            tanh_c = np.tanh(c_new)
+            do = dh * tanh_c
+            dc = dh * o * (1 - tanh_c**2) + dc_next
+            df = dc * c_prev
+            di = dc * g
+            dg = dc * i
+            dc_next = dc * f
+            d_gates = np.concatenate(
+                [
+                    df * f * (1 - f),
+                    di * i * (1 - i),
+                    do * o * (1 - o),
+                    dg * (1 - g**2),
+                ]
+            )
+            dw += np.outer(d_gates, z)
+            db += d_gates
+            dz = self.w.T @ d_gates
+            dh_next = dz[:hd]
+            d_inputs[t] = dz[hd:]
+        return d_inputs, dw, db
+
+
+class _Adam:
+    def __init__(self, shapes: list[tuple[int, ...]], lr: float):
+        self.lr = lr
+        self.m = [np.zeros(s) for s in shapes]
+        self.v = [np.zeros(s) for s in shapes]
+        self.t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        self.t += 1
+        b1, b2, eps = 0.9, 0.999, 1e-8
+        for p, g, m, v in zip(params, grads, self.m, self.v):
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / (1 - b1**self.t)
+            v_hat = v / (1 - b2**self.t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class StackedLstmClassifier:
+    """Two stacked LSTM layers + softmax head over the final hidden state."""
+
+    def __init__(
+        self,
+        hidden_dim: int = 32,
+        epochs: int = 8,
+        learning_rate: float = 3e-3,
+        clip: float = 5.0,
+        random_state: int = 0,
+        class_weighting: bool = True,
+    ):
+        if hidden_dim < 1 or epochs < 1:
+            raise ValueError("invalid hyperparameters")
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.clip = clip
+        self.random_state = random_state
+        self.class_weighting = class_weighting
+        self.classes_: list[object] = []
+        self._layers: list[_LstmLayer] = []
+        self._w_out: np.ndarray | None = None
+        self._b_out: np.ndarray | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+
+    def fit(self, sequences: np.ndarray, y: list[object]) -> "StackedLstmClassifier":
+        """sequences: (n, T, d) windows; y: labels (len n)."""
+        sequences = np.asarray(sequences, dtype=float)
+        if sequences.ndim != 3:
+            raise ValueError("sequences must be (n, T, d)")
+        if sequences.shape[0] != len(y):
+            raise ValueError("sequences and labels differ in count")
+        rng = np.random.default_rng(self.random_state)
+        self.classes_ = sorted(set(y), key=repr)
+        index = {c: i for i, c in enumerate(self.classes_)}
+        labels = np.array([index[v] for v in y])
+        n, _, d = sequences.shape
+        k = len(self.classes_)
+
+        flat = sequences.reshape(-1, d)
+        self._mu = flat.mean(axis=0)
+        self._sigma = flat.std(axis=0) + 1e-9
+        normalized = (sequences - self._mu) / self._sigma
+
+        weights = np.ones(n)
+        if self.class_weighting:
+            counts = np.bincount(labels, minlength=k).astype(float)
+            class_weight = n / (k * np.clip(counts, 1, None))
+            weights = class_weight[labels]
+
+        self._layers = [
+            _LstmLayer(d, self.hidden_dim, rng),
+            _LstmLayer(self.hidden_dim, self.hidden_dim, rng),
+        ]
+        self._w_out = rng.normal(0, 1.0 / np.sqrt(self.hidden_dim), size=(k, self.hidden_dim))
+        self._b_out = np.zeros(k)
+
+        params = [
+            self._layers[0].w,
+            self._layers[0].b,
+            self._layers[1].w,
+            self._layers[1].b,
+            self._w_out,
+            self._b_out,
+        ]
+        adam = _Adam([p.shape for p in params], self.learning_rate)
+
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for sample in order:
+                xs = normalized[sample]
+                h1 = self._layers[0].forward(xs)
+                h2 = self._layers[1].forward(h1)
+                final = h2[-1]
+                logits = self._w_out @ final + self._b_out
+                probs = np.exp(logits - logits.max())
+                probs /= probs.sum()
+                d_logits = probs.copy()
+                d_logits[labels[sample]] -= 1.0
+                d_logits *= weights[sample]
+                dw_out = np.outer(d_logits, final)
+                db_out = d_logits
+                d_h2 = np.zeros_like(h2)
+                d_h2[-1] = self._w_out.T @ d_logits
+                d_h1, dw2, db2 = self._layers[1].backward(d_h2)
+                _, dw1, db1 = self._layers[0].backward(d_h1)
+                grads = [dw1, db1, dw2, db2, dw_out, db_out]
+                for g in grads:
+                    np.clip(g, -self.clip, self.clip, out=g)
+                adam.step(params, grads)
+        return self
+
+    def predict_proba(self, sequences: np.ndarray) -> np.ndarray:
+        if self._w_out is None or self._mu is None:
+            raise RuntimeError("classifier is not fitted")
+        sequences = np.asarray(sequences, dtype=float)
+        if sequences.ndim == 2:
+            sequences = sequences[None]
+        normalized = (sequences - self._mu) / self._sigma
+        out = np.empty((sequences.shape[0], len(self.classes_)))
+        for i, xs in enumerate(normalized):
+            h1 = self._layers[0].forward(xs)
+            h2 = self._layers[1].forward(h1)
+            logits = self._w_out @ h2[-1] + self._b_out
+            probs = np.exp(logits - logits.max())
+            out[i] = probs / probs.sum()
+        return out
+
+    def predict(self, sequences: np.ndarray) -> list[object]:
+        probs = self.predict_proba(sequences)
+        return [self.classes_[i] for i in probs.argmax(axis=1)]

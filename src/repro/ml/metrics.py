@@ -1,0 +1,211 @@
+"""Classification metrics (§7.3's F1 / precision / recall / accuracy).
+
+The handover prediction problem is extremely class-imbalanced (~0.4% of
+ticks carry a handover), so the paper evaluates on metrics "oblivious to
+class imbalance": per-class precision/recall/F1 macro-averaged over the
+*handover* classes, alongside plain accuracy over all samples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+def confusion_matrix(
+    y_true: Sequence[object], y_pred: Sequence[object]
+) -> dict[tuple[object, object], int]:
+    """Sparse confusion counts keyed by (true, predicted)."""
+    if len(y_true) != len(y_pred):
+        raise ValueError("prediction/label length mismatch")
+    counts: dict[tuple[object, object], int] = {}
+    for t, p in zip(y_true, y_pred):
+        counts[(t, p)] = counts.get((t, p), 0) + 1
+    return counts
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationReport:
+    """Macro-averaged report over the positive (handover) classes."""
+
+    f1: float
+    precision: float
+    recall: float
+    accuracy: float
+    per_class: dict[object, tuple[float, float, float]]
+    support: dict[object, int]
+
+
+def prediction_episodes(
+    times_s: Sequence[float],
+    predictions: Sequence[object],
+    *,
+    negative_class: object,
+    max_gap_s: float = 1.5,
+    min_samples: int = 2,
+) -> list[tuple[float, float, object]]:
+    """Collapse a per-tick prediction stream into prediction *episodes*.
+
+    Ticks predicting the same class with gaps up to ``max_gap_s`` form
+    one episode — one "the handover is coming" declaration. A forecast
+    naturally flickers as the radio trend wanders around the trigger
+    threshold; merging and debouncing (``min_samples``) turns that
+    flicker into the declaration a consumer would actually act on.
+    Returns (start, end, class) triples.
+    """
+    episodes: list[tuple[float, float, object]] = []
+    current: object = negative_class
+    start = last = 0.0
+    count = 0
+
+    def close() -> None:
+        if current != negative_class and count >= min_samples:
+            episodes.append((start, last, current))
+
+    for t, p in zip(times_s, predictions):
+        if p == current and p != negative_class and t - last <= max_gap_s:
+            last = t
+            count += 1
+            continue
+        if p != current and current != negative_class and p == negative_class:
+            # Tolerate momentary dropouts within the gap budget.
+            if t - last <= max_gap_s:
+                continue
+        close()
+        current = p
+        start = last = t
+        count = 1
+    close()
+    return episodes
+
+
+def event_level_report(
+    times_s: Sequence[float],
+    predictions: Sequence[object],
+    tick_truths: Sequence[object],
+    events: Sequence[tuple[float, object]],
+    *,
+    window_s: float = 1.0,
+    negative_class: object,
+) -> ClassificationReport:
+    """Score a prediction stream against actual handover events.
+
+    Coverage semantics (standard for detection problems): an episode is
+    a true positive when at least one handover of its class falls inside
+    [episode start, episode end + ``window_s``]; an actual handover is
+    *covered* (recalled) when some episode of its class spans it. An
+    episode covering nothing is a false positive; an uncovered handover
+    a false negative. Accuracy stays tick-level (as the paper reports
+    it).
+    """
+    episodes = prediction_episodes(
+        times_s, predictions, negative_class=negative_class
+    )
+    classes = sorted(
+        {c for _, c in events} | {c for _, _, c in episodes}, key=repr
+    )
+    covered: set[int] = set()
+    tp: dict[object, int] = {c: 0 for c in classes}
+    fp: dict[object, int] = {c: 0 for c in classes}
+    for start, end, cls in episodes:
+        hits = [
+            idx
+            for idx, (event_time, event_cls) in enumerate(events)
+            # Half-window backward tolerance: a declaration made moments
+            # after the command (the procedure is still executing) is
+            # not a hallucination.
+            if event_cls == cls
+            and start - window_s / 2 <= event_time <= end + window_s
+        ]
+        if hits:
+            tp[cls] += 1
+            covered.update(hits)
+        else:
+            fp[cls] += 1
+    covered_by_class: dict[object, int] = {c: 0 for c in classes}
+    total_by_class: dict[object, int] = {c: 0 for c in classes}
+    for idx, (_, event_cls) in enumerate(events):
+        total_by_class[event_cls] += 1
+        if idx in covered:
+            covered_by_class[event_cls] += 1
+
+    per_class: dict[object, tuple[float, float, float]] = {}
+    support: dict[object, int] = {}
+    f1s, precisions, recalls = [], [], []
+    for cls in classes:
+        support[cls] = total_by_class[cls]
+        if support[cls] == 0 and fp[cls] == 0 and tp[cls] == 0:
+            continue
+        precision = tp[cls] / (tp[cls] + fp[cls]) if tp[cls] + fp[cls] else 0.0
+        recall = (
+            covered_by_class[cls] / total_by_class[cls] if total_by_class[cls] else 0.0
+        )
+        f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+        per_class[cls] = (precision, recall, f1)
+        precisions.append(precision)
+        recalls.append(recall)
+        f1s.append(f1)
+    correct = sum(1 for t, p in zip(tick_truths, predictions) if t == p)
+    accuracy = correct / max(len(tick_truths), 1)
+    if not f1s:
+        return ClassificationReport(0.0, 0.0, 0.0, accuracy, per_class, support)
+    return ClassificationReport(
+        f1=sum(f1s) / len(f1s),
+        precision=sum(precisions) / len(precisions),
+        recall=sum(recalls) / len(recalls),
+        accuracy=accuracy,
+        per_class=per_class,
+        support=support,
+    )
+
+
+def classification_report(
+    y_true: Sequence[object],
+    y_pred: Sequence[object],
+    *,
+    negative_class: object = None,
+) -> ClassificationReport:
+    """Precision/recall/F1 macro-averaged over all classes except the
+    negative one; accuracy over everything.
+
+    Args:
+        negative_class: the "no handover" label, excluded from the macro
+            average (it would otherwise dominate every metric). Pass
+            None to include all classes.
+    """
+    if not y_true:
+        raise ValueError("empty evaluation set")
+    counts = confusion_matrix(y_true, y_pred)
+    classes = sorted(
+        {c for c in list(y_true) + list(y_pred) if c != negative_class},
+        key=repr,
+    )
+    per_class: dict[object, tuple[float, float, float]] = {}
+    support: dict[object, int] = {}
+    f1s, precisions, recalls = [], [], []
+    for cls in classes:
+        tp = counts.get((cls, cls), 0)
+        fp = sum(v for (t, p), v in counts.items() if p == cls and t != cls)
+        fn = sum(v for (t, p), v in counts.items() if t == cls and p != cls)
+        support[cls] = tp + fn
+        if support[cls] == 0 and fp == 0:
+            continue  # class never appears at all
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+        per_class[cls] = (precision, recall, f1)
+        precisions.append(precision)
+        recalls.append(recall)
+        f1s.append(f1)
+    correct = sum(v for (t, p), v in counts.items() if t == p)
+    accuracy = correct / len(y_true)
+    if not f1s:
+        return ClassificationReport(0.0, 0.0, 0.0, accuracy, per_class, support)
+    return ClassificationReport(
+        f1=sum(f1s) / len(f1s),
+        precision=sum(precisions) / len(precisions),
+        recall=sum(recalls) / len(recalls),
+        accuracy=accuracy,
+        per_class=per_class,
+        support=support,
+    )

@@ -1,0 +1,25 @@
+"""Mobility models: how the measurement UE moves.
+
+The paper's dataset mixes freeway driving (~130 km/h stretches), city
+driving (slower, with intersection stops), and walking loops (the D1/D2
+Prognos datasets and the iPerf bandwidth walks). Each model produces a
+:class:`Trajectory` — time-stamped positions along a route at the
+logging rate (20 Hz in the paper).
+"""
+
+from repro.mobility.trajectory import Trajectory, TrajectorySample
+from repro.mobility.models import (
+    ConstantSpeedModel,
+    FreewayDriveModel,
+    CityDriveModel,
+    WalkingLoopModel,
+)
+
+__all__ = [
+    "CityDriveModel",
+    "ConstantSpeedModel",
+    "FreewayDriveModel",
+    "Trajectory",
+    "TrajectorySample",
+    "WalkingLoopModel",
+]

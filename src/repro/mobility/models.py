@@ -1,0 +1,193 @@
+"""Concrete mobility models.
+
+Speed dynamics use a mean-reverting (Ornstein-Uhlenbeck) process so
+velocities wander realistically without drifting off to absurd values;
+the city model adds intersection stops, and the walking model loops a
+closed route the way the paper's D1/D2 collection walks did.
+
+Route positions for loops wrap around the polyline, while the cumulative
+``arc_m`` keeps increasing — downstream shadowing fields need a
+monotonically increasing track coordinate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geo.polyline import Polyline
+from repro.mobility.trajectory import Trajectory, TrajectorySample
+
+#: The paper logs at 20 Hz.
+DEFAULT_TICK_S = 0.05
+
+
+class ConstantSpeedModel:
+    """Moves at exactly the given speed — useful for tests and calibration."""
+
+    def __init__(self, speed_mps: float, tick_s: float = DEFAULT_TICK_S):
+        if speed_mps <= 0:
+            raise ValueError("speed must be positive")
+        if tick_s <= 0:
+            raise ValueError("tick interval must be positive")
+        self.speed_mps = speed_mps
+        self.tick_s = tick_s
+
+    def generate(self, route: Polyline, duration_s: float | None = None) -> Trajectory:
+        """Traverse the route once (or for ``duration_s`` if given, looping)."""
+        loop = duration_s is not None
+        if duration_s is None:
+            duration_s = route.length / self.speed_mps
+        samples = []
+        ticks = int(duration_s / self.tick_s) + 1
+        for i in range(ticks):
+            t = i * self.tick_s
+            arc = self.speed_mps * t
+            route_pos = arc % route.length if loop else min(arc, route.length)
+            samples.append(
+                TrajectorySample(t, arc, route.point_at(route_pos), self.speed_mps)
+            )
+        return Trajectory(samples, route)
+
+
+class _OUSpeed:
+    """Mean-reverting speed process clamped to [floor, ceiling]."""
+
+    def __init__(
+        self,
+        mean_mps: float,
+        sigma_mps: float,
+        reversion_s: float,
+        rng: np.random.Generator,
+        floor_mps: float = 0.0,
+    ):
+        self._mean = mean_mps
+        self._sigma = sigma_mps
+        self._theta = 1.0 / reversion_s
+        self._rng = rng
+        self._floor = floor_mps
+        self._ceiling = mean_mps + 4.0 * sigma_mps
+        self.value = mean_mps
+
+    def step(self, dt: float) -> float:
+        drift = self._theta * (self._mean - self.value) * dt
+        diffusion = self._sigma * math.sqrt(2.0 * self._theta * dt)
+        self.value += drift + float(self._rng.normal(0.0, diffusion))
+        self.value = min(max(self.value, self._floor), self._ceiling)
+        return self.value
+
+
+class FreewayDriveModel:
+    """Freeway driving: high mean speed with mild fluctuation, no stops."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_speed_mps: float = 36.0,
+        speed_sigma_mps: float = 2.5,
+        tick_s: float = DEFAULT_TICK_S,
+    ):
+        if mean_speed_mps <= 0:
+            raise ValueError("mean speed must be positive")
+        self._rng = rng
+        self._mean = mean_speed_mps
+        self._sigma = speed_sigma_mps
+        self.tick_s = tick_s
+
+    def generate(self, route: Polyline) -> Trajectory:
+        """Drive the route start-to-end once."""
+        speed = _OUSpeed(self._mean, self._sigma, 30.0, self._rng, floor_mps=15.0)
+        samples = []
+        t, arc = 0.0, 0.0
+        while arc < route.length:
+            samples.append(
+                TrajectorySample(t, arc, route.point_at(arc), speed.value)
+            )
+            arc += speed.step(self.tick_s) * self.tick_s
+            t += self.tick_s
+        samples.append(TrajectorySample(t, route.length, route.point_at(route.length), speed.value))
+        return Trajectory(samples, route)
+
+
+class CityDriveModel:
+    """City driving: slower, with red-light stops at random intervals."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_speed_mps: float = 11.0,
+        speed_sigma_mps: float = 3.0,
+        stop_spacing_m: float = 400.0,
+        stop_probability: float = 0.4,
+        stop_duration_s: tuple[float, float] = (5.0, 35.0),
+        tick_s: float = DEFAULT_TICK_S,
+    ):
+        if mean_speed_mps <= 0:
+            raise ValueError("mean speed must be positive")
+        if not 0.0 <= stop_probability <= 1.0:
+            raise ValueError("stop probability must lie in [0, 1]")
+        self._rng = rng
+        self._mean = mean_speed_mps
+        self._sigma = speed_sigma_mps
+        self._stop_spacing = stop_spacing_m
+        self._stop_prob = stop_probability
+        self._stop_duration = stop_duration_s
+        self.tick_s = tick_s
+
+    def generate(self, route: Polyline, loops: int = 1) -> Trajectory:
+        """Drive ``loops`` circuits of the (closed) route."""
+        if loops < 1:
+            raise ValueError("at least one loop required")
+        total = route.length * loops
+        speed = _OUSpeed(self._mean, self._sigma, 15.0, self._rng, floor_mps=2.0)
+        samples = []
+        t, arc = 0.0, 0.0
+        next_intersection = self._stop_spacing
+        stop_until = -1.0
+        while arc < total:
+            position = route.point_at(arc % route.length)
+            moving = t >= stop_until
+            current_speed = speed.value if moving else 0.0
+            samples.append(TrajectorySample(t, arc, position, current_speed))
+            if moving:
+                arc += speed.step(self.tick_s) * self.tick_s
+                if arc >= next_intersection:
+                    next_intersection += self._stop_spacing
+                    if self._rng.random() < self._stop_prob:
+                        stop_until = t + self._rng.uniform(*self._stop_duration)
+            t += self.tick_s
+        return Trajectory(samples, route)
+
+
+class WalkingLoopModel:
+    """Walking loops — the paper's D1 (35 min x 7) / D2 (25 min x 10) style."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mean_speed_mps: float = 1.4,
+        speed_sigma_mps: float = 0.3,
+        tick_s: float = DEFAULT_TICK_S,
+    ):
+        if mean_speed_mps <= 0:
+            raise ValueError("mean speed must be positive")
+        self._rng = rng
+        self._mean = mean_speed_mps
+        self._sigma = speed_sigma_mps
+        self.tick_s = tick_s
+
+    def generate(self, route: Polyline, duration_s: float) -> Trajectory:
+        """Walk the closed route for ``duration_s`` seconds, looping."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        speed = _OUSpeed(self._mean, self._sigma, 20.0, self._rng, floor_mps=0.5)
+        samples = []
+        t, arc = 0.0, 0.0
+        while t <= duration_s:
+            samples.append(
+                TrajectorySample(t, arc, route.point_at(arc % route.length), speed.value)
+            )
+            arc += speed.step(self.tick_s) * self.tick_s
+            t += self.tick_s
+        return Trajectory(samples, route)

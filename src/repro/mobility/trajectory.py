@@ -1,0 +1,66 @@
+"""Trajectories: time-stamped positions along a route."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.geo.point import Point
+from repro.geo.polyline import Polyline
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectorySample:
+    """One tick of UE motion.
+
+    Attributes:
+        time_s: simulation time.
+        arc_m: cumulative distance travelled along the route (this also
+            indexes the shadowing fields — loops keep increasing it).
+        position: planar position.
+        speed_mps: instantaneous speed.
+    """
+
+    time_s: float
+    arc_m: float
+    position: Point
+    speed_mps: float
+
+
+class Trajectory:
+    """A realised trajectory: a sequence of samples at the logging rate."""
+
+    def __init__(self, samples: Sequence[TrajectorySample], route: Polyline):
+        if not samples:
+            raise ValueError("a trajectory needs at least one sample")
+        self._samples = list(samples)
+        self.route = route
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[TrajectorySample]:
+        return iter(self._samples)
+
+    def __getitem__(self, index: int) -> TrajectorySample:
+        return self._samples[index]
+
+    @property
+    def duration_s(self) -> float:
+        return self._samples[-1].time_s - self._samples[0].time_s
+
+    @property
+    def distance_m(self) -> float:
+        return self._samples[-1].arc_m - self._samples[0].arc_m
+
+    @property
+    def mean_speed_mps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.distance_m / self.duration_s
+
+    @property
+    def tick_interval_s(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        return self._samples[1].time_s - self._samples[0].time_s

@@ -1,0 +1,27 @@
+"""Data-plane models: capacity, latency, bearers, TCP, link emulation.
+
+Everything the paper measured above the RRC layer flows through here:
+per-tick downlink capacity as a function of the serving legs' radio
+quality (§6.2's throughput phases), RTT under the two NSA bearer modes
+(§4.2, Fig. 7), fluid-model TCP CUBIC/BBR (the iPerf experiments), and a
+Mahimahi-style trace-driven link used by the application studies (§7.4).
+"""
+
+from repro.net.capacity import CapacityModel, LinkCapacity
+from repro.net.bearer import BearerMode
+from repro.net.latency import LatencyModel
+from repro.net.tcp import TcpCubic, TcpBbr, TcpConnection, TcpSample
+from repro.net.emulation import TraceDrivenLink, BandwidthTrace
+
+__all__ = [
+    "BandwidthTrace",
+    "BearerMode",
+    "CapacityModel",
+    "LatencyModel",
+    "LinkCapacity",
+    "TcpBbr",
+    "TcpConnection",
+    "TcpCubic",
+    "TcpSample",
+    "TraceDrivenLink",
+]

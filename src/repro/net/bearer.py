@@ -1,0 +1,34 @@
+"""NSA bearer modes (§4.2).
+
+Under NSA the user plane can ride an *SCG bearer* ("5G-only mode": all
+traffic on the NR leg, routed core→gNB directly) or an *MCG split bearer*
+("dual mode": traffic split across LTE and NR, with 5G data detouring
+core→eNB→gNB). The paper finds dual mode absorbs NR handover
+interruptions (the LTE leg keeps flowing) at the price of a higher
+baseline RTT from the eNB forwarding hop.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BearerMode(enum.Enum):
+    """How NSA user-plane traffic is mapped onto the two legs."""
+
+    #: SCG bearer: everything on NR, core→gNB direct path.
+    FIVE_G_ONLY = "5G-only"
+    #: MCG split bearer: both legs carry data, core→eNB→gNB detour.
+    DUAL = "dual"
+    #: The paper's §4.2 proposal: split bearer but with the 5G share
+    #: routed core→gNB directly — dual-mode resilience at 5G-only RTT.
+    DUAL_DIRECT = "dual-direct"
+
+    @property
+    def uses_lte_leg(self) -> bool:
+        return self is not BearerMode.FIVE_G_ONLY
+
+    @property
+    def routes_via_enb(self) -> bool:
+        """True when 5G data takes the core→eNB→gNB detour."""
+        return self is BearerMode.DUAL

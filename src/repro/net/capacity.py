@@ -1,0 +1,93 @@
+"""Downlink capacity model.
+
+Capacity per leg follows an attenuated-Shannon curve over the leg's SINR
+with per-technology spectral-efficiency caps — the standard abstraction
+for system-level cellular simulation (cf. 3GPP TR 36.942 link-to-system
+mapping). Combined with the bands' channel widths this reproduces the
+throughput landscape the paper reports: tens-to-hundreds of Mbps on LTE
+and low-band NR, ~1 Gbps mid-band, multi-Gbps on mmWave (Figs. 12/16).
+
+New NR attachments suffer a decaying SINR *transient* (beam refinement /
+link adaptation settling). For cross-gNB additions (SCGC's add leg) the
+transient is larger — together with the policy's first-qualifying target
+choice this produces §6.2's observation that SCG Changes often *reduce*
+throughput.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.radio.bands import Band, BandClass, RadioAccessTechnology
+from repro.radio.rrs import RRSSample
+
+#: Attenuation factor on the Shannon bound (implementation losses).
+SHANNON_ALPHA = 0.78
+
+#: Spectral-efficiency ceilings (bits/s/Hz).
+EFFICIENCY_CAP: dict[RadioAccessTechnology, float] = {
+    RadioAccessTechnology.LTE: 5.0,
+    RadioAccessTechnology.NR: 7.0,
+}
+
+#: Fraction of cell capacity one UE gets (scheduler fair-share, overhead).
+DEFAULT_UTILIZATION = 0.85
+
+#: Post-attach SINR transient (dB at attach, decay constant in seconds).
+SAME_GNB_TRANSIENT = (1.5, 1.0)
+CROSS_GNB_TRANSIENT = (6.0, 3.0)
+
+
+@dataclass(frozen=True, slots=True)
+class LinkCapacity:
+    """Instantaneous capacity of one leg."""
+
+    band: Band
+    sinr_db: float
+    capacity_mbps: float
+
+
+class CapacityModel:
+    """Maps (band, SINR) to achievable downlink throughput."""
+
+    def __init__(self, utilization: float = DEFAULT_UTILIZATION):
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError("utilization must lie in (0, 1]")
+        self._utilization = utilization
+
+    def capacity_mbps(self, band: Band, sinr_db: float) -> float:
+        """Throughput of one leg at the given SINR, in Mbps."""
+        sinr_linear = 10.0 ** (sinr_db / 10.0)
+        efficiency = SHANNON_ALPHA * math.log2(1.0 + sinr_linear)
+        efficiency = min(efficiency, EFFICIENCY_CAP[band.rat])
+        if efficiency <= 0.0:
+            return 0.0
+        return efficiency * band.bandwidth_mhz * self._utilization
+
+    def leg_capacity(
+        self,
+        band: Band,
+        sample: RRSSample,
+        *,
+        time_since_attach_s: float | None = None,
+        cross_gnb_attach: bool = False,
+    ) -> LinkCapacity:
+        """Capacity of a leg, applying the post-attach transient.
+
+        Args:
+            band: the leg's band.
+            sample: current RRS of the serving cell on this leg.
+            time_since_attach_s: seconds since the leg last (re)attached;
+                None suppresses the transient entirely.
+            cross_gnb_attach: True when the attach was a cross-gNB
+                addition (SCGC add leg) — larger, slower-decaying
+                transient.
+        """
+        sinr = sample.sinr_db
+        if time_since_attach_s is not None:
+            initial_db, tau_s = (
+                CROSS_GNB_TRANSIENT if cross_gnb_attach else SAME_GNB_TRANSIENT
+            )
+            sinr -= initial_db * math.exp(-max(time_since_attach_s, 0.0) / tau_s)
+        return LinkCapacity(band, sinr, self.capacity_mbps(band, sinr))

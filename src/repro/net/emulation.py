@@ -1,0 +1,123 @@
+"""Trace-driven link emulation (the paper's Mahimahi record-and-replay).
+
+The Prognos application studies (§7.4) feed recorded bandwidth traces
+into Mahimahi and replay video workloads over them. ``BandwidthTrace``
+is our recorded artefact (it comes out of the drive simulator) and
+``TraceDrivenLink`` replays it: chunk downloads integrate capacity over
+time exactly the way a record-and-replay shell would deliver them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BandwidthTrace:
+    """A capacity time series (regularly sampled).
+
+    Attributes:
+        times_s: sample timestamps, strictly increasing, uniform spacing.
+        capacity_mbps: downlink capacity at each timestamp.
+    """
+
+    times_s: np.ndarray
+    capacity_mbps: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.times_s) != len(self.capacity_mbps):
+            raise ValueError("times and capacities must align")
+        if len(self.times_s) < 2:
+            raise ValueError("trace needs at least two samples")
+        if np.any(np.diff(self.times_s) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if np.any(self.capacity_mbps < 0):
+            raise ValueError("capacity must be non-negative")
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.times_s[-1] - self.times_s[0])
+
+    @property
+    def tick_s(self) -> float:
+        return float(self.times_s[1] - self.times_s[0])
+
+    @property
+    def mean_mbps(self) -> float:
+        return float(np.mean(self.capacity_mbps))
+
+    @property
+    def min_mbps(self) -> float:
+        return float(np.min(self.capacity_mbps))
+
+    def capacity_at(self, time_s: float) -> float:
+        """Capacity at an arbitrary time (previous-sample hold)."""
+        index = bisect.bisect_right(self.times_s.tolist(), time_s) - 1
+        index = min(max(index, 0), len(self.capacity_mbps) - 1)
+        return float(self.capacity_mbps[index])
+
+    def mean_between(self, start_s: float, end_s: float) -> float:
+        """Mean capacity over a window (used for ground-truth prediction)."""
+        if end_s <= start_s:
+            raise ValueError("window end must exceed start")
+        mask = (self.times_s >= start_s) & (self.times_s < end_s)
+        if not np.any(mask):
+            return self.capacity_at(start_s)
+        return float(np.mean(self.capacity_mbps[mask]))
+
+    def window(self, start_s: float, duration_s: float) -> "BandwidthTrace":
+        """Slice a sub-trace (re-based to start at 0)."""
+        mask = (self.times_s >= start_s) & (self.times_s <= start_s + duration_s)
+        if int(np.sum(mask)) < 2:
+            raise ValueError("window too short for this trace")
+        return BandwidthTrace(
+            times_s=self.times_s[mask] - start_s,
+            capacity_mbps=self.capacity_mbps[mask],
+        )
+
+
+class TraceDrivenLink:
+    """Replays a :class:`BandwidthTrace` for chunked downloads."""
+
+    def __init__(self, trace: BandwidthTrace, *, loop: bool = True):
+        self._trace = trace
+        self._loop = loop
+
+    @property
+    def trace(self) -> BandwidthTrace:
+        return self._trace
+
+    def _capacity_at(self, time_s: float) -> float:
+        duration = self._trace.duration_s
+        if self._loop and time_s > duration:
+            time_s = time_s % duration
+        return self._trace.capacity_at(time_s)
+
+    def download_time_s(self, size_bytes: float, start_s: float, max_s: float = 600.0) -> float:
+        """Seconds needed to download ``size_bytes`` starting at ``start_s``.
+
+        Integrates capacity tick by tick (previous-sample hold), exactly
+        like a record-and-replay shell delivering packets.
+        """
+        if size_bytes <= 0:
+            return 0.0
+        tick = self._trace.tick_s
+        remaining_bits = size_bytes * 8.0
+        elapsed = 0.0
+        while remaining_bits > 0:
+            if elapsed >= max_s:
+                raise RuntimeError(
+                    f"download of {size_bytes:.0f} B stalled beyond {max_s:.0f} s"
+                )
+            rate_bps = self._capacity_at(start_s + elapsed) * 1e6
+            step_bits = rate_bps * tick
+            if step_bits >= remaining_bits and rate_bps > 0:
+                elapsed += remaining_bits / rate_bps
+                remaining_bits = 0.0
+            else:
+                remaining_bits -= step_bits
+                elapsed += tick
+        return elapsed

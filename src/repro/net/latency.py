@@ -1,0 +1,102 @@
+"""RTT model under NSA bearer modes and handover interruptions (§4.2).
+
+Baseline RTT depends on the bearer path: 5G-only rides core→gNB directly;
+dual mode detours 5G data through the eNB, adding a forwarding hop. On
+top of the baseline, handover execution stages inflate RTT: if *all*
+legs the bearer uses are interrupted, packets wait out the remaining
+interruption; if only the NR leg is interrupted under a split bearer,
+the LTE leg keeps the flow alive with a barely-visible RTT bump
+(the paper measures a 1-4% median change in dual mode vs. a 37-58%
+median inflation in 5G-only mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.bearer import BearerMode
+
+#: Baseline RTTs (ms). The eNB detour costs ~9 ms; plain LTE sits higher
+#: than NR because of LTE's longer TTI/scheduling latency.
+BASE_RTT_MS: dict[BearerMode, float] = {
+    BearerMode.FIVE_G_ONLY: 28.0,
+    BearerMode.DUAL: 37.0,
+    BearerMode.DUAL_DIRECT: 29.0,
+}
+
+LTE_ONLY_BASE_RTT_MS = 42.0
+
+#: RTT bump on the surviving LTE leg while the NR leg is down (queue
+#: shuffle when flows collapse onto one leg).
+SPLIT_SURVIVOR_BUMP_MS = 1.2
+
+
+@dataclass(frozen=True, slots=True)
+class RttSample:
+    """One RTT observation."""
+
+    time_s: float
+    rtt_ms: float
+    during_handover: bool
+
+
+class LatencyModel:
+    """Computes instantaneous RTT from bearer, interruptions, and jitter."""
+
+    def __init__(self, rng: np.random.Generator, jitter_ms: float = 2.5):
+        if jitter_ms < 0:
+            raise ValueError("jitter must be non-negative")
+        self._rng = rng
+        self._jitter = jitter_ms
+
+    def base_rtt_ms(self, bearer: BearerMode | None) -> float:
+        """Baseline RTT for a bearer (None = LTE-only attachment)."""
+        if bearer is None:
+            return LTE_ONLY_BASE_RTT_MS
+        return BASE_RTT_MS[bearer]
+
+    def rtt_ms(
+        self,
+        bearer: BearerMode | None,
+        *,
+        nr_attached: bool,
+        nr_interrupted_remaining_s: float = 0.0,
+        lte_interrupted_remaining_s: float = 0.0,
+        queue_delay_ms: float = 0.0,
+    ) -> float:
+        """Instantaneous RTT in ms.
+
+        Args:
+            bearer: NSA bearer mode; None when the UE is LTE-only.
+            nr_attached: whether an NR leg currently exists.
+            nr_interrupted_remaining_s: remaining NR execution-stage
+                interruption (0 when the NR leg is up).
+            lte_interrupted_remaining_s: same for the LTE leg (4G HOs
+                interrupt both legs — taxonomy footnote).
+            queue_delay_ms: extra queueing delay from the transport layer.
+        """
+        base = self.base_rtt_ms(bearer if nr_attached else None)
+        stall_s = 0.0
+        if bearer is None or not nr_attached:
+            # Single (LTE) path: any LTE interruption stalls packets.
+            stall_s = lte_interrupted_remaining_s
+            extra = 0.0
+        elif bearer is BearerMode.FIVE_G_ONLY:
+            # Single (NR) path; LTE interruptions also freeze NR data
+            # (4G control-plane HOs halt both radios).
+            stall_s = max(nr_interrupted_remaining_s, lte_interrupted_remaining_s)
+            extra = 0.0
+        else:
+            # Split bearer: the flow survives on whichever leg is up.
+            both_down = nr_interrupted_remaining_s > 0 and lte_interrupted_remaining_s > 0
+            if both_down:
+                stall_s = min(nr_interrupted_remaining_s, lte_interrupted_remaining_s)
+                extra = 0.0
+            elif nr_interrupted_remaining_s > 0 or lte_interrupted_remaining_s > 0:
+                extra = SPLIT_SURVIVOR_BUMP_MS
+            else:
+                extra = 0.0
+        jitter = abs(float(self._rng.normal(0.0, self._jitter)))
+        return base + extra + queue_delay_ms + stall_s * 1000.0 + jitter

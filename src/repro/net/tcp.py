@@ -1,0 +1,236 @@
+"""Fluid-model TCP CUBIC and BBR over a time-varying cellular bottleneck.
+
+The paper's iPerf experiments run both CUBIC and BBR; Fig. 7 reports BBR
+RTT distributions around handovers under the two NSA bearer modes. We
+model both congestion controllers at tick granularity over a single
+bottleneck whose capacity comes from the drive simulation:
+
+* CUBIC grows its window with the cubic function of time-since-loss and
+  backs off multiplicatively on queue overflow — so it keeps the
+  bottleneck buffer full (bufferbloat) and its RTT rides the queue.
+* BBR paces at its bottleneck-bandwidth estimate with the standard
+  8-phase gain cycle and periodically drains to probe min-RTT — so its
+  queue stays short except right after capacity drops (handovers!),
+  which is exactly the transient §4.2 measures.
+
+During a handover interruption the capacity is zero: inflight data sits
+in the bottleneck queue and drains afterwards, producing the post-HO RTT
+inflation the paper observes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+MSS_BYTES = 1500.0
+
+
+@dataclass(frozen=True, slots=True)
+class TcpSample:
+    """One tick of transport-layer state."""
+
+    time_s: float
+    goodput_mbps: float
+    rtt_ms: float
+    queue_bytes: float
+    lost: bool
+
+
+class CongestionController(Protocol):
+    """Minimal congestion-controller interface for the fluid loop."""
+
+    def sending_rate_bps(self, rtt_s: float) -> float: ...
+
+    def on_ack(self, delivered_bytes: float, rtt_s: float, dt_s: float) -> None: ...
+
+    def on_loss(self) -> None: ...
+
+
+class TcpCubic:
+    """CUBIC window dynamics (RFC 8312 fluid approximation)."""
+
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self, initial_cwnd_pkts: float = 10.0):
+        if initial_cwnd_pkts <= 0:
+            raise ValueError("initial cwnd must be positive")
+        self.cwnd_pkts = initial_cwnd_pkts
+        self._w_max = initial_cwnd_pkts
+        self._epoch_s = 0.0
+
+    def sending_rate_bps(self, rtt_s: float) -> float:
+        return self.cwnd_pkts * MSS_BYTES * 8.0 / max(rtt_s, 1e-3)
+
+    def on_ack(self, delivered_bytes: float, rtt_s: float, dt_s: float) -> None:
+        self._epoch_s += dt_s
+        k = (self._w_max * (1.0 - self.BETA) / self.C) ** (1.0 / 3.0)
+        target = self.C * (self._epoch_s - k) ** 3 + self._w_max
+        self.cwnd_pkts = max(target, 2.0)
+
+    def on_loss(self) -> None:
+        self._w_max = self.cwnd_pkts
+        self.cwnd_pkts = max(self.cwnd_pkts * self.BETA, 2.0)
+        self._epoch_s = 0.0
+
+
+class TcpBbr:
+    """BBR v1 rate dynamics (bandwidth probe cycle + min-RTT tracking)."""
+
+    PROBE_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    CYCLE_PHASE_S = 0.2
+    BW_WINDOW_S = 4.0
+    RTT_WINDOW_S = 10.0
+    CWND_GAIN = 1.3
+    #: PROBE_RTT: every interval, drain the pipe briefly so min-RTT is
+    #: measured without the standing queue (BBR v1 §4.3.4).
+    PROBE_RTT_INTERVAL_S = 5.0
+    PROBE_RTT_DURATION_S = 0.3
+    PROBE_RTT_GAIN = 0.05
+
+    def __init__(self, initial_rate_mbps: float = 10.0):
+        if initial_rate_mbps <= 0:
+            raise ValueError("initial rate must be positive")
+        self._btl_bw_bps = initial_rate_mbps * 1e6
+        self._bw_samples: list[tuple[float, float]] = []
+        self._rtt_samples: list[tuple[float, float]] = []
+        self._min_rtt_s = 0.1
+        self._clock_s = 0.0
+
+    @property
+    def btl_bw_mbps(self) -> float:
+        return self._btl_bw_bps / 1e6
+
+    def sending_rate_bps(self, rtt_s: float) -> float:
+        if self._clock_s % self.PROBE_RTT_INTERVAL_S < self.PROBE_RTT_DURATION_S:
+            return self.PROBE_RTT_GAIN * self._btl_bw_bps
+        phase = int(self._clock_s / self.CYCLE_PHASE_S) % len(self.PROBE_GAINS)
+        return self.PROBE_GAINS[phase] * self._btl_bw_bps
+
+    def on_ack(self, delivered_bytes: float, rtt_s: float, dt_s: float) -> None:
+        self._clock_s += dt_s
+        self._rtt_samples.append((self._clock_s, rtt_s))
+        rtt_horizon = self._clock_s - self.RTT_WINDOW_S
+        while self._rtt_samples and self._rtt_samples[0][0] < rtt_horizon:
+            self._rtt_samples.pop(0)
+        self._min_rtt_s = min(r for _, r in self._rtt_samples)
+        if dt_s > 0:
+            sample_bps = delivered_bytes * 8.0 / dt_s
+            self._bw_samples.append((self._clock_s, sample_bps))
+            horizon = self._clock_s - self.BW_WINDOW_S
+            while self._bw_samples and self._bw_samples[0][0] < horizon:
+                self._bw_samples.pop(0)
+            self._btl_bw_bps = max(s for _, s in self._bw_samples)
+
+    def inflight_cap_bytes(self, rtt_s: float) -> float:
+        """BBR caps inflight data at cwnd_gain x BDP."""
+        return self.CWND_GAIN * self._btl_bw_bps / 8.0 * max(self._min_rtt_s, 1e-3)
+
+    def on_loss(self) -> None:
+        # BBR v1 ignores isolated losses.
+        pass
+
+
+class TcpConnection:
+    """A bulk-transfer flow over a time-varying bottleneck.
+
+    Args:
+        controller: CUBIC or BBR instance.
+        base_rtt_s: propagation RTT (no queueing).
+        buffer_bytes: bottleneck buffer size; overflow drops trigger
+            ``on_loss``.
+        tick_s: simulation tick.
+    """
+
+    def __init__(
+        self,
+        controller: CongestionController,
+        base_rtt_s: float,
+        buffer_bytes: float = 3.0e6,
+        tick_s: float = 0.05,
+    ):
+        if base_rtt_s <= 0:
+            raise ValueError("base RTT must be positive")
+        if buffer_bytes <= 0:
+            raise ValueError("buffer must be positive")
+        self._cc = controller
+        self._base_rtt_s = base_rtt_s
+        self._buffer = buffer_bytes
+        self._tick = tick_s
+        self._queue_bytes = 0.0
+        self._time_s = 0.0
+        self._last_capacity_bps = 0.0
+        #: Queue sizes the sender has *observed* — feedback arrives one
+        #: RTT late, which is what lets short outages build real queues.
+        self._queue_history: list[float] = []
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Current queueing delay given the last drain rate estimate."""
+        return self._last_queue_delay
+
+    _last_queue_delay: float = 0.0
+
+    def step(self, capacity_mbps: float, base_rtt_s: float | None = None) -> TcpSample:
+        """Advance one tick with the given bottleneck capacity."""
+        if capacity_mbps < 0:
+            raise ValueError("capacity must be non-negative")
+        base = base_rtt_s if base_rtt_s is not None else self._base_rtt_s
+        capacity_bps = capacity_mbps * 1e6
+
+        # Queueing delay from the backlog. During an outage the drain
+        # rate is zero; packets will drain at roughly the pre-outage
+        # capacity once service resumes, so that is the delay estimate.
+        if capacity_bps > 0:
+            self._last_capacity_bps = capacity_bps
+        reference_bps = capacity_bps if capacity_bps > 0 else self._last_capacity_bps
+        if reference_bps > 0:
+            queue_delay = self._queue_bytes * 8.0 / reference_bps
+        else:
+            queue_delay = 2.0
+        queue_delay = min(queue_delay, 2.0)
+        self._last_queue_delay = queue_delay
+        rtt_s = base + queue_delay
+
+        send_bytes = self._cc.sending_rate_bps(rtt_s) / 8.0 * self._tick
+        inflight_cap = getattr(self._cc, "inflight_cap_bytes", None)
+        if inflight_cap is not None:
+            # Rate-based senders honour an inflight (queue) cap — but the
+            # sender only sees the queue state one RTT late (ACK clock),
+            # so a sudden outage keeps filling the buffer for a while.
+            self._queue_history.append(self._queue_bytes)
+            lag_ticks = max(int(round(rtt_s / self._tick)), 1)
+            observed = (
+                self._queue_history[-lag_ticks]
+                if len(self._queue_history) >= lag_ticks
+                else 0.0
+            )
+            del self._queue_history[:-200]
+            room = max(inflight_cap(base) - observed, 0.0)
+            # ACK clocking: data delivered during the tick releases more
+            # window — without this term a tick longer than the RTT
+            # would deadlock the window.
+            ack_clocked = capacity_bps / 8.0 * self._tick
+            send_bytes = min(send_bytes, room + ack_clocked)
+        drain_bytes = capacity_bps / 8.0 * self._tick
+
+        delivered = min(self._queue_bytes + send_bytes, drain_bytes)
+        self._queue_bytes = self._queue_bytes + send_bytes - delivered
+
+        lost = False
+        if self._queue_bytes > self._buffer:
+            lost = True
+            self._queue_bytes = self._buffer
+            self._cc.on_loss()
+        self._cc.on_ack(delivered, rtt_s, self._tick)
+
+        self._time_s += self._tick
+        return TcpSample(
+            time_s=self._time_s,
+            goodput_mbps=delivered * 8.0 / self._tick / 1e6,
+            rtt_ms=rtt_s * 1000.0,
+            queue_bytes=self._queue_bytes,
+            lost=lost,
+        )

@@ -1,0 +1,36 @@
+"""Radio substrate: frequency bands, propagation, fading, and RRS metrics.
+
+The paper's measurement pipeline records RRS — its shorthand for the radio
+quality triple (RSRP, RSRQ, SINR) — at 20 Hz per cell. This package
+synthesises physically plausible RRS time series: a 3GPP-style
+log-distance path loss with frequency-dependent attenuation, spatially
+correlated shadowing (Gudmundson model), and small-scale fading, combined
+into per-cell RSRP/RSRQ/SINR exactly as a UE would report them.
+"""
+
+from repro.radio.bands import (
+    Band,
+    BandClass,
+    Duplex,
+    RadioAccessTechnology,
+    BAND_CATALOG,
+    band_by_name,
+)
+from repro.radio.propagation import PathLossModel, ShadowingField
+from repro.radio.fading import FastFading
+from repro.radio.rrs import RRSSample, RadioEnvironment, CellSignal
+
+__all__ = [
+    "BAND_CATALOG",
+    "Band",
+    "BandClass",
+    "CellSignal",
+    "Duplex",
+    "FastFading",
+    "PathLossModel",
+    "RRSSample",
+    "RadioAccessTechnology",
+    "RadioEnvironment",
+    "ShadowingField",
+    "band_by_name",
+]

@@ -1,0 +1,133 @@
+"""Frequency bands and radio access technologies.
+
+The study spans 4G/LTE plus 5G-NR low-band, mid-band, and mmWave across
+three carriers. Band identity drives nearly everything downstream:
+propagation (higher frequency attenuates faster → smaller cells → more
+handovers, Section 5.1/6.1), capacity (mmWave reaches multi-Gbps,
+Section 6.2), RACH timing (mmWave's short PRACH formats, Section 5.2),
+and energy (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RadioAccessTechnology(enum.Enum):
+    """Radio access technology of a cell."""
+
+    LTE = "LTE"
+    NR = "NR"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class BandClass(enum.Enum):
+    """Coarse frequency class used throughout the paper."""
+
+    LOW = "low-band"
+    MID = "mid-band"
+    MMWAVE = "mmWave"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Duplex(enum.Enum):
+    FDD = "FDD"
+    TDD = "TDD"
+
+
+@dataclass(frozen=True, slots=True)
+class Band:
+    """A deployed radio frequency band.
+
+    Attributes:
+        name: 3GPP band label, e.g. ``"n71"`` or ``"B2"``.
+        rat: radio access technology the band carries.
+        band_class: coarse low/mid/mmWave class.
+        frequency_mhz: carrier centre frequency.
+        bandwidth_mhz: channel bandwidth available to one cell.
+        duplex: duplexing scheme (informational).
+    """
+
+    name: str
+    rat: RadioAccessTechnology
+    band_class: BandClass
+    frequency_mhz: float
+    bandwidth_mhz: float
+    duplex: Duplex = Duplex.FDD
+    #: Subcarrier spacing — RSRP is a per-resource-element quantity, so
+    #: SINR/RSRQ compare it against noise over one subcarrier.
+    scs_khz: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0:
+            raise ValueError(f"band {self.name}: frequency must be positive")
+        if self.bandwidth_mhz <= 0:
+            raise ValueError(f"band {self.name}: bandwidth must be positive")
+        if self.scs_khz <= 0:
+            raise ValueError(f"band {self.name}: subcarrier spacing must be positive")
+
+    @property
+    def is_mmwave(self) -> bool:
+        return self.band_class is BandClass.MMWAVE
+
+    @property
+    def wavelength_m(self) -> float:
+        """Carrier wavelength in metres."""
+        return 299.792458 / self.frequency_mhz
+
+
+_NR_SCS_KHZ = {BandClass.LOW: 15.0, BandClass.MID: 30.0, BandClass.MMWAVE: 120.0}
+
+
+def _nr(name: str, band_class: BandClass, freq: float, bw: float, duplex: Duplex = Duplex.TDD) -> Band:
+    return Band(
+        name, RadioAccessTechnology.NR, band_class, freq, bw, duplex, _NR_SCS_KHZ[band_class]
+    )
+
+
+def _lte(name: str, band_class: BandClass, freq: float, bw: float) -> Band:
+    return Band(name, RadioAccessTechnology.LTE, band_class, freq, bw, Duplex.FDD)
+
+
+#: Bands observed in the study (3GPP labels; frequencies are band centres).
+#: LTE low/mid bands are the U.S. workhorse bands; NR bands cover the
+#: low-band (n71/n5), mid-band (n41/n77) and mmWave (n260/n261) deployments
+#: the three carriers ran at measurement time.
+BAND_CATALOG: dict[str, Band] = {
+    band.name: band
+    for band in [
+        # --- LTE ---
+        _lte("B12", BandClass.LOW, 737.0, 10.0),
+        _lte("B13", BandClass.LOW, 751.0, 10.0),
+        _lte("B71", BandClass.LOW, 617.0, 15.0),
+        _lte("B2", BandClass.MID, 1960.0, 20.0),
+        _lte("B4", BandClass.MID, 2125.0, 20.0),
+        _lte("B25", BandClass.MID, 1962.5, 20.0),
+        _lte("B30", BandClass.MID, 2355.0, 10.0),
+        _lte("B41", BandClass.MID, 2593.0, 20.0),
+        _lte("B66", BandClass.MID, 2145.0, 20.0),
+        # --- 5G NR ---
+        _nr("n5", BandClass.LOW, 881.5, 20.0, Duplex.FDD),
+        _nr("n71", BandClass.LOW, 634.0, 20.0, Duplex.FDD),
+        _nr("n2", BandClass.MID, 1960.0, 20.0, Duplex.FDD),
+        _nr("n41", BandClass.MID, 2593.0, 100.0),
+        _nr("n77", BandClass.MID, 3700.0, 100.0),
+        _nr("n260", BandClass.MMWAVE, 39000.0, 400.0),
+        _nr("n261", BandClass.MMWAVE, 28000.0, 400.0),
+    ]
+}
+
+
+def band_by_name(name: str) -> Band:
+    """Look up a band from :data:`BAND_CATALOG` by its 3GPP label."""
+    try:
+        return BAND_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown band {name!r}; known bands: {sorted(BAND_CATALOG)}"
+        ) from None

@@ -1,0 +1,39 @@
+"""Radio access network substrate: cells, towers, carriers, deployments.
+
+The paper's three carriers (anonymised OpX / OpY / OpZ) differ in which
+bands they deploy, whether they run NSA and/or SA, how dense their grids
+are, and how their handover policies are tuned. This package models all
+of that: cell/tower/node identity (PCI, eNB/gNB grouping, co-location),
+per-carrier profiles, and deployment generators that lay towers along a
+drive route the way the paper's drive tests encountered them.
+"""
+
+from repro.ran.cells import Cell, Tower, NodeKind
+from repro.ran.deployment import (
+    Deployment,
+    SegmentConfig,
+    DeploymentBuilder,
+)
+from repro.ran.carrier import (
+    CarrierProfile,
+    OPX,
+    OPY,
+    OPZ,
+    CARRIERS,
+    carrier_by_name,
+)
+
+__all__ = [
+    "CARRIERS",
+    "CarrierProfile",
+    "Cell",
+    "Deployment",
+    "DeploymentBuilder",
+    "NodeKind",
+    "OPX",
+    "OPY",
+    "OPZ",
+    "SegmentConfig",
+    "Tower",
+    "carrier_by_name",
+]

@@ -1,0 +1,217 @@
+"""Carrier profiles: bands, architecture, policy tuning per operator.
+
+The paper anonymises the three major U.S. carriers as OpX, OpY, OpZ.
+What distinguishes them for our purposes (Table 1, §3):
+
+* OpX — NSA only; low-band plus mmWave NR; 5 LTE bands; the carrier used
+  for the application QoE, bandwidth-phase, and Prognos datasets.
+* OpY — NSA *and* SA; low-band and mid-band NR (no mmWave); 9 LTE bands;
+  the carrier behind the T1/T2 duration comparisons (Figs. 8-9).
+* OpZ — NSA only; low-band plus mmWave NR; 6 LTE bands.
+
+Each profile carries the carrier's measurement-event configuration — the
+thresholds, offsets, and time-to-trigger values that parameterise the
+"black-box HO logic" Prognos has to learn. Values differ across carriers
+(as the paper observes) but are stable in time (also observed — low
+temporal variation, §7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.radio.bands import BandClass, band_by_name
+from repro.rrc.events import EventConfig, EventType, MeasurementObject
+
+
+@dataclass(frozen=True, slots=True)
+class NrEventThresholds:
+    """NR-side event thresholds for one band class.
+
+    ``ttt_s`` of None falls back to the carrier's ``nr_ttt_s``. Carriers
+    configure slower triggers on wide low-band cells (ping-pong
+    avoidance) and fast ones on mmWave beams (coverage is tiny, waiting
+    costs connectivity).
+    """
+
+    b1_dbm: float
+    a2_dbm: float
+    a3_offset_db: float
+    ttt_s: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class CarrierProfile:
+    """Deployment and policy profile of one carrier."""
+
+    name: str
+    lte_bands: tuple[str, ...]
+    nr_bands: dict[BandClass, str]
+    supports_sa: bool
+    #: Fraction of gNBs physically mounted on an eNB tower (§6.3: 5-36%).
+    coloc_fraction: float
+    # --- LTE-side event tuning ---
+    lte_a2_dbm: float = -106.0
+    lte_a3_offset_db: float = 3.0
+    lte_a5_thr1_dbm: float = -110.0
+    lte_a5_thr2_dbm: float = -104.0
+    lte_hysteresis_db: float = 1.0
+    lte_ttt_s: float = 0.32
+    # --- NR-side event tuning per band class ---
+    nr_thresholds: dict[BandClass, NrEventThresholds] = field(
+        default_factory=lambda: {
+            BandClass.LOW: NrEventThresholds(-118.0, -121.0, 6.0, ttt_s=0.48),
+            BandClass.MID: NrEventThresholds(-112.0, -116.0, 4.0, ttt_s=0.32),
+            BandClass.MMWAVE: NrEventThresholds(-104.0, -108.0, 3.0, ttt_s=0.10),
+        }
+    )
+    nr_hysteresis_db: float = 1.0
+    nr_ttt_s: float = 0.16
+    # --- timing-model scale knobs (carrier disparities in Figs. 8-9) ---
+    t1_scale: float = 1.0
+    t2_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coloc_fraction <= 1.0:
+            raise ValueError("co-location fraction must lie in [0, 1]")
+        for name in self.lte_bands:
+            band_by_name(name)  # validates
+        for name in self.nr_bands.values():
+            band_by_name(name)
+
+    def nr_band_name(self, band_class: BandClass) -> str:
+        try:
+            return self.nr_bands[band_class]
+        except KeyError:
+            raise ValueError(
+                f"{self.name} deploys no {band_class.value} NR layer"
+            ) from None
+
+    def lte_event_configs(self) -> list[EventConfig]:
+        """Events configured on the LTE measurement object."""
+        return [
+            EventConfig(
+                EventType.A2,
+                MeasurementObject.LTE,
+                threshold_dbm=self.lte_a2_dbm,
+                hysteresis_db=self.lte_hysteresis_db,
+                time_to_trigger_s=self.lte_ttt_s,
+            ),
+            EventConfig(
+                EventType.A3,
+                MeasurementObject.LTE,
+                offset_db=self.lte_a3_offset_db,
+                hysteresis_db=self.lte_hysteresis_db,
+                time_to_trigger_s=self.lte_ttt_s,
+                intra_frequency_only=True,
+            ),
+            EventConfig(
+                EventType.A5,
+                MeasurementObject.LTE,
+                threshold_dbm=self.lte_a5_thr1_dbm,
+                threshold2_dbm=self.lte_a5_thr2_dbm,
+                hysteresis_db=self.lte_hysteresis_db,
+                time_to_trigger_s=self.lte_ttt_s,
+            ),
+        ]
+
+    def nr_event_configs(
+        self, band_class: BandClass, standalone: bool = False
+    ) -> list[EventConfig]:
+        """Events configured on the NR measurement object for a band class.
+
+        Under NSA the A3 measurement object is scoped to the serving
+        gNB's cells (no direct inter-gNB handover exists to act on the
+        rest); SA *does* support direct inter-gNB handovers, so its A3
+        covers all neighbours.
+        """
+        thresholds = self.nr_thresholds[band_class]
+        ttt = thresholds.ttt_s if thresholds.ttt_s is not None else self.nr_ttt_s
+        return [
+            EventConfig(
+                EventType.B1,
+                MeasurementObject.NR,
+                threshold_dbm=thresholds.b1_dbm,
+                hysteresis_db=self.nr_hysteresis_db,
+                time_to_trigger_s=ttt,
+                only_when_detached=True,
+            ),
+            EventConfig(
+                EventType.A2,
+                MeasurementObject.NR,
+                threshold_dbm=thresholds.a2_dbm,
+                hysteresis_db=self.nr_hysteresis_db,
+                time_to_trigger_s=ttt,
+            ),
+            EventConfig(
+                EventType.A3,
+                MeasurementObject.NR,
+                offset_db=thresholds.a3_offset_db,
+                hysteresis_db=self.nr_hysteresis_db,
+                time_to_trigger_s=ttt,
+                intra_node_only=not standalone,
+            ),
+        ]
+
+    def event_configs(
+        self, band_class: BandClass | None, standalone: bool = False
+    ) -> list[EventConfig]:
+        """Full event set for a UE attached to this carrier.
+
+        Args:
+            band_class: NR layer present in the current area, or None for
+                LTE-only coverage (NR events are still configured — B1 is
+                how the network discovers NR coverage returning).
+            standalone: SA attachments measure only the NR object (there
+                is no LTE leg to configure events against).
+        """
+        if standalone:
+            return self.nr_event_configs(band_class or BandClass.LOW, standalone=True)
+        configs = self.lte_event_configs()
+        configs.extend(self.nr_event_configs(band_class or BandClass.LOW))
+        return configs
+
+
+OPX = CarrierProfile(
+    name="OpX",
+    lte_bands=("B2", "B4", "B12", "B30", "B66"),
+    nr_bands={BandClass.LOW: "n5", BandClass.MMWAVE: "n260"},
+    supports_sa=False,
+    coloc_fraction=0.36,
+    lte_ttt_s=0.32,
+    nr_ttt_s=0.16,
+)
+
+OPY = CarrierProfile(
+    name="OpY",
+    lte_bands=("B2", "B4", "B12", "B25", "B41", "B66", "B71", "B13", "B30"),
+    nr_bands={BandClass.LOW: "n71", BandClass.MID: "n41"},
+    supports_sa=True,
+    coloc_fraction=0.20,
+    lte_a3_offset_db=2.0,
+    lte_ttt_s=0.24,
+    nr_ttt_s=0.10,
+    t1_scale=1.05,
+)
+
+OPZ = CarrierProfile(
+    name="OpZ",
+    lte_bands=("B2", "B4", "B13", "B66", "B12", "B41"),
+    nr_bands={BandClass.LOW: "n5", BandClass.MMWAVE: "n261"},
+    supports_sa=False,
+    coloc_fraction=0.05,
+    lte_a3_offset_db=4.0,
+    lte_ttt_s=0.48,
+    nr_ttt_s=0.20,
+    t2_scale=1.08,
+)
+
+CARRIERS: dict[str, CarrierProfile] = {c.name: c for c in (OPX, OPY, OPZ)}
+
+
+def carrier_by_name(name: str) -> CarrierProfile:
+    """Look up one of the three study carriers by name."""
+    try:
+        return CARRIERS[name]
+    except KeyError:
+        raise KeyError(f"unknown carrier {name!r}; known: {sorted(CARRIERS)}") from None

@@ -1,0 +1,123 @@
+"""Cells, towers, and base-station nodes.
+
+Identity matters a great deal in the paper's analyses:
+
+* PCI (physical cell identity) is what the UE-side logs see; the paper
+  estimates coverage by "distance travelled on the same PCI" (§6.1) and
+  detects eNB/gNB co-location by 4G and 5G PCIs matching (§6.3).
+* The eNB/gNB *node* grouping determines the procedure type: an NR cell
+  change within one gNB is an SCG Modification, across gNBs it must go
+  through SCG Change (§2, Fig. 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geo.point import Point
+from repro.radio.bands import Band, BandClass, RadioAccessTechnology
+
+#: PCI ranges per 3GPP: LTE has 504 PCIs, NR has 1008.
+LTE_PCI_COUNT = 504
+NR_PCI_COUNT = 1008
+
+#: Per-band-class effective isotropic radiated power (dBm). Macro
+#: low-band sites radiate tens of watts through modest antenna gain;
+#: mmWave sites compensate tiny cells with high beamforming gain.
+DEFAULT_EIRP_DBM: dict[BandClass, float] = {
+    BandClass.LOW: 58.0,
+    BandClass.MID: 72.0,
+    BandClass.MMWAVE: 78.0,
+}
+
+#: Audibility cutoff radius (metres) by band class — beyond this a cell
+#: is never measured (keeps the per-tick cell scan small).
+AUDIBLE_RADIUS_M: dict[BandClass, float] = {
+    BandClass.LOW: 7000.0,
+    BandClass.MID: 3500.0,
+    BandClass.MMWAVE: 600.0,
+}
+
+
+class NodeKind(enum.Enum):
+    """Base-station node type."""
+
+    ENB = "eNB"
+    GNB = "gNB"
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """One cell (antenna/beam) of a base-station node.
+
+    Attributes:
+        gci: globally unique cell index within the deployment.
+        pci: physical cell identity (mod 504 for LTE, mod 1008 for NR).
+        band: the radio band the cell transmits on.
+        node_id: identity of the owning eNB/gNB (SCGM vs SCGC boundary).
+        tower_id: physical tower the antenna hangs on (co-location).
+        position: antenna location in the planar frame.
+        eirp_dbm: effective radiated power.
+        carrier: owning carrier name ("OpX"/"OpY"/"OpZ").
+    """
+
+    gci: int
+    pci: int
+    band: Band
+    node_id: int
+    tower_id: int
+    position: Point
+    eirp_dbm: float
+    carrier: str
+
+    def __post_init__(self) -> None:
+        limit = LTE_PCI_COUNT if self.rat is RadioAccessTechnology.LTE else NR_PCI_COUNT
+        if not 0 <= self.pci < limit:
+            raise ValueError(f"PCI {self.pci} out of range for {self.rat}")
+
+    @property
+    def rat(self) -> RadioAccessTechnology:
+        return self.band.rat
+
+    @property
+    def node_kind(self) -> NodeKind:
+        return NodeKind.GNB if self.rat is RadioAccessTechnology.NR else NodeKind.ENB
+
+    @property
+    def band_class(self) -> BandClass:
+        return self.band.band_class
+
+    @property
+    def audible_radius_m(self) -> float:
+        return AUDIBLE_RADIUS_M[self.band_class]
+
+    def distance_to(self, point: Point) -> float:
+        return self.position.distance_to(point)
+
+
+@dataclass(slots=True)
+class Tower:
+    """A physical tower that may host an eNB, a gNB, or both.
+
+    When both are present the deployment generator assigns them the same
+    PCI value — the co-location heuristic the paper exploits in §6.3.
+    """
+
+    tower_id: int
+    position: Point
+    carrier: str
+    cells: list[Cell] = field(default_factory=list)
+
+    @property
+    def has_enb(self) -> bool:
+        return any(c.node_kind is NodeKind.ENB for c in self.cells)
+
+    @property
+    def has_gnb(self) -> bool:
+        return any(c.node_kind is NodeKind.GNB for c in self.cells)
+
+    @property
+    def is_colocated_site(self) -> bool:
+        """True when the tower hosts both an eNB and a gNB."""
+        return self.has_enb and self.has_gnb

@@ -1,0 +1,307 @@
+"""Deployment generation: laying towers along a drive route.
+
+A drive test crosses heterogeneous coverage: rural stretches with sparse
+low-band, suburbs with mid-band, downtown cores with mmWave clusters.
+We model a deployment as a sequence of *segments* along the route, each
+with its own LTE anchor grid and (optionally) an NR layer of a given band
+class, in NSA or SA flavour. Inter-site distances are jittered so cell
+edges (and hence handover points) are not perfectly periodic, and a
+configurable fraction of gNBs is snapped onto eNB towers with a shared
+PCI — the co-location structure analysed in §6.3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.point import Point
+from repro.geo.polyline import Polyline
+from repro.radio.bands import Band, BandClass, RadioAccessTechnology, band_by_name
+from repro.ran.carrier import CarrierProfile
+from repro.ran.cells import (
+    Cell,
+    DEFAULT_EIRP_DBM,
+    LTE_PCI_COUNT,
+    NR_PCI_COUNT,
+    Tower,
+)
+
+#: Cells per gNB node: sub-6 gNBs host a couple of sectors; mmWave gNBs
+#: expose several narrow beams, each of which the UE sees as a cell.
+CELLS_PER_GNB: dict[BandClass, int] = {
+    BandClass.LOW: 2,
+    BandClass.MID: 2,
+    BandClass.MMWAVE: 3,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentConfig:
+    """Coverage description for one stretch of the route.
+
+    Attributes:
+        start_m / end_m: arc-length interval of the route this segment
+            covers.
+        lte_isd_m: inter-site distance of the LTE anchor grid.
+        nr_band_class: NR layer present here (None = LTE-only coverage).
+        nr_isd_m: inter-*cell* distance of the NR layer.
+        standalone: True for SA 5G coverage (no LTE anchor involvement in
+            mobility; the NR leg is the master).
+        urban: toggles fading/shadowing scenario defaults.
+        lateral_offset_m: tower standoff from the route.
+        jitter: fractional ISD jitter (uniform +-).
+        eirp_bonus_db: added to every cell's EIRP in this segment (rural
+            macros run higher power / taller towers than the defaults,
+            which are tuned for suburban grids).
+        nr_eirp_bonus_db: NR-layer override for the EIRP bonus (None =
+            same as ``eirp_bonus_db``); rural LTE anchors often run much
+            hotter than the co-deployed NR layer.
+        cells_per_gnb: override for the gNB sectorisation (None = the
+            band-class default; 1 models rural single-panel sites, which
+            eliminates intra-gNB SCG Modifications there).
+    """
+
+    start_m: float
+    end_m: float
+    lte_isd_m: float = 600.0
+    nr_band_class: BandClass | None = None
+    nr_isd_m: float = 1400.0
+    standalone: bool = False
+    urban: bool = False
+    lateral_offset_m: float = 60.0
+    jitter: float = 0.15
+    eirp_bonus_db: float = 0.0
+    nr_eirp_bonus_db: float | None = None
+    cells_per_gnb: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.end_m <= self.start_m:
+            raise ValueError("segment end must exceed start")
+        if self.lte_isd_m <= 0 or self.nr_isd_m <= 0:
+            raise ValueError("inter-site distances must be positive")
+        if self.cells_per_gnb is not None and self.cells_per_gnb < 1:
+            raise ValueError("cells_per_gnb must be at least 1")
+        if not 0.0 <= self.jitter < 0.5:
+            raise ValueError("jitter fraction must lie in [0, 0.5)")
+
+    @property
+    def length_m(self) -> float:
+        return self.end_m - self.start_m
+
+
+class Deployment:
+    """An immutable set of towers/cells with spatial lookup."""
+
+    _GRID_M = 500.0
+
+    def __init__(self, carrier: CarrierProfile, towers: list[Tower], segments: list[SegmentConfig]):
+        self.carrier = carrier
+        self.towers = list(towers)
+        self.segments = list(segments)
+        self.cells: list[Cell] = [cell for tower in towers for cell in tower.cells]
+        self._by_gci = {cell.gci: cell for cell in self.cells}
+        self._grid: dict[tuple[int, int], list[Cell]] = {}
+        for cell in self.cells:
+            key = self._grid_key(cell.position)
+            self._grid.setdefault(key, []).append(cell)
+        self._max_radius = max((c.audible_radius_m for c in self.cells), default=0.0)
+
+    def _grid_key(self, point: Point) -> tuple[int, int]:
+        return (int(point.x // self._GRID_M), int(point.y // self._GRID_M))
+
+    def cell(self, gci: int) -> Cell:
+        return self._by_gci[gci]
+
+    def cells_of_node(self, node_id: int) -> list[Cell]:
+        return [c for c in self.cells if c.node_id == node_id]
+
+    def segment_at(self, arc_length_m: float) -> SegmentConfig | None:
+        """The segment covering a given arc length, if any."""
+        for segment in self.segments:
+            if segment.start_m <= arc_length_m < segment.end_m:
+                return segment
+        return None
+
+    def audible_cells(self, point: Point) -> list[Cell]:
+        """Cells whose audible radius covers ``point``."""
+        if not self.cells:
+            return []
+        reach = int(math.ceil(self._max_radius / self._GRID_M))
+        cx, cy = self._grid_key(point)
+        found: list[Cell] = []
+        for ix in range(cx - reach, cx + reach + 1):
+            for iy in range(cy - reach, cy + reach + 1):
+                for cell in self._grid.get((ix, iy), ()):
+                    if cell.distance_to(point) <= cell.audible_radius_m:
+                        found.append(cell)
+        return found
+
+    @property
+    def colocated_gnb_fraction(self) -> float:
+        """Fraction of gNB-hosting towers that also host an eNB."""
+        gnb_towers = [t for t in self.towers if t.has_gnb]
+        if not gnb_towers:
+            return 0.0
+        return sum(t.is_colocated_site for t in gnb_towers) / len(gnb_towers)
+
+
+class DeploymentBuilder:
+    """Builds a :class:`Deployment` for one carrier along a route."""
+
+    def __init__(self, route: Polyline, carrier: CarrierProfile, rng: np.random.Generator):
+        self._route = route
+        self._carrier = carrier
+        self._rng = rng
+        self._segments: list[SegmentConfig] = []
+
+    def add_segment(self, segment: SegmentConfig) -> "DeploymentBuilder":
+        if segment.end_m > self._route.length + 1e-6:
+            raise ValueError(
+                f"segment [{segment.start_m}, {segment.end_m}] exceeds route "
+                f"length {self._route.length:.0f} m"
+            )
+        if segment.nr_band_class is not None:
+            self._carrier.nr_band_name(segment.nr_band_class)  # validates support
+        if segment.standalone and not self._carrier.supports_sa:
+            raise ValueError(f"{self._carrier.name} does not support SA 5G")
+        self._segments.append(segment)
+        return self
+
+    def build(self) -> Deployment:
+        if not self._segments:
+            raise ValueError("deployment needs at least one segment")
+        towers: list[Tower] = []
+        next_gci = 0
+        next_node = 0
+        next_tower = 0
+
+        for segment in self._segments:
+            # --- LTE anchor grid (skipped for SA-only segments). ---
+            lte_towers: list[Tower] = []
+            if not segment.standalone:
+                positions = self._site_positions(segment, segment.lte_isd_m)
+                lte_band_cycle = self._lte_band_cycle()
+                for i, arc in enumerate(positions):
+                    point = self._tower_point(arc, segment)
+                    tower = Tower(next_tower, point, self._carrier.name)
+                    next_tower += 1
+                    band = lte_band_cycle[i % len(lte_band_cycle)]
+                    pci = self._pci(next_gci, LTE_PCI_COUNT)
+                    tower.cells.append(
+                        Cell(
+                            gci=next_gci,
+                            pci=pci,
+                            band=band,
+                            node_id=next_node,
+                            tower_id=tower.tower_id,
+                            position=point,
+                            eirp_dbm=DEFAULT_EIRP_DBM[band.band_class]
+                            + segment.eirp_bonus_db,
+                            carrier=self._carrier.name,
+                        )
+                    )
+                    next_gci += 1
+                    next_node += 1
+                    lte_towers.append(tower)
+                towers.extend(lte_towers)
+
+            # --- NR layer. ---
+            if segment.nr_band_class is not None:
+                band = band_by_name(self._carrier.nr_band_name(segment.nr_band_class))
+                cell_positions = self._site_positions(segment, segment.nr_isd_m)
+                per_node = segment.cells_per_gnb or CELLS_PER_GNB[segment.nr_band_class]
+                for first in range(0, len(cell_positions), per_node):
+                    node_id = next_node
+                    next_node += 1
+                    node_positions = cell_positions[first : first + per_node]
+                    colocate = (
+                        not segment.standalone
+                        and lte_towers
+                        and self._rng.random() < self._carrier.coloc_fraction
+                    )
+                    host_tower: Tower | None = None
+                    shared_pci: int | None = None
+                    if colocate:
+                        anchor_point = self._tower_point(node_positions[0], segment)
+                        host_tower = min(
+                            lte_towers,
+                            key=lambda t: t.position.distance_to(anchor_point),
+                        )
+                        shared_pci = host_tower.cells[0].pci
+                    for j, arc in enumerate(node_positions):
+                        if host_tower is not None and j == 0:
+                            tower = host_tower
+                            point = host_tower.position
+                            pci = shared_pci if shared_pci is not None else self._pci(next_gci, NR_PCI_COUNT)
+                        else:
+                            point = self._tower_point(arc, segment)
+                            tower = Tower(next_tower, point, self._carrier.name)
+                            next_tower += 1
+                            towers.append(tower)
+                            pci = self._pci(next_gci, NR_PCI_COUNT)
+                        tower.cells.append(
+                            Cell(
+                                gci=next_gci,
+                                pci=pci,
+                                band=band,
+                                node_id=node_id,
+                                tower_id=tower.tower_id,
+                                position=point,
+                                eirp_dbm=DEFAULT_EIRP_DBM[band.band_class]
+                                + (
+                                    segment.nr_eirp_bonus_db
+                                    if segment.nr_eirp_bonus_db is not None
+                                    else segment.eirp_bonus_db
+                                ),
+                                carrier=self._carrier.name,
+                            )
+                        )
+                        next_gci += 1
+        return Deployment(self._carrier, towers, self._segments)
+
+    def _lte_band_cycle(self) -> list[Band]:
+        """Alternate LTE towers between the carrier's two main mid bands.
+
+        Staggering bands along the route makes successive LTE handovers a
+        mix of intra-frequency (A3 → LTEH) and inter-frequency
+        (A2+A5 → LTEH) — the pattern diversity the paper's decision
+        learner example [A2, A5, LTEH_inter] reflects.
+        """
+        mids = [
+            band_by_name(name)
+            for name in self._carrier.lte_bands
+            if band_by_name(name).band_class is BandClass.MID
+        ]
+        if not mids:
+            mids = [band_by_name(self._carrier.lte_bands[0])]
+        return mids[:2] if len(mids) >= 2 else mids
+
+    def _site_positions(self, segment: SegmentConfig, isd_m: float) -> list[float]:
+        """Jittered arc-length positions of sites within a segment."""
+        count = max(int(round(segment.length_m / isd_m)), 1)
+        positions = []
+        for i in range(count):
+            nominal = segment.start_m + (i + 0.5) * segment.length_m / count
+            jitter = self._rng.uniform(-segment.jitter, segment.jitter) * isd_m
+            arc = min(max(nominal + jitter, segment.start_m), segment.end_m - 1.0)
+            positions.append(arc)
+        return sorted(positions)
+
+    def _tower_point(self, arc_m: float, segment: SegmentConfig) -> Point:
+        side = 1.0 if self._rng.random() < 0.5 else -1.0
+        lateral = side * self._rng.uniform(0.5, 1.0) * segment.lateral_offset_m
+        return self._route.offset_point(arc_m, lateral)
+
+    @staticmethod
+    def _pci(gci: int, limit: int) -> int:
+        """Deterministic PCI assignment with neighbour distinctness.
+
+        Multiplying by a constant co-prime with the PCI space spreads
+        consecutive cells far apart in PCI space, so adjacent cells never
+        collide (mod-504/1008 collisions only recur after hundreds of
+        cells, farther than any audible radius).
+        """
+        return (gci * 37 + 11) % limit

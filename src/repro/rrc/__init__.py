@@ -1,0 +1,46 @@
+"""RRC-layer machinery: events, measurement reports, and handovers.
+
+This package encodes the control-plane side of the paper:
+
+* Table 2's handover taxonomy (:mod:`repro.rrc.taxonomy`),
+* Table 4's LTE/NR measurement events with time-to-trigger
+  (:mod:`repro.rrc.events`),
+* measurement report objects and the UE-side event monitor
+  (:mod:`repro.rrc.measurement`),
+* carrier handover decision policies — the "black box" Prognos learns
+  (:mod:`repro.rrc.policy`),
+* handover execution with the paper's T1 (preparation) / T2 (execution)
+  decomposition (:mod:`repro.rrc.handover`), and
+* per-handover signaling message accounting (:mod:`repro.rrc.signaling`).
+"""
+
+from repro.rrc.taxonomy import HandoverType, HandoverCategory, TechChange
+from repro.rrc.events import (
+    EventType,
+    EventConfig,
+    MeasurementObject,
+    evaluate_event,
+)
+from repro.rrc.measurement import MeasurementReport, EventMonitor
+from repro.rrc.handover import HandoverTimingModel, HandoverStage, HandoverExecution
+from repro.rrc.signaling import SignalingModel, SignalingTally
+from repro.rrc.policy import HandoverPolicy, HandoverDecision
+
+__all__ = [
+    "EventConfig",
+    "EventMonitor",
+    "EventType",
+    "HandoverCategory",
+    "HandoverDecision",
+    "HandoverExecution",
+    "HandoverPolicy",
+    "HandoverStage",
+    "HandoverTimingModel",
+    "HandoverType",
+    "MeasurementObject",
+    "MeasurementReport",
+    "SignalingModel",
+    "SignalingTally",
+    "TechChange",
+    "evaluate_event",
+]

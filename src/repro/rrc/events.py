@@ -1,0 +1,142 @@
+"""Measurement events — the paper's Table 4, with trigger evaluation.
+
+A measurement event compares serving/neighbour radio quality against
+configured thresholds. When the entering condition holds continuously for
+the configured time-to-trigger (TTT), the UE sends a measurement report.
+Hysteresis is applied on the serving side of each inequality as in
+3GPP TS 36.331 / 38.331 ("report on leave" and A6 are out of scope for
+this study and omitted, matching the paper).
+
+Events exist in an LTE flavour and an NR flavour (the paper writes the
+latter as NR-A2, NR-A3, NR-B1 in Fig. 16); the flavour is carried by the
+:class:`MeasurementObject`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.radio.rrs import RRSSample
+
+
+class MeasurementObject(enum.Enum):
+    """Which radio the event measures."""
+
+    LTE = "lte"
+    NR = "nr"
+
+
+class EventType(enum.Enum):
+    """LTE/NR measurement event types (Table 4)."""
+
+    A1 = "A1"  # serving becomes better than threshold
+    A2 = "A2"  # serving becomes worse than threshold
+    A3 = "A3"  # neighbour becomes offset better than serving
+    A4 = "A4"  # (inter-RAT B1-like) neighbour better than threshold
+    A5 = "A5"  # serving worse than thr1 AND neighbour better than thr2
+    B1 = "B1"  # inter-RAT neighbour better than threshold
+    PERIODIC = "P"
+
+    @property
+    def needs_neighbour(self) -> bool:
+        return self in (EventType.A3, EventType.A4, EventType.A5, EventType.B1)
+
+
+@dataclass(frozen=True, slots=True)
+class EventConfig:
+    """One configured measurement event.
+
+    Attributes:
+        event: the event type.
+        measurement: which radio the event watches (LTE vs NR neighbours).
+        threshold_dbm: main threshold (Phi). For A3 this is unused.
+        threshold2_dbm: second threshold for A5 (Phi2).
+        offset_db: A3 offset (Delta).
+        hysteresis_db: entering-condition hysteresis.
+        time_to_trigger_s: how long the condition must hold before a
+            report fires.
+        intra_node_only: restrict the event's candidate neighbours to
+            cells of the serving cell's own node. Carriers scope the NR
+            intra-frequency A3 measurement object to the serving gNB's
+            cells: NSA has no direct inter-gNB handover to act on a
+            cross-gNB A3, so those neighbours are simply not configured.
+        intra_frequency_only: restrict candidates to neighbours on the
+            serving cell's own band (LTE A3 is an intra-frequency event;
+            other-band neighbours are handled by A5).
+        only_when_detached: the event is only configured while the UE
+            has no leg on its measurement object — B1's purpose is
+            *discovering* coverage to add; once the SCG is up the
+            network deconfigures it.
+    """
+
+    event: EventType
+    measurement: MeasurementObject
+    threshold_dbm: float = 0.0
+    threshold2_dbm: float = 0.0
+    offset_db: float = 0.0
+    hysteresis_db: float = 0.0
+    time_to_trigger_s: float = 0.0
+    intra_node_only: bool = False
+    intra_frequency_only: bool = False
+    only_when_detached: bool = False
+
+    @property
+    def needs_serving(self) -> bool:
+        """Events that compare against the serving cell require one.
+
+        Without this, a missing leg reads as serving = -inf and A2/A3/A5
+        would fire perpetually — junk reports real UEs never send.
+        """
+        return self.event in (
+            EventType.A1,
+            EventType.A2,
+            EventType.A3,
+            EventType.A5,
+        )
+
+    def __post_init__(self) -> None:
+        if self.time_to_trigger_s < 0:
+            raise ValueError("time-to-trigger must be non-negative")
+        if self.hysteresis_db < 0:
+            raise ValueError("hysteresis must be non-negative")
+
+    @property
+    def label(self) -> str:
+        """Human-readable event label, e.g. ``"A3"`` or ``"NR-B1"``."""
+        prefix = "NR-" if self.measurement is MeasurementObject.NR else ""
+        return f"{prefix}{self.event.value}"
+
+
+def evaluate_event(
+    config: EventConfig,
+    serving: RRSSample | None,
+    neighbour: RRSSample | None,
+) -> bool:
+    """Evaluate the *entering condition* of an event (Table 4).
+
+    ``serving`` / ``neighbour`` may be None when the corresponding cell is
+    inaudible; an inaudible serving cell counts as arbitrarily weak (so A2
+    fires) and an inaudible neighbour can never satisfy a neighbour-based
+    condition.
+    """
+    serving_rsrp = serving.rsrp_dbm if serving is not None else float("-inf")
+    neighbour_rsrp = neighbour.rsrp_dbm if neighbour is not None else float("-inf")
+    hys = config.hysteresis_db
+
+    if config.event is EventType.A1:
+        return serving_rsrp - hys > config.threshold_dbm
+    if config.event is EventType.A2:
+        return serving_rsrp + hys < config.threshold_dbm
+    if config.event is EventType.A3:
+        return neighbour_rsrp > serving_rsrp + config.offset_db + hys
+    if config.event in (EventType.A4, EventType.B1):
+        return neighbour_rsrp - hys > config.threshold_dbm
+    if config.event is EventType.A5:
+        return (
+            serving_rsrp + hys < config.threshold_dbm
+            and neighbour_rsrp - hys > config.threshold2_dbm
+        )
+    if config.event is EventType.PERIODIC:
+        return True
+    raise ValueError(f"unhandled event type {config.event}")

@@ -1,0 +1,249 @@
+"""Measurement reports and the UE-side event monitor.
+
+The monitor is fed one tick of RRS samples at a time (serving plus
+neighbours, per measurement object), tracks how long each event's
+entering condition has held per candidate cell, and emits
+:class:`MeasurementReport` objects once the time-to-trigger elapses.
+A fired (event, cell) pair stays latched until its condition lapses, so
+one sustained condition produces one report — matching how UEs rate-limit
+reporting (``reportAmount=1`` configurations dominate the paper's logs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.radio.rrs import RRSSample
+from repro.rrc.events import EventConfig, EventType, MeasurementObject, evaluate_event
+
+
+@dataclass(frozen=True, slots=True)
+class MeasurementReport:
+    """A UE → network measurement report (one triggered event).
+
+    Attributes:
+        time_s: simulation time at which the report left the UE.
+        config: the event configuration that fired.
+        serving_cell: identity of the serving cell on the event's
+            measurement object (None when the UE has no such leg —
+            e.g. NR-B1 before SCG addition).
+        neighbour_cell: the cell satisfying the neighbour condition
+            (None for serving-only events such as A1/A2).
+        serving_sample: RRS of the serving cell at fire time.
+        neighbour_sample: RRS of the reported neighbour at fire time.
+    """
+
+    time_s: float
+    config: EventConfig
+    serving_cell: object | None
+    neighbour_cell: object | None
+    serving_sample: RRSSample | None = None
+    neighbour_sample: RRSSample | None = None
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+
+class L3Filter:
+    """3GPP layer-3 measurement filtering (TS 36.331 / 38.331 §5.5.3.2).
+
+    The UE smooths raw per-cell measurements with an exponential filter
+    ``F_n = (1 - a) F_{n-1} + a M_n`` before evaluating events — without
+    it, fast fading would make every A3 comparison ping-pong. ``alpha``
+    is the per-sample coefficient (the spec's filterCoefficient k maps to
+    a = 1/2^(k/4) at a 200 ms sampling period; at our 50 ms ticks the
+    equivalent per-tick alpha for the common k=4 is about 0.16).
+
+    Cells that stop being measured are forgotten after ``forget_s``.
+    """
+
+    def __init__(self, alpha: float = 0.16, forget_s: float = 2.0):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must lie in (0, 1]")
+        self._alpha = alpha
+        self._forget_s = forget_s
+        self._state: dict[object, tuple[float, RRSSample]] = {}
+
+    def update(self, time_s: float, raw: dict[object, RRSSample]) -> dict[object, RRSSample]:
+        """Fold one tick of raw samples in; return filtered samples."""
+        a = self._alpha
+        filtered: dict[object, RRSSample] = {}
+        for cell, sample in raw.items():
+            previous = self._state.get(cell)
+            if previous is None or time_s - previous[0] > self._forget_s:
+                smoothed = sample
+            else:
+                old = previous[1]
+                smoothed = RRSSample(
+                    rsrp_dbm=(1 - a) * old.rsrp_dbm + a * sample.rsrp_dbm,
+                    rsrq_db=(1 - a) * old.rsrq_db + a * sample.rsrq_db,
+                    sinr_db=(1 - a) * old.sinr_db + a * sample.sinr_db,
+                )
+            self._state[cell] = (time_s, smoothed)
+            filtered[cell] = smoothed
+        # Forget cells that have not been measured recently.
+        stale = [c for c, (t, _) in self._state.items() if time_s - t > self._forget_s]
+        for cell in stale:
+            del self._state[cell]
+        return filtered
+
+    def reset(self) -> None:
+        self._state.clear()
+
+
+@dataclass
+class _TriggerState:
+    held_since_s: float | None = None
+    latched: bool = False
+    last_fire_s: float = float("-inf")
+
+
+class EventMonitor:
+    """Tracks entering-condition durations and fires measurement reports.
+
+    While an entering condition keeps holding, the report re-fires every
+    ``report_interval_s`` (3GPP reportInterval with reportAmount > 1) —
+    real UEs keep reminding the network until it acts or the condition
+    lapses.
+    """
+
+    def __init__(self, configs: list[EventConfig], report_interval_s: float = 0.48):
+        if not configs:
+            raise ValueError("event monitor needs at least one event config")
+        if report_interval_s <= 0:
+            raise ValueError("report interval must be positive")
+        self._configs = list(configs)
+        self._report_interval_s = report_interval_s
+        self._state: dict[tuple[int, object | None], _TriggerState] = {}
+
+    @property
+    def configs(self) -> list[EventConfig]:
+        return list(self._configs)
+
+    def reset(self) -> None:
+        """Drop all trigger state (used after handovers change the serving set)."""
+        self._state.clear()
+
+    def reset_event(self, measurement: MeasurementObject) -> None:
+        """Drop trigger state for one measurement object only."""
+        for (index, _cell), state in list(self._state.items()):
+            if self._configs[index].measurement is measurement:
+                state.held_since_s = None
+                state.latched = False
+
+    def observe(
+        self,
+        time_s: float,
+        serving: dict[MeasurementObject, tuple[object, RRSSample] | None],
+        neighbours: dict[MeasurementObject, dict[object, RRSSample]],
+    ) -> list[MeasurementReport]:
+        """Feed one tick of measurements; return any reports that fire.
+
+        Args:
+            time_s: current simulation time.
+            serving: per measurement object, the serving (cell, sample)
+                pair or None if the UE has no leg on that object.
+            neighbours: per measurement object, audible neighbour cells
+                and their samples (excluding the serving cell).
+        """
+        reports: list[MeasurementReport] = []
+        for index, config in enumerate(self._configs):
+            obj = config.measurement
+            serving_pair = serving.get(obj)
+            serving_cell = serving_pair[0] if serving_pair else None
+            serving_sample = serving_pair[1] if serving_pair else None
+            # Configuration gating: serving-referencing events need the
+            # leg to exist; discovery events (B1) are deconfigured while
+            # the leg is up. A gated-out event's state unlatches.
+            if (config.needs_serving and serving_pair is None) or (
+                config.only_when_detached and serving_pair is not None
+            ):
+                for key, state in self._state.items():
+                    if key[0] == index:
+                        state.held_since_s = None
+                        state.latched = False
+                continue
+            if config.event.needs_neighbour:
+                candidates = neighbours.get(obj, {})
+                if config.intra_node_only and serving_cell is not None:
+                    serving_node = getattr(serving_cell, "node_id", None)
+                    candidates = {
+                        cell: sample
+                        for cell, sample in candidates.items()
+                        if getattr(cell, "node_id", None) == serving_node
+                    }
+                elif config.intra_node_only:
+                    candidates = {}
+                if config.intra_frequency_only and serving_cell is not None:
+                    serving_band = getattr(
+                        getattr(serving_cell, "band", None), "name", None
+                    )
+                    candidates = {
+                        cell: sample
+                        for cell, sample in candidates.items()
+                        if getattr(getattr(cell, "band", None), "name", None)
+                        == serving_band
+                    }
+                for cell, sample in candidates.items():
+                    fired = self._advance(
+                        (index, cell),
+                        evaluate_event(config, serving_sample, sample),
+                        time_s,
+                        config,
+                    )
+                    if fired:
+                        reports.append(
+                            MeasurementReport(
+                                time_s=time_s,
+                                config=config,
+                                serving_cell=serving_cell,
+                                neighbour_cell=cell,
+                                serving_sample=serving_sample,
+                                neighbour_sample=sample,
+                            )
+                        )
+            else:
+                fired = self._advance(
+                    (index, None),
+                    evaluate_event(config, serving_sample, None),
+                    time_s,
+                    config,
+                )
+                if fired:
+                    reports.append(
+                        MeasurementReport(
+                            time_s=time_s,
+                            config=config,
+                            serving_cell=serving_cell,
+                            neighbour_cell=None,
+                            serving_sample=serving_sample,
+                        )
+                    )
+        return reports
+
+    def _advance(
+        self,
+        key: tuple[int, object | None],
+        condition: bool,
+        time_s: float,
+        config: EventConfig,
+    ) -> bool:
+        state = self._state.setdefault(key, _TriggerState())
+        if not condition:
+            state.held_since_s = None
+            state.latched = False
+            return False
+        if state.latched:
+            # Condition still holding: periodic re-report.
+            if time_s - state.last_fire_s + 1e-9 >= self._report_interval_s:
+                state.last_fire_s = time_s
+                return True
+            return False
+        if state.held_since_s is None:
+            state.held_since_s = time_s
+        if time_s - state.held_since_s + 1e-9 >= config.time_to_trigger_s:
+            state.latched = True
+            state.last_fire_s = time_s
+            return True
+        return False

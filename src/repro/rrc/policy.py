@@ -1,0 +1,271 @@
+"""Carrier handover decision logic — the black box Prognos learns.
+
+The network side of mobility management: given the measurement reports a
+UE sends, decide which procedure to run against which target cell. Real
+carriers implement this as proprietary policy; the paper observes it is
+(a) stable in time, (b) different across carriers, and (c) expressible
+as "a sequence of MRs preceding a HO" (§7.1, e.g. [A2, A5] → inter-freq
+LTE HO). Our policies are built exactly that way, so the sequential
+patterns Prognos mines are the ground truth rules below:
+
+* ``A3``(LTE)                       → LTEH (plain LTE) or MNBH / LTEH+SCG change (NSA)
+* ``A2``(LTE) then ``A5``(LTE)      → inter-frequency LTEH
+* ``NR-B1`` with no SCG             → SCGA
+* ``NR-A2`` with SCG, B1 candidate  → SCGC (release+add in one procedure)
+* ``NR-A2`` with SCG, no candidate  → SCGR
+* ``NR-A3`` within the same gNB     → SCGM
+* ``NR-A3`` in SA                   → MCGH
+
+The SCGC target is chosen as the *first* neighbour that satisfies the B1
+threshold rather than the strongest one — each leg of the release+add is
+decided independently, with no view of the overall 5G→5G signal gain.
+That is precisely the NSA inefficiency §6.2 blames for post-handover
+throughput *dropping* 14% on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.radio.bands import RadioAccessTechnology
+from repro.radio.rrs import RRSSample
+from repro.ran.cells import Cell
+from repro.rrc.events import EventType, MeasurementObject
+from repro.rrc.measurement import MeasurementReport
+from repro.rrc.taxonomy import HandoverType
+
+
+@dataclass(frozen=True, slots=True)
+class HandoverDecision:
+    """The outcome of the network's handover logic for one report batch.
+
+    Attributes:
+        ho_type: procedure to run.
+        target: new serving cell on the affected leg (None for SCGR).
+        releases_scg: True when an anchor handover tears the SCG down
+            (the §6.1 effective-coverage reduction mechanism).
+        triggering_reports: the measurement reports that produced this
+            decision, in arrival order — the "phase" Prognos mines.
+    """
+
+    ho_type: HandoverType
+    target: Cell | None
+    releases_scg: bool = False
+    triggering_reports: tuple[MeasurementReport, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class AttachmentState:
+    """UE attachment snapshot the policy decides against."""
+
+    lte_serving: Cell | None
+    nr_serving: Cell | None
+    standalone: bool
+
+    @property
+    def nsa_attached(self) -> bool:
+        return self.lte_serving is not None and self.nr_serving is not None
+
+
+class HandoverPolicy:
+    """One carrier's handover decision logic.
+
+    Args:
+        rng: randomness source for the anchor-keeps-SCG coin flip.
+        anchor_keeps_scg_probability: probability that an anchor (LTE)
+            handover finds the target eNB still supporting the current
+            gNB link (→ MNBH keeping the SCG). The complementary case
+            releases/changes the SCG — §6.1 observes carriers where this
+            probability is effectively zero on low-band.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        anchor_keeps_scg_probability: float = 0.3,
+        quality_aware_scgc: bool = False,
+    ):
+        if not 0.0 <= anchor_keeps_scg_probability <= 1.0:
+            raise ValueError("probability must lie in [0, 1]")
+        self._rng = rng
+        self._anchor_keeps_scg = anchor_keeps_scg_probability
+        #: §6.2's proposed mitigation: consider the *overall* handover
+        #: sequence when changing gNBs — i.e., pick the strongest
+        #: qualifying target instead of the first one. Off by default
+        #: (today's NSA carriers do not do this; that is the finding).
+        self._quality_aware_scgc = quality_aware_scgc
+
+    def decide(
+        self,
+        state: AttachmentState,
+        reports: list[MeasurementReport],
+        nr_neighbours: dict[Cell, RRSSample],
+        nr_b1_threshold_dbm: float,
+    ) -> HandoverDecision | None:
+        """First actionable decision over the reports (convenience)."""
+        decisions = self.decide_all(state, reports, nr_neighbours, nr_b1_threshold_dbm)
+        return decisions[0] if decisions else None
+
+    def decide_all(
+        self,
+        state: AttachmentState,
+        reports: list[MeasurementReport],
+        nr_neighbours: dict[Cell, RRSSample],
+        nr_b1_threshold_dbm: float,
+    ) -> list[HandoverDecision]:
+        """All actionable decisions over the reports, in arrival order.
+
+        The master node (eNB / SA gNB) and the secondary node run their
+        procedures independently, so one report batch can legitimately
+        yield both an anchor handover and an SCG procedure.
+
+        Args:
+            state: current attachment.
+            reports: buffered reports, in arrival order.
+            nr_neighbours: audible NR neighbour cells (for SCGC target
+                search when NR-A2 fires).
+            nr_b1_threshold_dbm: the B1 threshold in force (SCGC's add
+                leg applies the same bar as a fresh SCG addition).
+        """
+        decisions: list[HandoverDecision] = []
+        seen_types: set[HandoverType] = set()
+        for report in reports:
+            decision = self._decide_one(state, report, nr_neighbours, nr_b1_threshold_dbm)
+            if decision is not None and decision.ho_type not in seen_types:
+                decisions.append(decision)
+                seen_types.add(decision.ho_type)
+        return decisions
+
+    def _decide_one(
+        self,
+        state: AttachmentState,
+        report: MeasurementReport,
+        nr_neighbours: dict[Cell, RRSSample],
+        nr_b1_threshold_dbm: float,
+    ) -> HandoverDecision | None:
+        event = report.config.event
+        obj = report.config.measurement
+        neighbour = report.neighbour_cell
+
+        if state.standalone:
+            # SA: the NR leg is the master; intra-frequency A3 drives MCGH.
+            if obj is MeasurementObject.NR and event is EventType.A3 and neighbour is not None:
+                if neighbour is not state.nr_serving:
+                    return HandoverDecision(
+                        HandoverType.MCGH, neighbour, triggering_reports=(report,)
+                    )
+            return None
+
+        if obj is MeasurementObject.LTE:
+            return self._decide_lte(state, report)
+        return self._decide_nr(state, report, nr_neighbours, nr_b1_threshold_dbm)
+
+    def _decide_lte(
+        self, state: AttachmentState, report: MeasurementReport
+    ) -> HandoverDecision | None:
+        event = report.config.event
+        neighbour = report.neighbour_cell
+        serving = state.lte_serving
+        if neighbour is None or neighbour is serving:
+            return None
+        if not isinstance(neighbour, Cell) or neighbour.rat is not RadioAccessTechnology.LTE:
+            return None
+
+        if event is EventType.A3:
+            intra_freq = serving is not None and neighbour.band.name == serving.band.name
+            if not intra_freq:
+                # A3 is configured intra-frequency; other-band neighbours
+                # are handled by A5.
+                return None
+            return self._anchor_handover(state, neighbour, report)
+        if event is EventType.A5:
+            # Serving bad + (typically other-band) neighbour good.
+            return self._anchor_handover(state, neighbour, report)
+        return None
+
+    def _anchor_handover(
+        self, state: AttachmentState, target: Cell, report: MeasurementReport
+    ) -> HandoverDecision | None:
+        if not state.nsa_attached:
+            return HandoverDecision(HandoverType.LTEH, target, triggering_reports=(report,))
+        if self._rng.random() < self._anchor_keeps_scg:
+            # Target eNB maintains the X2 link to the current gNB: the
+            # master-eNB handover keeps 5G data flowing on the same SCG.
+            return HandoverDecision(HandoverType.MNBH, target, triggering_reports=(report,))
+        # Anchor change forces the SCG down (§6.1): LTEH with SCG release;
+        # the simulator re-adds via B1 once the new anchor configures it.
+        return HandoverDecision(
+            HandoverType.LTEH, target, releases_scg=True, triggering_reports=(report,)
+        )
+
+    def _decide_nr(
+        self,
+        state: AttachmentState,
+        report: MeasurementReport,
+        nr_neighbours: dict[Cell, RRSSample],
+        nr_b1_threshold_dbm: float,
+    ) -> HandoverDecision | None:
+        event = report.config.event
+        neighbour = report.neighbour_cell
+        serving = state.nr_serving
+
+        if event is EventType.B1:
+            if serving is None and isinstance(neighbour, Cell):
+                # The gNB addition picks the strongest reported candidate
+                # (fresh additions are quality-driven; contrast with the
+                # SCG Change path below, which is not).
+                qualifying = [
+                    cell
+                    for cell, cell_sample in nr_neighbours.items()
+                    if cell_sample.rsrp_dbm > nr_b1_threshold_dbm
+                ]
+                target = (
+                    max(qualifying, key=lambda c: nr_neighbours[c].rsrp_dbm)
+                    if qualifying
+                    else neighbour
+                )
+                return HandoverDecision(
+                    HandoverType.SCGA, target, triggering_reports=(report,)
+                )
+            return None
+
+        if serving is None:
+            return None
+
+        if event is EventType.A2:
+            # Serving NR turned bad. Release — or, if some other gNB's cell
+            # already clears the B1 bar, do the release+add as one SCG
+            # Change. The add leg takes the FIRST qualifying candidate in
+            # cell-index order, not the best one (see module docstring).
+            candidates = [
+                cell
+                for cell, sample in sorted(
+                    nr_neighbours.items(), key=lambda item: item[0].gci
+                )
+                if cell.node_id != serving.node_id
+                and sample.rsrp_dbm > nr_b1_threshold_dbm
+            ]
+            if candidates:
+                if self._quality_aware_scgc:
+                    target = max(candidates, key=lambda c: nr_neighbours[c].rsrp_dbm)
+                else:
+                    target = candidates[0]
+                return HandoverDecision(
+                    HandoverType.SCGC, target, triggering_reports=(report,)
+                )
+            return HandoverDecision(
+                HandoverType.SCGR, None, releases_scg=True, triggering_reports=(report,)
+            )
+
+        if event is EventType.A3 and isinstance(neighbour, Cell):
+            if neighbour.node_id == serving.node_id and neighbour is not serving:
+                return HandoverDecision(
+                    HandoverType.SCGM, neighbour, triggering_reports=(report,)
+                )
+            # Cross-gNB A3: NSA has no direct inter-gNB handover — the
+            # report is consumed but no action follows (§2, §6.2).
+            return None
+        return None

@@ -1,0 +1,116 @@
+"""Per-handover signaling message accounting (Section 5.1).
+
+The paper counts three RRC message types (measurement report, RRC
+reconfiguration, RRC reconfiguration complete), MAC-layer RACH procedures,
+and PHY-layer SSB/SSR measurements around each handover, then reports
+per-distance rates: SA cuts HO-related signaling ~3.8× versus LTE
+(fewer handovers), while NSA mmWave's PHY-layer procedures blow up >5×
+versus low-band (beam management over many candidate beams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.radio.bands import BandClass
+from repro.rrc.taxonomy import HandoverType
+
+
+@dataclass(slots=True)
+class SignalingTally:
+    """Message counts attributed to one handover (or accumulated)."""
+
+    rrc_measurement_reports: int = 0
+    rrc_reconfigurations: int = 0
+    rrc_reconfiguration_completes: int = 0
+    rach_procedures: int = 0
+    phy_ssb_measurements: int = 0
+
+    @property
+    def rrc_total(self) -> int:
+        return (
+            self.rrc_measurement_reports
+            + self.rrc_reconfigurations
+            + self.rrc_reconfiguration_completes
+        )
+
+    @property
+    def total(self) -> int:
+        return self.rrc_total + self.rach_procedures + self.phy_ssb_measurements
+
+    def add(self, other: "SignalingTally") -> None:
+        self.rrc_measurement_reports += other.rrc_measurement_reports
+        self.rrc_reconfigurations += other.rrc_reconfigurations
+        self.rrc_reconfiguration_completes += other.rrc_reconfiguration_completes
+        self.rach_procedures += other.rach_procedures
+        self.phy_ssb_measurements += other.phy_ssb_measurements
+
+
+#: PHY-layer SSB measurements executed around one handover, per band
+#: class. mmWave gNBs sweep many beams (64-beam SSB bursts plus beam
+#: refinement) which is where the paper's >5x PHY signaling inflation
+#: comes from; sub-6 GHz cells use wide beams.
+_SSB_PER_HO: dict[BandClass, int] = {
+    BandClass.LOW: 8,
+    BandClass.MID: 12,
+    BandClass.MMWAVE: 64,
+}
+
+#: Extra RACH attempts by band class (mmWave beam alignment retries).
+_RACH_PER_HO: dict[BandClass, int] = {
+    BandClass.LOW: 1,
+    BandClass.MID: 1,
+    BandClass.MMWAVE: 2,
+}
+
+
+class SignalingModel:
+    """Produces the signaling tally attributed to one handover."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def for_handover(
+        self,
+        ho_type: HandoverType,
+        *,
+        reports_observed: int,
+        band_class: BandClass | None,
+    ) -> SignalingTally:
+        """Tally the messages one handover generates.
+
+        Args:
+            ho_type: procedure executed.
+            reports_observed: measurement reports the network consumed to
+                reach this decision (at least 1).
+            band_class: band class of the NR leg (None for pure LTE).
+        """
+        if ho_type is HandoverType.NONE:
+            raise ValueError("no signaling for a non-handover")
+        reports = max(int(reports_observed), 1)
+        # SCG Change is release + addition: two reconfiguration exchanges.
+        reconf = 2 if ho_type is HandoverType.SCGC else 1
+        effective_class = band_class or BandClass.MID
+        rach = _RACH_PER_HO[effective_class]
+        if ho_type is HandoverType.SCGR:
+            rach = 0  # releasing the SCG needs no random access
+        if band_class is not None:
+            ssb = _SSB_PER_HO[effective_class]
+        else:
+            # A pure-LTE handover measures across the carrier's many LTE
+            # layers through measurement gaps (5-9 bands, §3) — the bulk
+            # of the PHY-layer cost the paper attributes to LTE mobility
+            # (SA 5G cuts HO signaling ~3.8x, §5.1).
+            ssb = 26
+        # Small stochastic jitter: real logs show occasional re-tries.
+        if self._rng.random() < 0.1:
+            rach += 1
+        return SignalingTally(
+            rrc_measurement_reports=reports,
+            rrc_reconfigurations=reconf,
+            rrc_reconfiguration_completes=reconf,
+            rach_procedures=rach,
+            phy_ssb_measurements=ssb,
+        )

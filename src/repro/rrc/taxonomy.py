@@ -1,0 +1,129 @@
+"""Handover taxonomy — the paper's Table 2, encoded.
+
+Each 5G mobility procedure carries three labels: the procedure type
+itself, the radio access technology change it implies for the data path,
+and whether the paper buckets it as a "4G HO" or a "5G HO" (NSA runs its
+control plane on LTE, so several 5G-affecting procedures are actually 4G
+handovers).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TechChange(enum.Enum):
+    """Access-technology transition of the user-plane (Table 2 column 2)."""
+
+    FOUR_TO_FIVE = "4G->5G"
+    FIVE_TO_FOUR = "5G->4G"
+    FIVE_TO_FIVE = "5G->5G"
+    FIVE_TO_FOUR_TO_FIVE = "5G->4G->5G"
+    FOUR_TO_FOUR = "4G->4G"
+
+
+class HandoverCategory(enum.Enum):
+    """Whether the paper counts the procedure as a 4G or a 5G handover."""
+
+    FOUR_G = "4G"
+    FIVE_G = "5G"
+
+
+class HandoverType(enum.Enum):
+    """Mobility procedures observed in the study (Table 2).
+
+    ``NONE`` is not a procedure; it is the "no handover" class used by the
+    prediction problem (Section 7).
+    """
+
+    SCGA = "SCG Addition"
+    SCGR = "SCG Release"
+    SCGM = "SCG Modification"
+    SCGC = "SCG Change"
+    MNBH = "MeNB HO"
+    MCGH = "MCG HO (SA)"
+    LTEH = "LTE HO"
+    NONE = "No HO"
+
+    @property
+    def acronym(self) -> str:
+        return self.name
+
+    @property
+    def tech_change(self) -> TechChange:
+        return _TECH_CHANGE[self]
+
+    @property
+    def category(self) -> HandoverCategory:
+        return _CATEGORY[self]
+
+    @property
+    def is_scg_procedure(self) -> bool:
+        """True for the NSA secondary-cell-group procedures of Fig. 2."""
+        return self in (
+            HandoverType.SCGA,
+            HandoverType.SCGR,
+            HandoverType.SCGM,
+            HandoverType.SCGC,
+        )
+
+    @property
+    def touches_nr(self) -> bool:
+        """True if the procedure adds/removes/moves a 5G-NR leg."""
+        return self is not HandoverType.LTEH and self is not HandoverType.NONE
+
+    @property
+    def interrupts_lte_data(self) -> bool:
+        """True if the procedure halts the 4G/LTE user plane.
+
+        Per the paper (footnote in Section 5.2): NSA 5G HOs do not affect
+        the 4G data plane, but 4G HOs interrupt data activity on both
+        radios.
+        """
+        return self in (HandoverType.MNBH, HandoverType.LTEH)
+
+    @property
+    def interrupts_nr_data(self) -> bool:
+        """True if the procedure halts the 5G-NR user plane."""
+        if self is HandoverType.NONE:
+            return False
+        # Every SCG procedure touches the NR leg; 4G HOs (MNBH/LTEH)
+        # interrupt 5G data too (footnote, Section 5.2); MCGH is an SA
+        # handover of the only (NR) leg.
+        return True
+
+
+_TECH_CHANGE: dict[HandoverType, TechChange] = {
+    HandoverType.SCGA: TechChange.FOUR_TO_FIVE,
+    HandoverType.SCGR: TechChange.FIVE_TO_FOUR,
+    HandoverType.SCGM: TechChange.FIVE_TO_FIVE,
+    HandoverType.SCGC: TechChange.FIVE_TO_FOUR_TO_FIVE,
+    HandoverType.MNBH: TechChange.FIVE_TO_FIVE,
+    HandoverType.MCGH: TechChange.FIVE_TO_FIVE,
+    HandoverType.LTEH: TechChange.FOUR_TO_FOUR,
+    HandoverType.NONE: TechChange.FOUR_TO_FOUR,
+}
+
+_CATEGORY: dict[HandoverType, HandoverCategory] = {
+    HandoverType.SCGA: HandoverCategory.FIVE_G,
+    HandoverType.SCGR: HandoverCategory.FIVE_G,
+    HandoverType.SCGM: HandoverCategory.FIVE_G,
+    HandoverType.SCGC: HandoverCategory.FIVE_G,
+    HandoverType.MNBH: HandoverCategory.FOUR_G,
+    HandoverType.MCGH: HandoverCategory.FIVE_G,
+    HandoverType.LTEH: HandoverCategory.FOUR_G,
+    HandoverType.NONE: HandoverCategory.FOUR_G,
+}
+
+#: Procedures a UE can undergo while its master leg is LTE (NSA or pure LTE).
+NSA_PROCEDURES = (
+    HandoverType.SCGA,
+    HandoverType.SCGR,
+    HandoverType.SCGM,
+    HandoverType.SCGC,
+    HandoverType.MNBH,
+    HandoverType.LTEH,
+)
+
+#: Procedures a UE can undergo in SA 5G.
+SA_PROCEDURES = (HandoverType.MCGH,)

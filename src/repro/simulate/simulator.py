@@ -1,0 +1,671 @@
+"""The drive-test simulator.
+
+Walks a UE along a trajectory through a deployment at the logging rate,
+running per tick:
+
+1. radio measurement of every audible cell (RRS synthesis),
+2. the UE-side event monitor (Table 4 events with TTT),
+3. the carrier's handover policy over fresh measurement reports,
+4. handover execution with T1/T2 staging, data-plane interruption,
+   signaling accounting and energy attribution,
+5. per-leg capacity under the configured NSA bearer mode.
+
+The output :class:`DriveLog` is the in-silico equivalent of the paper's
+XCAL + 5G Tracker capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mobility.trajectory import Trajectory
+from repro.net.bearer import BearerMode
+from repro.net.capacity import CapacityModel
+from repro.radio.bands import BandClass, RadioAccessTechnology
+from repro.radio.rrs import RadioEnvironment, RRSSample
+from repro.ran.cells import Cell
+from repro.ran.deployment import Deployment, SegmentConfig
+from repro.rrc.events import MeasurementObject
+from repro.rrc.handover import HandoverExecution, HandoverTimingModel
+from repro.rrc.measurement import EventMonitor, L3Filter, MeasurementReport
+from repro.rrc.policy import AttachmentState, HandoverDecision, HandoverPolicy
+from repro.rrc.signaling import SignalingModel
+from repro.rrc.taxonomy import HandoverType
+from repro.simulate.records import (
+    DriveLog,
+    HandoverRecord,
+    NeighbourObservation,
+    ReportRecord,
+    TickRecord,
+)
+from repro.ue.energy import EnergyModel
+from repro.ue.state import RadioMode, UEState
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """Knobs of one simulation run."""
+
+    bearer: BearerMode = BearerMode.DUAL
+    neighbour_top_k: int = 3
+    #: Re-scan the audible cell set every this many ticks.
+    audible_refresh_ticks: int = 20
+    #: Probability an anchor HO keeps the SCG alive (MNBH) vs. tearing it
+    #: down (§6.1 observes carriers where this is ~0 on low-band).
+    anchor_keeps_scg_probability: float = 0.3
+    #: Co-channel interference load factor (None = per-band defaults).
+    interference_load: float | None = None
+    #: L3 filter coefficient applied before event evaluation.
+    l3_filter_alpha: float = 0.16
+    #: Handover prohibit timer: after a procedure completes, the network
+    #: holds off further decisions this long (ping-pong damping; 3GPP
+    #: T304-style prohibit behaviour carriers deploy in practice).
+    ho_cooldown_s: float = 1.0
+    #: Shadowing sigma multiplier (open rural terrain shadows less than
+    #: the suburban defaults).
+    shadow_sigma_scale: float = 1.0
+    #: §6.2's proposed carrier fix: SCG Change picks the strongest
+    #: qualifying target instead of the first one (ablation knob).
+    quality_aware_scgc: bool = False
+    scenario_name: str = ""
+
+
+_MASTER_TYPES = (HandoverType.LTEH, HandoverType.MNBH, HandoverType.MCGH)
+
+
+def _slot_of(ho_type: HandoverType) -> str:
+    """Which node executes the procedure: the master or the secondary."""
+    return "master" if ho_type in _MASTER_TYPES else "scg"
+
+
+@dataclass(slots=True)
+class _PendingHandover:
+    decision: HandoverDecision
+    execution: HandoverExecution
+    decision_time_s: float
+    exec_start_s: float
+    complete_s: float
+    mode_before: RadioMode
+    source: Cell | None
+    colocated: bool
+    same_pci: bool | None
+    arc_m: float
+    reports_consumed: int
+
+
+@dataclass(slots=True)
+class _NrAttachInfo:
+    time_s: float
+    cross_gnb: bool
+
+
+class DriveSimulator:
+    """Simulates one drive of one UE on one carrier."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        trajectory: Trajectory,
+        rng: np.random.Generator,
+        config: SimulationConfig | None = None,
+    ):
+        self._deployment = deployment
+        self._trajectory = trajectory
+        self._rng = rng
+        self._config = config or SimulationConfig()
+        self._carrier = deployment.carrier
+        tick = trajectory.tick_interval_s or 0.05
+        self._env = RadioEnvironment(
+            rng,
+            interference_load=self._config.interference_load,
+            speed_mps=max(trajectory.mean_speed_mps, 1.0),
+            sample_interval_s=tick,
+            urban=any(s.urban for s in deployment.segments),
+            shadow_sigma_scale=self._config.shadow_sigma_scale,
+        )
+        self._policy = HandoverPolicy(
+            rng,
+            anchor_keeps_scg_probability=self._config.anchor_keeps_scg_probability,
+            quality_aware_scgc=self._config.quality_aware_scgc,
+        )
+        self._timing = HandoverTimingModel(
+            rng, t1_scale=self._carrier.t1_scale, t2_scale=self._carrier.t2_scale
+        )
+        self._signaling = SignalingModel(rng)
+        self._energy = EnergyModel(rng)
+        self._capacity = CapacityModel()
+
+        first_segment = deployment.segments[0]
+        self._standalone = first_segment.standalone
+        if any(s.standalone != self._standalone for s in deployment.segments):
+            raise ValueError(
+                "mixed SA/NSA segments in one run are not supported; "
+                "simulate them as separate drives"
+            )
+        self._ue = UEState(standalone=self._standalone)
+        self._l3 = L3Filter(alpha=self._config.l3_filter_alpha)
+        self._monitor: EventMonitor | None = None
+        self._monitor_band: BandClass | None = None
+        # The master node (eNB / SA gNB) and the secondary node execute
+        # procedures independently — one pending slot and cooldown each.
+        self._pending_master: _PendingHandover | None = None
+        self._pending_scg: _PendingHandover | None = None
+        self._cooldown_master_s = float("-inf")
+        self._cooldown_scg_s = float("-inf")
+        #: Reports not yet consumed by a decision — the current "phase".
+        #: Entries expire after a few seconds (stale radio state).
+        self._report_buffer: list[MeasurementReport] = []
+        #: All reports sent since the last decision (signaling accounting
+        #: — unlike the buffer, these never expire within a phase).
+        self._phase_report_count = 0
+        self._nr_attach: _NrAttachInfo | None = None
+        self._audible: list[Cell] = []
+        self._current_segment: SegmentConfig | None = None
+        #: Records synthesised alongside a primary one (coupled SCGR).
+        self._extra_records: list[HandoverRecord] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> DriveLog:
+        """Execute the drive and return the full log."""
+        ticks: list[TickRecord] = []
+        reports_log: list[ReportRecord] = []
+        handovers: list[HandoverRecord] = []
+
+        for index, sample in enumerate(self._trajectory):
+            time_s = sample.time_s
+            segment = self._deployment.segment_at(
+                sample.arc_m % self._trajectory.route.length
+                if self._trajectory.route.length > 0
+                else sample.arc_m
+            )
+            self._refresh_segment(segment)
+            if index % self._config.audible_refresh_ticks == 0 or not self._audible:
+                self._audible = self._deployment.audible_cells(sample.position)
+                for cell in self._audible:
+                    self._env.register(cell, cell.band, cell.eirp_dbm)
+            # Serving cells must stay measured even when they fall out of
+            # the refreshed audible set (so A2/RLF logic sees them fade).
+            measured = list(self._audible)
+            for serving in self._ue.serving_cells:
+                if serving not in measured:
+                    self._env.register(serving, serving.band, serving.eirp_dbm)
+                    measured.append(serving)
+
+            distances = {cell: cell.distance_to(sample.position) for cell in measured}
+            raw_samples = self._env.measure(distances, sample.arc_m)
+            # The UE evaluates events on L3-filtered measurements; the
+            # raw per-tick samples still drive capacity and the logs.
+            samples = self._l3.update(time_s, raw_samples)
+
+            lte_samples = {
+                c: s for c, s in samples.items() if c.rat is RadioAccessTechnology.LTE
+            }
+            nr_samples = {
+                c: s for c, s in samples.items() if c.rat is RadioAccessTechnology.NR
+            }
+            self._bootstrap_attachment(lte_samples, nr_samples)
+
+            lte_serving = self._ue.lte_serving
+            nr_serving = self._ue.nr_serving
+            lte_serving_sample = lte_samples.get(lte_serving) if lte_serving else None
+            nr_serving_sample = nr_samples.get(nr_serving) if nr_serving else None
+            lte_serving_raw = raw_samples.get(lte_serving) if lte_serving else None
+            nr_serving_raw = raw_samples.get(nr_serving) if nr_serving else None
+
+            # --- event monitoring ---
+            new_reports: list[MeasurementReport] = []
+            if self._monitor is not None and (lte_serving or nr_serving or nr_samples):
+                serving_map = {
+                    MeasurementObject.LTE: (
+                        (lte_serving, lte_serving_sample)
+                        if lte_serving is not None and lte_serving_sample is not None
+                        else None
+                    ),
+                    MeasurementObject.NR: (
+                        (nr_serving, nr_serving_sample)
+                        if nr_serving is not None and nr_serving_sample is not None
+                        else None
+                    ),
+                }
+                neighbour_map = {
+                    MeasurementObject.LTE: {
+                        c: s for c, s in lte_samples.items() if c is not lte_serving
+                    },
+                    MeasurementObject.NR: {
+                        c: s for c, s in nr_samples.items() if c is not nr_serving
+                    },
+                }
+                new_reports = self._monitor.observe(time_s, serving_map, neighbour_map)
+                for report in new_reports:
+                    reports_log.append(
+                        ReportRecord(
+                            time_s=time_s,
+                            label=report.label,
+                            serving_gci=(
+                                report.serving_cell.gci
+                                if isinstance(report.serving_cell, Cell)
+                                else None
+                            ),
+                            neighbour_gci=(
+                                report.neighbour_cell.gci
+                                if isinstance(report.neighbour_cell, Cell)
+                                else None
+                            ),
+                            serving_rrs=report.serving_sample,
+                            neighbour_rrs=report.neighbour_sample,
+                        )
+                    )
+
+            # --- handover progression / decision ---
+            self._phase_report_count += len(new_reports)
+            self._report_buffer.extend(new_reports)
+            self._report_buffer = [
+                r for r in self._report_buffer if time_s - r.time_s <= 3.0
+            ]
+            for slot in ("master", "scg"):
+                record = self._advance_pending(slot, time_s)
+                if record is not None:
+                    handovers.append(record)
+            if self._extra_records:
+                handovers.extend(self._extra_records)
+                self._extra_records = []
+            if self._report_buffer and segment is not None:
+                self._maybe_decide(
+                    time_s, sample.arc_m, self._report_buffer, nr_samples, segment
+                )
+
+            # --- capacity and logging (raw samples drive the PHY) ---
+            ticks.append(
+                self._tick_record(
+                    sample, lte_serving_raw, nr_serving_raw, lte_samples, nr_samples, time_s
+                )
+            )
+        return DriveLog(
+            self._carrier.name,
+            None if self._standalone else self._config.bearer,
+            ticks,
+            reports_log,
+            handovers,
+            scenario=self._config.scenario_name,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _refresh_segment(self, segment: SegmentConfig | None) -> None:
+        if segment is None:
+            return
+        band_class = segment.nr_band_class
+        if self._monitor is None or band_class != self._monitor_band:
+            self._monitor = EventMonitor(
+                self._carrier.event_configs(band_class, standalone=self._standalone)
+            )
+            self._monitor_band = band_class
+        self._current_segment = segment
+
+    def _bootstrap_attachment(
+        self,
+        lte_samples: dict[Cell, RRSSample],
+        nr_samples: dict[Cell, RRSSample],
+    ) -> None:
+        if self._standalone:
+            if self._ue.nr_serving is None and nr_samples:
+                self._ue.nr_serving = max(nr_samples, key=lambda c: nr_samples[c].rsrp_dbm)
+                self._nr_attach = None
+                if self._monitor:
+                    self._monitor.reset()
+        else:
+            if self._ue.lte_serving is None and lte_samples:
+                self._ue.lte_serving = max(lte_samples, key=lambda c: lte_samples[c].rsrp_dbm)
+                if self._monitor:
+                    self._monitor.reset()
+
+    def _maybe_decide(
+        self,
+        time_s: float,
+        arc_m: float,
+        reports: list[MeasurementReport],
+        nr_samples: dict[Cell, RRSSample],
+        segment: SegmentConfig,
+    ) -> None:
+        state = AttachmentState(
+            lte_serving=self._ue.lte_serving,
+            nr_serving=self._ue.nr_serving,
+            standalone=self._standalone,
+        )
+        band_class = segment.nr_band_class or BandClass.LOW
+        b1_threshold = self._carrier.nr_thresholds[band_class].b1_dbm
+        nr_neighbours = {
+            c: s for c, s in nr_samples.items() if c is not self._ue.nr_serving
+        }
+        decisions = self._policy.decide_all(state, reports, nr_neighbours, b1_threshold)
+        scheduled = False
+        for decision in decisions:
+            slot = _slot_of(decision.ho_type)
+            if slot == "master":
+                if self._pending_master is not None or time_s < self._cooldown_master_s:
+                    continue
+            else:
+                if self._pending_scg is not None or time_s < self._cooldown_scg_s:
+                    continue
+            ho_type = decision.ho_type
+            band = self._involved_band_class(decision)
+            colocated = self._colocated_for(decision)
+            nsa_attached = self._ue.nsa_attached
+            execution = self._timing.sample(
+                ho_type,
+                standalone=self._standalone,
+                nsa_attached=nsa_attached and ho_type is HandoverType.LTEH,
+                band_class=band,
+                colocated=colocated,
+            )
+            pending = _PendingHandover(
+                decision=decision,
+                execution=execution,
+                decision_time_s=time_s,
+                exec_start_s=time_s + execution.t1_ms / 1000.0,
+                complete_s=time_s + execution.total_ms / 1000.0,
+                mode_before=self._ue.mode,
+                source=self._source_cell(decision),
+                colocated=colocated,
+                same_pci=self._ue.same_pci_legs(),
+                arc_m=arc_m,
+                reports_consumed=max(self._phase_report_count, 1),
+            )
+            if slot == "master":
+                self._pending_master = pending
+            else:
+                self._pending_scg = pending
+            scheduled = True
+        if scheduled:
+            # The consumed reports form a completed phase; later reports
+            # start the next one.
+            self._report_buffer = []
+            self._phase_report_count = 0
+
+    def _involved_band_class(self, decision: HandoverDecision) -> BandClass | None:
+        if decision.ho_type in (HandoverType.LTEH, HandoverType.MNBH):
+            # Band class of the NR leg affected, if any.
+            return self._ue.nr_band_class
+        if decision.target is not None:
+            return decision.target.band_class
+        if self._ue.nr_serving is not None:
+            return self._ue.nr_serving.band_class
+        return None
+
+    def _colocated_for(self, decision: HandoverDecision) -> bool:
+        """Whether the eNB/gNB pair involved in this HO shares a tower."""
+        if self._standalone:
+            return True
+        lte = self._ue.lte_serving
+        if lte is None:
+            return True
+        if decision.ho_type in (HandoverType.LTEH, HandoverType.MNBH):
+            gnb_cell = self._ue.nr_serving
+        else:
+            gnb_cell = decision.target or self._ue.nr_serving
+        if gnb_cell is None:
+            return True
+        return gnb_cell.tower_id == lte.tower_id
+
+    def _source_cell(self, decision: HandoverDecision) -> Cell | None:
+        if decision.ho_type in (HandoverType.LTEH, HandoverType.MNBH):
+            return self._ue.lte_serving
+        return self._ue.nr_serving
+
+    def _advance_pending(self, slot: str, time_s: float) -> HandoverRecord | None:
+        pending = self._pending_master if slot == "master" else self._pending_scg
+        if pending is None or time_s < pending.complete_s:
+            return None
+        # Apply the handover.
+        decision = pending.decision
+        ho_type = decision.ho_type
+        target = decision.target
+        coupled_scgr: Cell | None = None
+        if ho_type in (HandoverType.LTEH, HandoverType.MNBH):
+            self._ue.lte_serving = target
+            if decision.releases_scg and self._ue.nr_serving is not None:
+                # The anchor change tears the SCG down — a real SCG
+                # Release procedure on the RRC layer (§6.1: "an NSA-4C HO
+                # always triggers SCGR"), logged as its own record.
+                coupled_scgr = self._ue.nr_serving
+                self._ue.nr_serving = None
+                self._nr_attach = None
+        elif ho_type is HandoverType.SCGA:
+            self._ue.nr_serving = target
+            self._nr_attach = _NrAttachInfo(time_s, cross_gnb=False)
+        elif ho_type is HandoverType.SCGR:
+            self._ue.nr_serving = None
+            self._nr_attach = None
+        elif ho_type is HandoverType.SCGC:
+            self._ue.nr_serving = target
+            self._nr_attach = _NrAttachInfo(time_s, cross_gnb=True)
+        elif ho_type is HandoverType.SCGM:
+            self._ue.nr_serving = target
+            self._nr_attach = _NrAttachInfo(time_s, cross_gnb=False)
+        elif ho_type is HandoverType.MCGH:
+            self._ue.nr_serving = target
+            self._nr_attach = _NrAttachInfo(time_s, cross_gnb=False)
+        if self._monitor is not None:
+            # Master-node handovers reconfigure the whole measurement
+            # setup; SCG procedures only touch the NR object (the eNB's
+            # LTE trigger state must survive them).
+            if slot == "master":
+                self._monitor.reset()
+            else:
+                self._monitor.reset_event(MeasurementObject.NR)
+        if slot == "master" and decision.releases_scg and self._pending_scg is not None:
+            # The gNB this SCG procedure targeted is being dropped along
+            # with the anchor; the procedure is abandoned.
+            self._pending_scg = None
+
+        signaling = self._signaling.for_handover(
+            ho_type,
+            reports_observed=pending.reports_consumed,
+            band_class=self._band_class_or_none(pending),
+        )
+        energy = self._energy.for_handover(
+            ho_type,
+            pending.mode_before,
+            self._band_class_or_none(pending),
+            signaling,
+        )
+        record = HandoverRecord(
+            ho_type=ho_type,
+            decision_time_s=pending.decision_time_s,
+            exec_start_s=pending.exec_start_s,
+            complete_s=pending.complete_s,
+            t1_ms=pending.execution.t1_ms,
+            t2_ms=pending.execution.t2_ms,
+            mode_before=pending.mode_before,
+            mode_after=self._ue.mode,
+            source_gci=pending.source.gci if pending.source else None,
+            target_gci=target.gci if target else None,
+            source_pci=pending.source.pci if pending.source else None,
+            target_pci=target.pci if target else None,
+            band_class=pending.execution.band_class,
+            arc_m=pending.arc_m,
+            colocated=pending.colocated,
+            same_pci_legs=pending.same_pci,
+            trigger_labels=tuple(r.label for r in decision.triggering_reports),
+            signaling=signaling,
+            energy_j=energy.energy_j,
+        )
+        if slot == "master":
+            self._pending_master = None
+            self._cooldown_master_s = time_s + self._config.ho_cooldown_s
+        else:
+            self._pending_scg = None
+            self._cooldown_scg_s = time_s + self._config.ho_cooldown_s
+        if coupled_scgr is not None:
+            self._extra_records.append(
+                self._coupled_scgr_record(record, coupled_scgr)
+            )
+        return record
+
+    def _band_class_or_none(self, pending: _PendingHandover) -> BandClass | None:
+        return pending.execution.band_class
+
+    def _coupled_scgr_record(
+        self, anchor: HandoverRecord, released: Cell
+    ) -> HandoverRecord:
+        """The SCG Release executed as part of an anchor handover."""
+        execution = self._timing.sample(
+            HandoverType.SCGR,
+            band_class=released.band_class,
+            colocated=anchor.colocated,
+        )
+        signaling = self._signaling.for_handover(
+            HandoverType.SCGR, reports_observed=1, band_class=released.band_class
+        )
+        energy = self._energy.for_handover(
+            HandoverType.SCGR, anchor.mode_before, released.band_class, signaling
+        )
+        return HandoverRecord(
+            ho_type=HandoverType.SCGR,
+            decision_time_s=anchor.decision_time_s,
+            exec_start_s=anchor.exec_start_s,
+            complete_s=anchor.exec_start_s + execution.t2_ms / 1000.0,
+            t1_ms=execution.t1_ms,
+            t2_ms=execution.t2_ms,
+            mode_before=anchor.mode_before,
+            mode_after=self._ue.mode,
+            source_gci=released.gci,
+            target_gci=None,
+            source_pci=released.pci,
+            target_pci=None,
+            band_class=released.band_class,
+            arc_m=anchor.arc_m,
+            colocated=anchor.colocated,
+            same_pci_legs=anchor.same_pci_legs,
+            trigger_labels=anchor.trigger_labels,
+            signaling=signaling,
+            energy_j=energy.energy_j,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _interruptions(self, time_s: float) -> tuple[bool, bool]:
+        """(lte_interrupted, nr_interrupted) at this instant."""
+        lte_int = nr_int = False
+        for pending in (self._pending_master, self._pending_scg):
+            if pending is None or not pending.exec_start_s <= time_s < pending.complete_s:
+                continue
+            ho_type = pending.decision.ho_type
+            lte_int = lte_int or ho_type.interrupts_lte_data
+            nr_int = nr_int or ho_type.interrupts_nr_data
+        return (lte_int, nr_int)
+
+    def _tick_record(
+        self,
+        sample,
+        lte_serving_sample: RRSSample | None,
+        nr_serving_sample: RRSSample | None,
+        lte_samples: dict[Cell, RRSSample],
+        nr_samples: dict[Cell, RRSSample],
+        time_s: float,
+    ) -> TickRecord:
+        lte_serving = self._ue.lte_serving
+        nr_serving = self._ue.nr_serving
+        lte_int, nr_int = self._interruptions(time_s)
+
+        lte_cap = 0.0
+        if lte_serving is not None and lte_serving_sample is not None and not lte_int:
+            lte_cap = self._capacity.capacity_mbps(
+                lte_serving.band, lte_serving_sample.sinr_db
+            )
+        nr_cap = 0.0
+        if nr_serving is not None and nr_serving_sample is not None and not nr_int:
+            attach = self._nr_attach
+            nr_cap = self._capacity.leg_capacity(
+                nr_serving.band,
+                nr_serving_sample,
+                time_since_attach_s=(time_s - attach.time_s) if attach else None,
+                cross_gnb_attach=attach.cross_gnb if attach else False,
+            ).capacity_mbps
+
+        total = self._total_capacity(lte_cap, nr_cap, lte_int)
+
+        top_k = self._config.neighbour_top_k
+        lte_neigh = _top_neighbours(lte_samples, lte_serving, top_k)
+        nr_neigh = _top_neighbours(nr_samples, nr_serving, top_k)
+
+        return TickRecord(
+            time_s=time_s,
+            arc_m=sample.arc_m,
+            x_m=sample.position.x,
+            y_m=sample.position.y,
+            speed_mps=sample.speed_mps,
+            mode=self._ue.mode,
+            lte_serving_gci=lte_serving.gci if lte_serving else None,
+            lte_serving_pci=lte_serving.pci if lte_serving else None,
+            nr_serving_gci=nr_serving.gci if nr_serving else None,
+            nr_serving_pci=nr_serving.pci if nr_serving else None,
+            nr_band_class=nr_serving.band_class if nr_serving else None,
+            lte_rrs=lte_serving_sample,
+            nr_rrs=nr_serving_sample,
+            lte_neighbours=lte_neigh,
+            nr_neighbours=nr_neigh,
+            lte_capacity_mbps=lte_cap,
+            nr_capacity_mbps=nr_cap,
+            total_capacity_mbps=total,
+            lte_interrupted=lte_int,
+            nr_interrupted=nr_int,
+        )
+
+    def _total_capacity(self, lte_cap: float, nr_cap: float, lte_int: bool) -> float:
+        if self._standalone:
+            return nr_cap
+        bearer = self._config.bearer
+        if self._ue.nr_serving is None:
+            # No SCG: all traffic on LTE regardless of bearer config.
+            return lte_cap
+        if bearer is BearerMode.FIVE_G_ONLY:
+            return nr_cap
+        return lte_cap + nr_cap
+
+
+def _top_neighbours(
+    samples: dict[Cell, RRSSample], serving: Cell | None, k: int
+) -> tuple[NeighbourObservation, ...]:
+    neighbours = [(c, s) for c, s in samples.items() if c is not serving]
+    neighbours.sort(key=lambda item: item[1].rsrp_dbm, reverse=True)
+    serving_node = serving.node_id if serving is not None else None
+    serving_band = serving.band.name if serving is not None else None
+
+    def in_scope(cell: Cell) -> bool:
+        # NR A3 is scoped to the serving gNB's cells; LTE A3 to the
+        # serving frequency. Both mirror what the network configures.
+        if serving is None:
+            return False
+        if cell.rat is RadioAccessTechnology.NR:
+            return cell.node_id == serving_node
+        return cell.band.name == serving_band
+
+    # The UE reports the strongest cells overall, but the configured
+    # measurement objects guarantee the serving node's own cells (the A3
+    # candidates) are always measured — reserve up to two slots for them.
+    chosen = neighbours[:k]
+    in_scope_chosen = sum(1 for c, _ in chosen if in_scope(c))
+    if in_scope_chosen < 2:
+        extras = [item for item in neighbours[k:] if in_scope(item[0])]
+        for extra in extras[: 2 - in_scope_chosen]:
+            # Replace the weakest out-of-scope entry.
+            for i in range(len(chosen) - 1, -1, -1):
+                if not in_scope(chosen[i][0]):
+                    chosen[i] = extra
+                    break
+            else:
+                chosen.append(extra)
+    chosen.sort(key=lambda item: item[1].rsrp_dbm, reverse=True)
+    return tuple(
+        NeighbourObservation(
+            gci=c.gci,
+            pci=c.pci,
+            rrs=s,
+            in_a3_scope=in_scope(c),
+        )
+        for c, s in chosen
+    )

@@ -1,0 +1,19 @@
+"""User-equipment models: attachment state and handover energy.
+
+The paper's UE fleet (Samsung S21U/S20U) contributes two things to the
+study that we must model: the dual-connectivity attachment state machine
+(master LTE leg + secondary NR leg under NSA, single NR leg under SA) and
+the battery drain attributable to handovers, measured with a Monsoon
+power monitor (§5.3).
+"""
+
+from repro.ue.state import UEState, RadioMode
+from repro.ue.energy import EnergyModel, HandoverEnergy, BATTERY_VOLTAGE_V
+
+__all__ = [
+    "BATTERY_VOLTAGE_V",
+    "EnergyModel",
+    "HandoverEnergy",
+    "RadioMode",
+    "UEState",
+]

@@ -1,0 +1,141 @@
+"""Handover energy model — calibrated to the Monsoon measurements of §5.3.
+
+The paper's key energy findings, which this model is calibrated to
+reproduce end-to-end (see ``benchmarks/bench_fig10_energy.py``):
+
+* one hour at 130 km/h on NSA low-band ≈ 553 HOs ≈ 34.7 mAh;
+  the same hour on NSA mmWave ≈ 998 HOs ≈ 81.7 mAh; 4G ≈ 3.4 mAh;
+* per-HO *power*: NSA draws 1.2-2.3× LTE; a single mmWave HO runs at
+  ~54% lower power than a low-band NSA HO (improved RACH) yet mmWave
+  still loses per-km because its HOs are so frequent (1.9-2.4× low-band
+  energy per km);
+* energy is positively correlated with the number of HO-related
+  signaling messages.
+
+Energy per handover = power x active-signaling window, scaled by the
+handover's signaling tally relative to its expected tally (that last
+factor implements the observed signaling<->energy correlation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.radio.bands import BandClass
+from repro.rrc.signaling import SignalingTally
+from repro.rrc.taxonomy import HandoverType
+from repro.ue.state import RadioMode
+
+#: Nominal Li-ion cell voltage used for Joule <-> mAh conversion.
+BATTERY_VOLTAGE_V = 3.85
+
+
+def joules_to_mah(joules: float) -> float:
+    """Convert energy in joules to battery charge in mAh."""
+    return joules / BATTERY_VOLTAGE_V / 3.6
+
+
+@dataclass(frozen=True, slots=True)
+class _EnergyClass:
+    """Calibrated (power, window, expected signaling) for one HO class."""
+
+    power_w: float
+    window_s: float
+    expected_messages: int
+
+
+# Calibration (see module docstring for the targets):
+#   LTE:        0.62 W x 0.35 s = 0.217 J = 0.0157 mAh -> 217 HOs = 3.4 mAh
+#   NSA sub-6:  1.40 W x 0.62 s = 0.868 J = 0.0626 mAh -> 553 HOs = 34.6 mAh
+#   NSA mmWave: 0.64 W x 1.78 s = 1.139 J = 0.0822 mAh -> 998 HOs = 82.0 mAh
+#   SA:         0.70 W x 0.50 s = 0.350 J (shorter procedures, single RAT)
+_CLASSES: dict[tuple[RadioMode, BandClass | None], _EnergyClass] = {
+    (RadioMode.LTE, None): _EnergyClass(0.62, 0.35, 31),
+    (RadioMode.NSA, BandClass.LOW): _EnergyClass(1.40, 0.62, 12),
+    (RadioMode.NSA, BandClass.MID): _EnergyClass(1.40, 0.62, 19),
+    (RadioMode.NSA, BandClass.MMWAVE): _EnergyClass(0.64, 1.78, 70),
+    (RadioMode.SA, BandClass.LOW): _EnergyClass(0.70, 0.50, 12),
+    (RadioMode.SA, BandClass.MID): _EnergyClass(0.70, 0.50, 14),
+}
+
+#: Weight of the signaling-count correction (0 = ignore signaling).
+_SIGNALING_WEIGHT = 0.3
+
+
+@dataclass(frozen=True, slots=True)
+class HandoverEnergy:
+    """Energy attribution of one handover."""
+
+    ho_type: HandoverType
+    power_w: float
+    window_s: float
+    energy_j: float
+
+    @property
+    def energy_mah(self) -> float:
+        return joules_to_mah(self.energy_j)
+
+
+class EnergyModel:
+    """Computes per-handover energy from mode, band, and signaling."""
+
+    def __init__(self, rng: np.random.Generator, jitter: float = 0.08):
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter fraction must lie in [0, 1)")
+        self._rng = rng
+        self._jitter = jitter
+
+    def for_handover(
+        self,
+        ho_type: HandoverType,
+        mode: RadioMode,
+        band_class: BandClass | None,
+        signaling: SignalingTally | None = None,
+    ) -> HandoverEnergy:
+        """Energy drawn by one handover.
+
+        Args:
+            ho_type: procedure executed.
+            mode: radio mode of the UE *during* the handover.
+            band_class: band class of the NR leg involved (None for a
+                pure-LTE handover).
+            signaling: the handover's message tally; when given, energy
+                scales with message count around the class mean.
+        """
+        if ho_type is HandoverType.NONE:
+            raise ValueError("no energy for a non-handover")
+        # An SCG procedure exercises the 5G radio even when the UE's mode
+        # *before* the procedure was LTE (SCG Addition powers the NR
+        # chain up) — it always bills at the NSA rate.
+        if ho_type.is_scg_procedure and mode is RadioMode.LTE:
+            mode = RadioMode.NSA
+        key_band = None if mode is RadioMode.LTE else (band_class or BandClass.LOW)
+        try:
+            cls = _CLASSES[(mode, key_band)]
+        except KeyError:
+            raise ValueError(f"no energy class for mode={mode}, band={key_band}") from None
+
+        scale = 1.0
+        if signaling is not None and cls.expected_messages > 0:
+            ratio = signaling.total / cls.expected_messages
+            scale = (1.0 - _SIGNALING_WEIGHT) + _SIGNALING_WEIGHT * ratio
+            # The correlation is real but bounded — a chatty handover
+            # does not cost unboundedly more.
+            scale = min(max(scale, 0.7), 1.4)
+        noise = 1.0 + float(self._rng.uniform(-self._jitter, self._jitter))
+        energy_j = cls.power_w * cls.window_s * scale * noise
+        return HandoverEnergy(
+            ho_type=ho_type,
+            power_w=cls.power_w,
+            window_s=cls.window_s,
+            energy_j=energy_j,
+        )
+
+    @staticmethod
+    def per_handover_mean_j(mode: RadioMode, band_class: BandClass | None) -> float:
+        """Calibrated mean energy per handover (no jitter), in joules."""
+        key_band = None if mode is RadioMode.LTE else (band_class or BandClass.LOW)
+        cls = _CLASSES[(mode, key_band)]
+        return cls.power_w * cls.window_s

@@ -1,0 +1,78 @@
+"""UE attachment state: which cells carry the master and secondary legs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.radio.bands import BandClass, RadioAccessTechnology
+from repro.ran.cells import Cell
+
+
+class RadioMode(enum.Enum):
+    """Logged radio technology the UE reports (what 5G Tracker shows)."""
+
+    LTE = "LTE"
+    NSA = "5G-NSA"
+    SA = "5G-SA"
+
+
+@dataclass(slots=True)
+class UEState:
+    """Mutable attachment state of the measurement UE.
+
+    Under NSA the master (MCG) leg is an LTE cell and the secondary (SCG)
+    leg, when present, an NR cell. Under SA there is a single NR master
+    leg and ``lte_serving`` stays None.
+    """
+
+    standalone: bool = False
+    lte_serving: Cell | None = None
+    nr_serving: Cell | None = None
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.lte_serving is not None and self.lte_serving.rat is not RadioAccessTechnology.LTE:
+            raise ValueError("LTE leg must be an LTE cell")
+        if self.nr_serving is not None and self.nr_serving.rat is not RadioAccessTechnology.NR:
+            raise ValueError("NR leg must be an NR cell")
+        if self.standalone and self.lte_serving is not None:
+            raise ValueError("SA attachment has no LTE leg")
+
+    @property
+    def mode(self) -> RadioMode:
+        if self.standalone:
+            return RadioMode.SA
+        if self.nr_serving is not None:
+            return RadioMode.NSA
+        return RadioMode.LTE
+
+    @property
+    def nsa_attached(self) -> bool:
+        return not self.standalone and self.lte_serving is not None and self.nr_serving is not None
+
+    @property
+    def nr_band_class(self) -> BandClass | None:
+        return self.nr_serving.band_class if self.nr_serving is not None else None
+
+    @property
+    def serving_cells(self) -> list[Cell]:
+        return [c for c in (self.lte_serving, self.nr_serving) if c is not None]
+
+    def colocated_legs(self) -> bool | None:
+        """True when both legs hang on the same tower (None if < 2 legs).
+
+        The paper's §6.3 heuristic — same 4G and 5G PCI — is the
+        *observable* proxy for this ground truth.
+        """
+        if self.lte_serving is None or self.nr_serving is None:
+            return None
+        return self.lte_serving.tower_id == self.nr_serving.tower_id
+
+    def same_pci_legs(self) -> bool | None:
+        """The paper's observable co-location heuristic: matching PCIs."""
+        if self.lte_serving is None or self.nr_serving is None:
+            return None
+        return self.lte_serving.pci == self.nr_serving.pci

@@ -1,0 +1,50 @@
+"""Shared fixtures: small simulated drives reused across test modules.
+
+Simulation is the expensive part of this suite, so canonical small
+drives are session-scoped: one NSA low-band freeway drive, one mmWave
+city walk, and one rural coverage drive cover most integration needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radio.bands import BandClass
+from repro.ran import OPX, OPY
+from repro.simulate.scenarios import (
+    city_walk_scenario,
+    coverage_scenario,
+    freeway_scenario,
+)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def freeway_low_log():
+    """A 6 km NSA low-band freeway drive on OpX."""
+    return freeway_scenario(OPX, BandClass.LOW, length_km=6.0, seed=101).run()
+
+
+@pytest.fixture(scope="session")
+def mmwave_walk_log():
+    """A 10-minute mmWave city walk on OpX (D1-style)."""
+    return city_walk_scenario(OPX, (BandClass.MMWAVE,), duration_min=10, seed=102).run()
+
+
+@pytest.fixture(scope="session")
+def sa_freeway_log():
+    """A 6 km SA low-band freeway drive on OpY."""
+    return freeway_scenario(
+        OPY, BandClass.LOW, standalone=True, length_km=6.0, seed=103
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def coverage_log():
+    """A 12 km rural low-band coverage drive on OpX."""
+    return coverage_scenario(OPX, BandClass.LOW, length_km=12.0, seed=104).run()

@@ -1,0 +1,169 @@
+"""The §4-§6 analysis pipelines over simulated and synthetic logs."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    coverage_summary,
+    colocation_summary,
+    duration_breakdown,
+    energy_breakdown,
+    frequency_breakdown,
+    handover_spacing_km,
+    ho_score_table,
+    hourly_energy_budget,
+    phase_throughput,
+    signaling_per_km,
+    summarize,
+)
+from repro.analysis.colocation import verify_colocation_by_hulls
+from repro.analysis.coverage import nr_coverage_segments_m
+from repro.analysis.duration import NSA_5G_TYPES
+from repro.analysis.frequency import FIVE_G_NSA_TYPES, FOUR_G_TYPES
+from repro.analysis.stats import empirical_cdf, ratio
+from repro.rrc.taxonomy import HandoverType
+
+
+class TestStats:
+    def test_summarize_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.count == 4
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_cdf(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert ps[-1] == pytest.approx(1.0)
+
+    def test_ratio_guard(self):
+        with pytest.raises(ZeroDivisionError):
+            ratio(1.0, 0.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_summary_invariants(self, values):
+        s = summarize(values)
+        assert s.minimum <= s.p25 <= s.median <= s.p75 <= s.maximum
+        eps = 1e-9 * (1.0 + abs(s.mean))
+        assert s.minimum - eps <= s.mean <= s.maximum + eps
+
+
+class TestFrequency:
+    def test_breakdown_on_simulated_drive(self, freeway_low_log):
+        breakdown = frequency_breakdown([freeway_low_log])
+        assert breakdown.distance_km == pytest.approx(6.0, abs=0.3)
+        assert 0.2 < breakdown.spacing_4g_km < 2.0
+        assert 0.15 < breakdown.spacing_5g_nsa_km < 1.5
+
+    def test_sa_spacing_uses_mcgh(self, sa_freeway_log):
+        breakdown = frequency_breakdown([sa_freeway_log])
+        assert breakdown.spacing_sa_km < float("inf")
+        assert breakdown.spacing_5g_nsa_km == float("inf")
+
+    def test_signaling_rates_positive(self, freeway_low_log):
+        rates = signaling_per_km([freeway_low_log])
+        assert rates.rrc_per_km > 0
+        assert rates.phy_per_km > 0
+        assert rates.total_per_km >= rates.rrc_per_km
+
+    def test_empty_logs_rejected(self):
+        with pytest.raises(ValueError):
+            handover_spacing_km([], FOUR_G_TYPES)
+
+
+class TestDuration:
+    def test_nsa_breakdown(self, freeway_low_log):
+        breakdown = duration_breakdown([freeway_low_log], types=NSA_5G_TYPES)
+        assert 100 < breakdown.total.mean < 260
+        assert 0.25 < breakdown.t1_share < 0.6
+
+    def test_nsa_lteh_is_slow_flavour(self, freeway_low_log):
+        # LTEH executed while NSA-attached carries the eNB<->gNB
+        # coordination overhead (Figs. 8-9 plot it separately).
+        nsa_lteh = duration_breakdown(
+            [freeway_low_log], types=(HandoverType.LTEH,), nsa_context=True
+        )
+        assert nsa_lteh.total.mean > 110.0
+
+    def test_filter_without_matches_raises(self, sa_freeway_log):
+        with pytest.raises(ValueError):
+            duration_breakdown([sa_freeway_log], types=(HandoverType.SCGM,))
+
+    def test_stage_name_validation(self, freeway_low_log):
+        from repro.analysis.duration import stage_durations_ms
+
+        with pytest.raises(ValueError):
+            stage_durations_ms([freeway_low_log], "t3")
+
+
+class TestEnergy:
+    def test_breakdown(self, freeway_low_log):
+        breakdown = energy_breakdown([freeway_low_log], FIVE_G_NSA_TYPES)
+        assert breakdown.handover_count > 0
+        assert breakdown.mean_energy_per_ho_j > 0
+        assert breakdown.energy_per_km_mah > 0
+
+    def test_hourly_budget_scales_with_speed(self, freeway_low_log):
+        slow = hourly_energy_budget([freeway_low_log], FIVE_G_NSA_TYPES, speed_kmh=65.0)
+        fast = hourly_energy_budget([freeway_low_log], FIVE_G_NSA_TYPES, speed_kmh=130.0)
+        assert fast.handovers_per_hour == pytest.approx(2 * slow.handovers_per_hour)
+        assert fast.energy_mah_per_hour == pytest.approx(2 * slow.energy_mah_per_hour)
+
+
+class TestCoverage:
+    def test_merged_at_least_actual(self, coverage_log):
+        summary = coverage_summary([coverage_log])
+        assert summary.merged.mean >= summary.actual.mean * 0.95
+        assert summary.nsa_reduction_factor >= 0.95
+
+    def test_segments_positive(self, coverage_log):
+        segments = nr_coverage_segments_m([coverage_log])
+        assert segments and all(s > 0 for s in segments)
+
+    def test_rural_low_band_footprint(self, coverage_log):
+        summary = coverage_summary([coverage_log])
+        # NR ISD is 2.2 km; merged footprint should be in that region.
+        assert 1200 < summary.merged.mean < 4200
+
+
+class TestBandwidthPhases:
+    def test_phase_throughput_on_walk(self, mmwave_walk_log):
+        phases = phase_throughput(mmwave_walk_log and [mmwave_walk_log], HandoverType.SCGM)
+        if phases is not None:
+            assert phases.pre.count > 0
+            assert phases.post.count > 0
+
+    def test_scga_boosts_throughput(self, freeway_low_log):
+        phases = phase_throughput([freeway_low_log], HandoverType.SCGA)
+        assert phases is not None
+        # SCG addition brings the NR leg up: post capacity must beat pre.
+        assert phases.mean_post_over_pre > 1.2
+
+    def test_ho_score_table_contains_observed_types(self, freeway_low_log):
+        table = ho_score_table([freeway_low_log])
+        assert HandoverType.SCGA in table
+        assert all(score > 0 for score in table.values())
+
+
+class TestColocation:
+    def test_summary_over_many_drives(self, freeway_low_log, coverage_log):
+        try:
+            summary = colocation_summary([freeway_low_log, coverage_log])
+        except ValueError:
+            pytest.skip("not enough same-PCI handovers in the small fixture")
+        assert summary.same_pci.count > 0
+        assert 0.0 <= summary.colocated_sample_fraction <= 1.0
+
+    def test_hull_verification(self, freeway_low_log):
+        overlaps = verify_colocation_by_hulls([freeway_low_log])
+        # Attached 4G/5G PCI pairs were observed simultaneously, so their
+        # observation hulls must overlap.
+        assert overlaps
+        assert all(overlaps.values())

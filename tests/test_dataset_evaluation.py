@@ -1,0 +1,143 @@
+"""Dataset builders, bootstrap mining, and the evaluation drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import frequent_patterns_from_logs, phases_from_log
+from repro.core.evaluation import (
+    configs_for_log,
+    evaluate_gbc,
+    evaluate_prognos,
+    run_prognos_over_logs,
+)
+from repro.core.patterns import Pattern
+from repro.ml.features import (
+    build_location_sequence_dataset,
+    build_radio_feature_dataset,
+    handover_events,
+    label_for_tick,
+    train_test_split_by_time,
+)
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+from repro.rrc.taxonomy import HandoverType
+from repro.simulate.dataset import build_abr_traces
+from repro.simulate.scenarios import city_walk_scenario
+
+
+class TestFeatures:
+    def test_label_windows(self, freeway_low_log):
+        record = freeway_low_log.handovers[0]
+        just_before = record.decision_time_s - 0.5
+        assert label_for_tick(freeway_low_log, just_before, 1.0) is record.ho_type
+        long_before = record.decision_time_s - 10.0
+        label = label_for_tick(freeway_low_log, long_before, 1.0)
+        assert label is HandoverType.NONE or label is not record.ho_type
+
+    def test_radio_dataset_shapes(self, freeway_low_log):
+        dataset = build_radio_feature_dataset([freeway_low_log], stride=10)
+        assert dataset.x.ndim == 2
+        assert dataset.x.shape[0] == len(dataset.labels)
+        assert dataset.positives > 0
+
+    def test_sequence_dataset_shapes(self, freeway_low_log):
+        dataset = build_location_sequence_dataset(
+            [freeway_low_log], stride=10, history_ticks=10
+        )
+        assert dataset.x.ndim == 3
+        assert dataset.x.shape[1] == 10
+
+    def test_split_chronological(self, freeway_low_log):
+        dataset = build_radio_feature_dataset([freeway_low_log], stride=10)
+        train, test = train_test_split_by_time(dataset, 0.6)
+        assert train.times_s[-1] <= test.times_s[0]
+        with pytest.raises(ValueError):
+            train_test_split_by_time(dataset, 1.5)
+
+    def test_handover_events_offsets(self, freeway_low_log):
+        single = handover_events([freeway_low_log])
+        double = handover_events([freeway_low_log, freeway_low_log])
+        assert len(double) == 2 * len(single)
+        assert double[len(single)][0] > single[-1][0]
+
+
+class TestBootstrap:
+    def test_phases_cover_all_handovers(self, freeway_low_log):
+        phases = phases_from_log(freeway_low_log)
+        assert len(phases) == len(freeway_low_log.handovers)
+
+    def test_frequent_patterns_per_type(self, freeway_low_log):
+        patterns = frequent_patterns_from_logs([freeway_low_log], per_type=1)
+        types = {p.ho_type for p in patterns}
+        observed = {h.ho_type for h in freeway_low_log.handovers}
+        assert types == observed
+        assert all(isinstance(p, Pattern) for p in patterns)
+        assert all(s >= 1 for s in patterns.values())
+
+
+class TestEvaluation:
+    def test_prognos_run_structure(self, mmwave_walk_log):
+        configs = configs_for_log(OPX, (BandClass.MMWAVE,))
+        result = run_prognos_over_logs([mmwave_walk_log], configs, stride=4)
+        assert len(result.predictions) == len(result.truths) == len(result.times_s)
+        assert result.events
+
+    def test_prognos_beats_chance(self, mmwave_walk_log):
+        report, result = evaluate_prognos(
+            [mmwave_walk_log], OPX, (BandClass.MMWAVE,), stride=4
+        )
+        assert report.f1 > 0.2
+        assert 0.0 <= report.accuracy <= 1.0
+
+    def test_bootstrap_improves_early_f1(self, mmwave_walk_log):
+        configs = configs_for_log(OPX, (BandClass.MMWAVE,))
+        seeds = frequent_patterns_from_logs([mmwave_walk_log])
+        cold = run_prognos_over_logs([mmwave_walk_log], configs, stride=4)
+        warm = run_prognos_over_logs(
+            [mmwave_walk_log], configs, stride=4, bootstrap=seeds
+        )
+        early = mmwave_walk_log.duration_s * 0.3
+        cold_report = _early_report(cold, early)
+        warm_report = _early_report(warm, early)
+        assert warm_report.f1 >= cold_report.f1 - 0.05
+
+    def test_gbc_evaluation_runs(self, mmwave_walk_log):
+        report = evaluate_gbc([mmwave_walk_log], stride=8)
+        assert 0.0 <= report.f1 <= 1.0
+
+    def test_lead_times_positive(self, mmwave_walk_log):
+        configs = configs_for_log(OPX, (BandClass.MMWAVE,))
+        result = run_prognos_over_logs([mmwave_walk_log], configs, stride=4)
+        assert all(l >= 0 for l in result.lead_times_s)
+
+
+def _early_report(result, until_s):
+    mask = result.times_s <= until_s
+    from repro.ml.metrics import event_level_report
+
+    return event_level_report(
+        result.times_s[mask],
+        [p for p, m in zip(result.predictions, mask) if m],
+        [t for t, m in zip(result.truths, mask) if m],
+        [(t, c) for t, c in result.events if t <= until_s],
+        negative_class=HandoverType.NONE,
+    )
+
+
+class TestAbrTraces:
+    def test_filtering(self, mmwave_walk_log):
+        traces = build_abr_traces(
+            [mmwave_walk_log], window_s=120.0, stride_s=60.0, max_avg_mbps=400.0
+        )
+        for trace in traces:
+            assert trace.mean_mbps <= 400.0
+            assert trace.min_mbps >= 2.0
+
+    def test_minimum_guard(self, mmwave_walk_log):
+        with pytest.raises(RuntimeError):
+            build_abr_traces(
+                [mmwave_walk_log],
+                window_s=120.0,
+                max_avg_mbps=0.001,
+                minimum=1,
+            )

@@ -1,0 +1,148 @@
+"""Geometry primitives: points, polylines, convex hulls."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import (
+    Point,
+    Polyline,
+    convex_hull,
+    distance,
+    heading,
+    hulls_overlap,
+    interpolate,
+    polygon_area,
+)
+
+coords = st.floats(min_value=-1e5, max_value=1e5, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_distance_symmetry(self):
+        a, b = Point(0, 0), Point(3, 4)
+        assert distance(a, b) == pytest.approx(5.0)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scaled_and_norm(self):
+        assert Point(3, 4).scaled(2).norm() == pytest.approx(10.0)
+
+    def test_heading_east_and_north(self):
+        assert heading(Point(0, 0), Point(1, 0)) == pytest.approx(0.0)
+        assert heading(Point(0, 0), Point(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_interpolate_endpoints(self):
+        a, b = Point(0, 0), Point(10, 20)
+        assert interpolate(a, b, 0.0) == a
+        assert interpolate(a, b, 1.0) == b
+        assert interpolate(a, b, 0.5) == Point(5, 10)
+
+    def test_interpolate_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            interpolate(Point(0, 0), Point(1, 1), 1.5)
+
+    @given(points, points, st.floats(min_value=0, max_value=1))
+    def test_interpolate_between(self, a, b, f):
+        p = interpolate(a, b, f)
+        assert p.distance_to(a) + p.distance_to(b) == pytest.approx(
+            a.distance_to(b), abs=1e-6 * (1 + a.distance_to(b))
+        )
+
+
+class TestPolyline:
+    def test_straight_length(self):
+        line = Polyline.straight(1000.0)
+        assert line.length == pytest.approx(1000.0)
+
+    def test_point_at_midpoint(self):
+        line = Polyline.straight(100.0)
+        assert line.point_at(50.0) == Point(50.0, 0.0)
+
+    def test_point_at_clamps(self):
+        line = Polyline.straight(100.0)
+        assert line.point_at(-5.0) == Point(0.0, 0.0)
+        assert line.point_at(500.0) == Point(100.0, 0.0)
+
+    def test_rectangle_perimeter(self):
+        rect = Polyline.rectangle(30.0, 20.0)
+        assert rect.length == pytest.approx(100.0)
+
+    def test_rectangle_wraps_to_start(self):
+        rect = Polyline.rectangle(30.0, 20.0)
+        assert rect.point_at(rect.length) == Point(0.0, 0.0)
+
+    def test_offset_point_is_lateral(self):
+        line = Polyline.straight(100.0)
+        p = line.offset_point(50.0, 10.0)
+        assert p.y == pytest.approx(10.0)
+        assert p.x == pytest.approx(50.0)
+
+    def test_heading_follows_segments(self):
+        rect = Polyline.rectangle(10.0, 10.0)
+        assert rect.heading_at(5.0) == pytest.approx(0.0)
+        assert rect.heading_at(15.0) == pytest.approx(math.pi / 2)
+
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ValueError):
+            Polyline([Point(0, 0)])
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            Polyline.straight(0.0)
+        with pytest.raises(ValueError):
+            Polyline.rectangle(-1.0, 5.0)
+
+    @given(st.floats(min_value=0, max_value=100))
+    def test_arc_length_roundtrip(self, s):
+        line = Polyline.straight(100.0)
+        assert line.point_at(s).x == pytest.approx(s)
+
+
+class TestConvexHull:
+    def test_square_hull(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1), Point(0.5, 0.5)]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert Point(0.5, 0.5) not in hull
+
+    def test_area_of_unit_square(self):
+        hull = convex_hull([Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)])
+        assert polygon_area(hull) == pytest.approx(1.0)
+
+    def test_collinear_degenerates(self):
+        hull = convex_hull([Point(0, 0), Point(1, 1), Point(2, 2)])
+        assert len(hull) <= 3
+        assert polygon_area(hull) == pytest.approx(0.0)
+
+    def test_overlap_detection(self):
+        a = convex_hull([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        b = convex_hull([Point(1, 1), Point(3, 1), Point(3, 3), Point(1, 3)])
+        c = convex_hull([Point(5, 5), Point(6, 5), Point(6, 6), Point(5, 6)])
+        assert hulls_overlap(a, b)
+        assert not hulls_overlap(a, c)
+
+    def test_overlap_symmetry(self):
+        a = convex_hull([Point(0, 0), Point(2, 0), Point(1, 2)])
+        b = convex_hull([Point(1, 1), Point(3, 1), Point(2, 3)])
+        assert hulls_overlap(a, b) == hulls_overlap(b, a)
+
+    def test_point_inside_hull_overlaps(self):
+        square = convex_hull([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        assert hulls_overlap(square, [Point(1, 1)])
+        assert not hulls_overlap(square, [Point(5, 5)])
+
+    def test_empty_inputs_do_not_overlap(self):
+        assert not hulls_overlap([], [Point(0, 0)])
+
+    @given(st.lists(points, min_size=3, max_size=30))
+    def test_hull_contains_all_points(self, pts):
+        hull = convex_hull(pts)
+        # Every original point must overlap the hull (inside or on edge).
+        for p in pts:
+            assert hulls_overlap(hull, [p])

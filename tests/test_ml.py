@@ -1,0 +1,229 @@
+"""From-scratch ML: linreg, trees, GBC, LSTM, metrics, features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (
+    GradientBoostingClassifier,
+    LinearRegressor,
+    RegressionTree,
+    StackedLstmClassifier,
+    classification_report,
+    confusion_matrix,
+)
+from repro.ml.linreg import extrapolate_series
+from repro.ml.metrics import event_level_report, prediction_episodes
+
+
+class TestLinearRegressor:
+    def test_exact_fit_on_line(self):
+        x = np.arange(10.0)
+        y = 3.0 * x + 2.0
+        model = LinearRegressor().fit(x, y)
+        assert model.coefficients[0] == pytest.approx(2.0, abs=1e-8)
+        assert model.coefficients[1] == pytest.approx(3.0, abs=1e-8)
+        assert model.predict(np.array([20.0]))[0] == pytest.approx(62.0)
+
+    def test_multidimensional(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 3))
+        y = x @ np.array([1.0, -2.0, 0.5]) + 4.0
+        model = LinearRegressor().fit(x, y)
+        assert np.allclose(model.predict(x), y, atol=1e-8)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressor().predict(np.array([1.0]))
+
+    def test_extrapolate_series(self):
+        values = np.array([0.0, 1.0, 2.0, 3.0])
+        future = extrapolate_series(values, 2)
+        assert np.allclose(future, [4.0, 5.0])
+
+    def test_extrapolate_validation(self):
+        with pytest.raises(ValueError):
+            extrapolate_series(np.array([1.0]), 2)
+        with pytest.raises(ValueError):
+            extrapolate_series(np.array([1.0, 2.0]), 0)
+
+    @given(
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=30)
+    def test_recovers_arbitrary_lines(self, slope, intercept):
+        x = np.linspace(0, 9, 10)
+        model = LinearRegressor().fit(x, slope * x + intercept)
+        assert model.coefficients[1] == pytest.approx(slope, abs=1e-6)
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        x = np.linspace(0, 1, 200)[:, None]
+        y = (x[:, 0] > 0.5).astype(float)
+        tree = RegressionTree(max_depth=2).fit(x, y)
+        assert tree.predict(np.array([[0.2]]))[0] == pytest.approx(0.0, abs=0.05)
+        assert tree.predict(np.array([[0.8]]))[0] == pytest.approx(1.0, abs=0.05)
+
+    def test_respects_max_depth_one(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 2))
+        y = x[:, 0] + x[:, 1]
+        tree = RegressionTree(max_depth=1).fit(x, y)
+        # Depth 1 means at most 2 distinct leaf values.
+        assert len(set(np.round(tree.predict(x), 9))) <= 2
+
+    def test_constant_target_single_leaf(self):
+        x = np.linspace(0, 1, 50)[:, None]
+        tree = RegressionTree().fit(x, np.full(50, 7.0))
+        assert np.allclose(tree.predict(x), 7.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros(5), np.zeros(5))
+
+
+class TestGradientBoosting:
+    def test_learns_linear_boundary(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(400, 2))
+        y = ["a" if r[0] + r[1] > 0 else "b" for r in x]
+        model = GradientBoostingClassifier(n_estimators=25, max_depth=2).fit(x, y)
+        predictions = model.predict(x)
+        accuracy = np.mean([p == t for p, t in zip(predictions, y)])
+        assert accuracy > 0.9
+
+    def test_probabilities_sum_to_one(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(100, 2))
+        y = ["a" if r[0] > 0 else ("b" if r[1] > 0 else "c") for r in x]
+        model = GradientBoostingClassifier(n_estimators=10).fit(x, y)
+        probs = model.predict_proba(x)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert probs.shape[1] == len(set(y))
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(600, 2))
+        y = []
+        for r in x:
+            if r[0] > 0.5:
+                y.append("right")
+            elif r[0] < -0.5:
+                y.append("left")
+            else:
+                y.append("mid")
+        model = GradientBoostingClassifier(n_estimators=30, max_depth=2).fit(x, y)
+        accuracy = np.mean([p == t for p, t in zip(model.predict(x), y)])
+        assert accuracy > 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(RuntimeError):
+            GradientBoostingClassifier().predict_proba(np.zeros((1, 2)))
+
+
+class TestStackedLstm:
+    def test_learns_trend_direction(self):
+        rng = np.random.default_rng(5)
+        sequences, labels = [], []
+        for _ in range(160):
+            up = rng.random() < 0.5
+            base = np.linspace(0, 1, 10) if up else np.linspace(1, 0, 10)
+            seq = base[:, None] + rng.normal(0, 0.05, size=(10, 1))
+            sequences.append(seq)
+            labels.append("up" if up else "down")
+        model = StackedLstmClassifier(hidden_dim=8, epochs=6, learning_rate=6e-3)
+        model.fit(np.array(sequences), labels)
+        predictions = model.predict(np.array(sequences))
+        accuracy = np.mean([p == t for p, t in zip(predictions, labels)])
+        assert accuracy > 0.85
+
+    def test_proba_shape_and_sum(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(20, 5, 2))
+        y = ["a"] * 10 + ["b"] * 10
+        model = StackedLstmClassifier(hidden_dim=4, epochs=1).fit(x, y)
+        probs = model.predict_proba(x)
+        assert probs.shape == (20, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StackedLstmClassifier(hidden_dim=0)
+        model = StackedLstmClassifier(hidden_dim=4, epochs=1)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 4)), ["a", "b", "c"])
+        with pytest.raises(RuntimeError):
+            StackedLstmClassifier().predict_proba(np.zeros((1, 4, 2)))
+
+
+class TestMetrics:
+    def test_confusion(self):
+        counts = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert counts[("a", "a")] == 1
+        assert counts[("a", "b")] == 1
+        assert counts[("b", "b")] == 1
+
+    def test_report_excludes_negative_class(self):
+        truth = ["none"] * 90 + ["ho"] * 10
+        preds = ["none"] * 90 + ["ho"] * 5 + ["none"] * 5
+        report = classification_report(truth, preds, negative_class="none")
+        assert report.accuracy == pytest.approx(0.95)
+        assert report.recall == pytest.approx(0.5)
+        assert report.precision == pytest.approx(1.0)
+
+    def test_perfect_report(self):
+        report = classification_report(["a", "b"], ["a", "b"], negative_class=None)
+        assert report.f1 == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            classification_report(["a"], ["a", "b"])
+
+    def test_episodes_merge_flicker(self):
+        times = np.arange(0, 5, 0.1)
+        preds = ["none"] * len(times)
+        for i in (10, 12, 14, 30, 31):
+            preds[i] = "ho"
+        episodes = prediction_episodes(times, preds, negative_class="none")
+        assert len(episodes) == 2
+
+    def test_episodes_debounce_single_tick(self):
+        times = np.arange(0, 5, 0.1)
+        preds = ["none"] * len(times)
+        preds[10] = "ho"
+        episodes = prediction_episodes(times, preds, negative_class="none")
+        assert episodes == []
+
+    def test_event_level_coverage(self):
+        times = np.arange(0, 10, 0.1)
+        preds = ["none"] * len(times)
+        for i in range(20, 26):
+            preds[i] = "ho"  # episode at 2.0-2.5 s
+        truths = ["none"] * len(times)
+        events = [(2.8, "ho"), (7.0, "ho")]
+        report = event_level_report(times, preds, truths, events, negative_class="none")
+        # One episode covers the 2.8 s event; the 7.0 s one is missed.
+        assert report.per_class["ho"][0] == pytest.approx(1.0)  # precision
+        assert report.per_class["ho"][1] == pytest.approx(0.5)  # recall
+
+    def test_event_level_false_positive(self):
+        times = np.arange(0, 10, 0.1)
+        preds = ["none"] * len(times)
+        for i in range(20, 26):
+            preds[i] = "ho"
+        report = event_level_report(
+            times, preds, ["none"] * len(times), [], negative_class="none"
+        )
+        assert report.f1 == 0.0

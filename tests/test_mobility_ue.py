@@ -1,0 +1,163 @@
+"""Mobility models and UE state/energy."""
+
+import numpy as np
+import pytest
+
+from repro.geo.polyline import Polyline
+from repro.mobility import (
+    CityDriveModel,
+    ConstantSpeedModel,
+    FreewayDriveModel,
+    WalkingLoopModel,
+)
+from repro.radio.bands import BandClass, band_by_name
+from repro.ran.cells import Cell
+from repro.geo.point import Point
+from repro.rrc.signaling import SignalingTally
+from repro.rrc.taxonomy import HandoverType
+from repro.ue import EnergyModel, RadioMode, UEState
+from repro.ue.energy import joules_to_mah
+
+
+def lte_cell(gci=0, pci=7, tower=0):
+    return Cell(gci, pci, band_by_name("B2"), 0, tower, Point(0, 0), 60.0, "OpX")
+
+
+def nr_cell(gci=1, pci=7, tower=0):
+    return Cell(gci, pci, band_by_name("n5"), 1, tower, Point(0, 0), 58.0, "OpX")
+
+
+class TestMobility:
+    def test_constant_speed_distance(self):
+        route = Polyline.straight(1000.0)
+        traj = ConstantSpeedModel(10.0).generate(route)
+        assert traj.distance_m == pytest.approx(1000.0, abs=1.0)
+        assert traj.mean_speed_mps == pytest.approx(10.0, rel=0.01)
+
+    def test_arc_monotonic(self):
+        rng = np.random.default_rng(0)
+        route = Polyline.straight(2000.0)
+        traj = FreewayDriveModel(rng).generate(route)
+        arcs = [s.arc_m for s in traj]
+        assert all(b >= a for a, b in zip(arcs, arcs[1:]))
+
+    def test_freeway_speed_stays_positive(self):
+        rng = np.random.default_rng(1)
+        traj = FreewayDriveModel(rng).generate(Polyline.straight(3000.0))
+        assert min(s.speed_mps for s in traj) >= 15.0
+
+    def test_city_model_stops(self):
+        rng = np.random.default_rng(2)
+        route = Polyline.rectangle(600.0, 400.0)
+        traj = CityDriveModel(rng, stop_probability=1.0).generate(route, loops=1)
+        assert any(s.speed_mps == 0.0 for s in traj)
+
+    def test_walking_loop_wraps(self):
+        rng = np.random.default_rng(3)
+        route = Polyline.rectangle(100.0, 50.0)
+        traj = WalkingLoopModel(rng).generate(route, duration_s=600.0)
+        assert traj.duration_s == pytest.approx(600.0, abs=1.0)
+        assert traj.distance_m > route.length  # looped at least once
+
+    def test_tick_interval(self):
+        rng = np.random.default_rng(4)
+        traj = FreewayDriveModel(rng, tick_s=0.05).generate(Polyline.straight(500.0))
+        assert traj.tick_interval_s == pytest.approx(0.05)
+
+    def test_validation(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            ConstantSpeedModel(0.0)
+        with pytest.raises(ValueError):
+            FreewayDriveModel(rng, mean_speed_mps=-1.0)
+        with pytest.raises(ValueError):
+            WalkingLoopModel(rng).generate(Polyline.rectangle(10, 10), duration_s=0.0)
+        with pytest.raises(ValueError):
+            CityDriveModel(rng).generate(Polyline.rectangle(10, 10), loops=0)
+
+
+class TestUEState:
+    def test_modes(self):
+        assert UEState().mode is RadioMode.LTE
+        assert UEState(lte_serving=lte_cell()).mode is RadioMode.LTE
+        assert UEState(lte_serving=lte_cell(), nr_serving=nr_cell()).mode is RadioMode.NSA
+        assert UEState(standalone=True, nr_serving=nr_cell()).mode is RadioMode.SA
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UEState(lte_serving=nr_cell())
+        with pytest.raises(ValueError):
+            UEState(nr_serving=lte_cell())
+        with pytest.raises(ValueError):
+            UEState(standalone=True, lte_serving=lte_cell())
+
+    def test_same_pci_heuristic(self):
+        state = UEState(lte_serving=lte_cell(pci=7), nr_serving=nr_cell(pci=7))
+        assert state.same_pci_legs() is True
+        state = UEState(lte_serving=lte_cell(pci=7), nr_serving=nr_cell(pci=8))
+        assert state.same_pci_legs() is False
+        assert UEState(lte_serving=lte_cell()).same_pci_legs() is None
+
+    def test_colocated_legs(self):
+        state = UEState(lte_serving=lte_cell(tower=3), nr_serving=nr_cell(tower=3))
+        assert state.colocated_legs() is True
+        state = UEState(lte_serving=lte_cell(tower=3), nr_serving=nr_cell(tower=4))
+        assert state.colocated_legs() is False
+
+
+class TestEnergyModel:
+    def _energy(self, mode, band_class, n=400):
+        model = EnergyModel(np.random.default_rng(6))
+        ho = HandoverType.SCGM if mode is RadioMode.NSA else HandoverType.LTEH
+        return np.mean(
+            [model.for_handover(ho, mode, band_class).energy_j for _ in range(n)]
+        )
+
+    def test_nsa_low_calibration(self):
+        # 553 HOs at this energy should drain ~34.7 mAh (§5.3).
+        per_ho = self._energy(RadioMode.NSA, BandClass.LOW)
+        assert 553 * joules_to_mah(per_ho) == pytest.approx(34.7, rel=0.1)
+
+    def test_mmwave_calibration(self):
+        per_ho = self._energy(RadioMode.NSA, BandClass.MMWAVE)
+        assert 998 * joules_to_mah(per_ho) == pytest.approx(81.7, rel=0.1)
+
+    def test_lte_calibration(self):
+        per_ho = self._energy(RadioMode.LTE, None)
+        assert 217 * joules_to_mah(per_ho) == pytest.approx(3.4, rel=0.12)
+
+    def test_nsa_power_exceeds_lte(self):
+        # Fig 10: NSA per-HO power is 1.2-2.3x LTE.
+        nsa = EnergyModel.per_handover_mean_j(RadioMode.NSA, BandClass.LOW) / 0.62
+        model = EnergyModel(np.random.default_rng(7))
+        nsa_p = model.for_handover(HandoverType.SCGM, RadioMode.NSA, BandClass.LOW).power_w
+        lte_p = model.for_handover(HandoverType.LTEH, RadioMode.LTE, None).power_w
+        assert 1.2 <= nsa_p / lte_p <= 2.4
+
+    def test_mmwave_ho_power_below_low_band(self):
+        # Fig 10: a single mmWave HO runs at ~54% lower power.
+        model = EnergyModel(np.random.default_rng(8))
+        low = model.for_handover(HandoverType.SCGM, RadioMode.NSA, BandClass.LOW).power_w
+        mm = model.for_handover(HandoverType.SCGM, RadioMode.NSA, BandClass.MMWAVE).power_w
+        assert mm / low == pytest.approx(0.46, abs=0.1)
+
+    def test_signaling_correlation(self):
+        model = EnergyModel(np.random.default_rng(9), jitter=0.0)
+        quiet = SignalingTally(1, 1, 1, 1, 4)
+        busy = SignalingTally(4, 2, 2, 3, 64)
+        e_quiet = model.for_handover(
+            HandoverType.SCGM, RadioMode.NSA, BandClass.LOW, quiet
+        ).energy_j
+        e_busy = model.for_handover(
+            HandoverType.SCGM, RadioMode.NSA, BandClass.LOW, busy
+        ).energy_j
+        assert e_busy > e_quiet
+
+    def test_none_rejected(self):
+        model = EnergyModel(np.random.default_rng(10))
+        with pytest.raises(ValueError):
+            model.for_handover(HandoverType.NONE, RadioMode.LTE, None)
+
+    def test_joules_to_mah(self):
+        # 3.85 V x 3.6 C = 13.86 J per mAh.
+        assert joules_to_mah(13.86) == pytest.approx(1.0, rel=0.001)

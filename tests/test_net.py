@@ -1,0 +1,215 @@
+"""Data plane: capacity, latency/bearers, TCP, trace emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import (
+    BandwidthTrace,
+    BearerMode,
+    CapacityModel,
+    LatencyModel,
+    TcpBbr,
+    TcpConnection,
+    TcpCubic,
+    TraceDrivenLink,
+)
+from repro.radio.bands import band_by_name
+from repro.radio.rrs import RRSSample
+
+
+def sample(sinr):
+    return RRSSample(rsrp_dbm=-90.0, rsrq_db=-8.0, sinr_db=sinr)
+
+
+class TestCapacity:
+    def setup_method(self):
+        self.model = CapacityModel()
+
+    def test_monotonic_in_sinr(self):
+        band = band_by_name("n41")
+        caps = [self.model.capacity_mbps(band, s) for s in (-5, 0, 10, 20, 30)]
+        assert caps == sorted(caps)
+
+    def test_mmwave_reaches_multi_gbps(self):
+        band = band_by_name("n260")
+        assert self.model.capacity_mbps(band, 30.0) > 2000.0
+
+    def test_lte_capped(self):
+        band = band_by_name("B2")
+        # Past the efficiency cap more SINR adds nothing.
+        assert self.model.capacity_mbps(band, 40.0) == self.model.capacity_mbps(band, 60.0)
+
+    def test_transient_reduces_fresh_attach(self):
+        band = band_by_name("n260")
+        settled = self.model.leg_capacity(band, sample(15.0), time_since_attach_s=60.0)
+        fresh = self.model.leg_capacity(
+            band, sample(15.0), time_since_attach_s=0.0, cross_gnb_attach=True
+        )
+        assert fresh.capacity_mbps < settled.capacity_mbps
+
+    def test_cross_gnb_transient_is_larger(self):
+        band = band_by_name("n260")
+        same = self.model.leg_capacity(band, sample(15.0), time_since_attach_s=0.0)
+        cross = self.model.leg_capacity(
+            band, sample(15.0), time_since_attach_s=0.0, cross_gnb_attach=True
+        )
+        assert cross.capacity_mbps < same.capacity_mbps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityModel(utilization=0.0)
+
+    @given(st.floats(min_value=-20, max_value=40))
+    def test_nonnegative(self, sinr):
+        assert self.model.capacity_mbps(band_by_name("n71"), sinr) >= 0.0
+
+
+class TestLatency:
+    def setup_method(self):
+        self.model = LatencyModel(np.random.default_rng(0), jitter_ms=0.0)
+
+    def test_dual_baseline_above_5g_only(self):
+        dual = self.model.rtt_ms(BearerMode.DUAL, nr_attached=True)
+        five = self.model.rtt_ms(BearerMode.FIVE_G_ONLY, nr_attached=True)
+        assert dual > five
+
+    def test_dual_direct_matches_5g_only_closely(self):
+        direct = self.model.rtt_ms(BearerMode.DUAL_DIRECT, nr_attached=True)
+        five = self.model.rtt_ms(BearerMode.FIVE_G_ONLY, nr_attached=True)
+        assert abs(direct - five) < 3.0
+
+    def test_5g_only_stalls_on_nr_interruption(self):
+        rtt = self.model.rtt_ms(
+            BearerMode.FIVE_G_ONLY, nr_attached=True, nr_interrupted_remaining_s=0.1
+        )
+        assert rtt > 100.0
+
+    def test_dual_survives_nr_interruption(self):
+        rtt = self.model.rtt_ms(
+            BearerMode.DUAL, nr_attached=True, nr_interrupted_remaining_s=0.1
+        )
+        base = self.model.rtt_ms(BearerMode.DUAL, nr_attached=True)
+        assert rtt - base < 5.0  # just the survivor bump
+
+    def test_lte_interruption_freezes_both_modes(self):
+        for bearer in (BearerMode.DUAL, BearerMode.FIVE_G_ONLY):
+            rtt = self.model.rtt_ms(
+                bearer,
+                nr_attached=True,
+                nr_interrupted_remaining_s=0.1,
+                lte_interrupted_remaining_s=0.1,
+            )
+            assert rtt > 100.0
+
+    def test_bearer_semantics(self):
+        assert BearerMode.DUAL.uses_lte_leg
+        assert not BearerMode.FIVE_G_ONLY.uses_lte_leg
+        assert BearerMode.DUAL.routes_via_enb
+        assert not BearerMode.DUAL_DIRECT.routes_via_enb
+
+
+class TestTcp:
+    def test_cubic_backs_off_on_loss(self):
+        cubic = TcpCubic(initial_cwnd_pkts=100.0)
+        before = cubic.cwnd_pkts
+        cubic.on_loss()
+        assert cubic.cwnd_pkts == pytest.approx(before * 0.7)
+
+    def test_cubic_goodput_tracks_capacity(self):
+        conn = TcpConnection(TcpCubic(), base_rtt_s=0.03)
+        rates = [conn.step(100.0).goodput_mbps for _ in range(600)]
+        assert np.mean(rates[300:]) == pytest.approx(100.0, rel=0.15)
+
+    def test_bbr_tracks_capacity_with_low_queue(self):
+        conn = TcpConnection(TcpBbr(initial_rate_mbps=20.0), base_rtt_s=0.03)
+        samples = [conn.step(80.0) for _ in range(600)]
+        assert np.mean([s.goodput_mbps for s in samples[300:]]) == pytest.approx(
+            80.0, rel=0.2
+        )
+        cubic_conn = TcpConnection(TcpCubic(), base_rtt_s=0.03)
+        cubic_samples = [cubic_conn.step(80.0) for _ in range(600)]
+        assert np.mean([s.queue_bytes for s in samples[300:]]) < np.mean(
+            [s.queue_bytes for s in cubic_samples[300:]]
+        )
+
+    def test_interruption_builds_queue_and_rtt(self):
+        conn = TcpConnection(TcpBbr(initial_rate_mbps=50.0), base_rtt_s=0.03)
+        for _ in range(200):
+            conn.step(50.0)
+        baseline = conn.step(50.0).rtt_ms
+        stalled = [conn.step(0.0) for _ in range(4)]
+        # The outage builds a queue the sender cannot see for an RTT.
+        assert stalled[-1].rtt_ms > baseline * 1.2
+        assert stalled[-1].queue_bytes > 0
+        recovered = [conn.step(50.0) for _ in range(200)]
+        assert recovered[-1].rtt_ms < stalled[-1].rtt_ms
+
+    def test_goodput_never_exceeds_capacity(self):
+        conn = TcpConnection(TcpCubic(), base_rtt_s=0.03)
+        for _ in range(300):
+            assert conn.step(40.0).goodput_mbps <= 40.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TcpConnection(TcpCubic(), base_rtt_s=0.0)
+        with pytest.raises(ValueError):
+            TcpCubic(initial_cwnd_pkts=0.0)
+        with pytest.raises(ValueError):
+            TcpBbr(initial_rate_mbps=0.0)
+
+
+class TestEmulation:
+    def _trace(self, caps):
+        times = np.arange(len(caps)) * 0.5
+        return BandwidthTrace(times_s=times, capacity_mbps=np.array(caps, dtype=float))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace(np.array([0.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            BandwidthTrace(np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError):
+            BandwidthTrace(np.array([0.0, 1.0]), np.array([1.0, -1.0]))
+
+    def test_capacity_at_holds_previous_sample(self):
+        trace = self._trace([10.0, 20.0, 30.0])
+        assert trace.capacity_at(0.4) == 10.0
+        assert trace.capacity_at(0.5) == 20.0
+
+    def test_mean_between(self):
+        trace = self._trace([10.0, 20.0, 30.0, 40.0])
+        assert trace.mean_between(0.0, 1.0) == pytest.approx(15.0)
+
+    def test_download_time_exact_constant_rate(self):
+        trace = self._trace([8.0] * 20)  # 8 Mbps = 1 MB/s
+        link = TraceDrivenLink(trace)
+        assert link.download_time_s(1_000_000, 0.0) == pytest.approx(1.0, rel=0.01)
+
+    def test_download_spans_rate_change(self):
+        trace = self._trace([8.0, 8.0, 16.0, 16.0, 16.0, 16.0])
+        link = TraceDrivenLink(trace)
+        # 1 s at 1 MB/s (1 MB) + 0.5 s at 2 MB/s (1 MB) = 2 MB in 1.5 s.
+        assert link.download_time_s(2_000_000, 0.0) == pytest.approx(1.5, rel=0.02)
+
+    def test_download_stall_raises(self):
+        trace = self._trace([0.0] * 10)
+        link = TraceDrivenLink(trace, loop=True)
+        with pytest.raises(RuntimeError, match="stalled"):
+            link.download_time_s(1e6, 0.0, max_s=5.0)
+
+    def test_window_slicing(self):
+        trace = self._trace([10.0] * 20)
+        window = trace.window(2.0, 3.0)
+        assert window.times_s[0] == pytest.approx(0.0)
+        assert window.duration_s <= 3.0 + 0.5
+
+    @settings(max_examples=25)
+    @given(st.floats(min_value=1.0, max_value=100.0), st.floats(min_value=2.0, max_value=50.0))
+    def test_download_time_scales_inversely(self, rate, factor):
+        trace = self._trace([rate] * 400)
+        link = TraceDrivenLink(trace)
+        t1 = link.download_time_s(1e6, 0.0)
+        trace2 = self._trace([rate * factor] * 400)
+        t2 = TraceDrivenLink(trace2).download_time_s(1e6, 0.0)
+        assert t1 / t2 == pytest.approx(factor, rel=0.05)

@@ -1,0 +1,224 @@
+"""Carrier handover decision logic (the rules Prognos must learn)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.point import Point
+from repro.radio.bands import band_by_name
+from repro.radio.rrs import RRSSample
+from repro.ran.cells import Cell
+from repro.rrc.events import EventConfig, EventType, MeasurementObject
+from repro.rrc.measurement import MeasurementReport
+from repro.rrc.policy import AttachmentState, HandoverPolicy
+from repro.rrc.taxonomy import HandoverType
+
+
+def make_cell(gci, band_name, node_id, tower_id=None, pci=None):
+    band = band_by_name(band_name)
+    return Cell(
+        gci=gci,
+        pci=pci if pci is not None else gci % 400,
+        band=band,
+        node_id=node_id,
+        tower_id=tower_id if tower_id is not None else gci,
+        position=Point(float(gci) * 100.0, 0.0),
+        eirp_dbm=60.0,
+        carrier="OpX",
+    )
+
+
+LTE_SERVING = make_cell(0, "B2", node_id=0)
+LTE_NEIGHBOUR = make_cell(1, "B2", node_id=1)
+LTE_OTHER_BAND = make_cell(2, "B66", node_id=2)
+NR_SERVING = make_cell(10, "n5", node_id=10)
+NR_SAME_GNB = make_cell(11, "n5", node_id=10)
+NR_OTHER_GNB = make_cell(12, "n5", node_id=11)
+NR_OTHER_GNB2 = make_cell(13, "n5", node_id=12)
+
+
+def sample(rsrp=-100.0):
+    return RRSSample(rsrp_dbm=rsrp, rsrq_db=-8.0, sinr_db=10.0)
+
+
+def report(event, obj, serving, neighbour, **cfg):
+    return MeasurementReport(
+        time_s=0.0,
+        config=EventConfig(event, obj, **cfg),
+        serving_cell=serving,
+        neighbour_cell=neighbour,
+        serving_sample=sample(),
+        neighbour_sample=sample(-95.0),
+    )
+
+
+def policy(keep_scg=0.0, seed=0):
+    return HandoverPolicy(
+        np.random.default_rng(seed), anchor_keeps_scg_probability=keep_scg
+    )
+
+
+def state(lte=LTE_SERVING, nr=None, standalone=False):
+    return AttachmentState(lte_serving=lte, nr_serving=nr, standalone=standalone)
+
+
+class TestLteRules:
+    def test_a3_intra_freq_lteh_when_not_attached(self):
+        decision = policy().decide(
+            state(), [report(EventType.A3, MeasurementObject.LTE, LTE_SERVING, LTE_NEIGHBOUR)],
+            {}, -118.0,
+        )
+        assert decision is not None
+        assert decision.ho_type is HandoverType.LTEH
+        assert decision.target is LTE_NEIGHBOUR
+        assert not decision.releases_scg
+
+    def test_a3_other_band_ignored(self):
+        decision = policy().decide(
+            state(), [report(EventType.A3, MeasurementObject.LTE, LTE_SERVING, LTE_OTHER_BAND)],
+            {}, -118.0,
+        )
+        assert decision is None
+
+    def test_a5_inter_freq_lteh(self):
+        decision = policy().decide(
+            state(), [report(EventType.A5, MeasurementObject.LTE, LTE_SERVING, LTE_OTHER_BAND)],
+            {}, -118.0,
+        )
+        assert decision is not None
+        assert decision.ho_type is HandoverType.LTEH
+
+    def test_anchor_ho_releases_scg_when_unsupported(self):
+        decision = policy(keep_scg=0.0).decide(
+            state(nr=NR_SERVING),
+            [report(EventType.A3, MeasurementObject.LTE, LTE_SERVING, LTE_NEIGHBOUR)],
+            {}, -118.0,
+        )
+        assert decision.ho_type is HandoverType.LTEH
+        assert decision.releases_scg
+
+    def test_anchor_ho_keeps_scg_as_mnbh(self):
+        decision = policy(keep_scg=1.0).decide(
+            state(nr=NR_SERVING),
+            [report(EventType.A3, MeasurementObject.LTE, LTE_SERVING, LTE_NEIGHBOUR)],
+            {}, -118.0,
+        )
+        assert decision.ho_type is HandoverType.MNBH
+        assert not decision.releases_scg
+
+    def test_serving_as_neighbour_ignored(self):
+        decision = policy().decide(
+            state(), [report(EventType.A3, MeasurementObject.LTE, LTE_SERVING, LTE_SERVING)],
+            {}, -118.0,
+        )
+        assert decision is None
+
+
+class TestNrRules:
+    def test_b1_without_scg_is_scga(self):
+        decision = policy().decide(
+            state(), [report(EventType.B1, MeasurementObject.NR, None, NR_SERVING)],
+            {}, -118.0,
+        )
+        assert decision.ho_type is HandoverType.SCGA
+        assert decision.target is NR_SERVING
+
+    def test_b1_with_scg_is_ignored(self):
+        decision = policy().decide(
+            state(nr=NR_SERVING),
+            [report(EventType.B1, MeasurementObject.NR, NR_SERVING, NR_OTHER_GNB)],
+            {}, -118.0,
+        )
+        assert decision is None
+
+    def test_nr_a2_without_candidate_is_scgr(self):
+        decision = policy().decide(
+            state(nr=NR_SERVING),
+            [report(EventType.A2, MeasurementObject.NR, NR_SERVING, None)],
+            {NR_OTHER_GNB: sample(-130.0)},  # below B1 threshold
+            -118.0,
+        )
+        assert decision.ho_type is HandoverType.SCGR
+        assert decision.releases_scg
+        assert decision.target is None
+
+    def test_nr_a2_with_candidate_is_scgc(self):
+        decision = policy().decide(
+            state(nr=NR_SERVING),
+            [report(EventType.A2, MeasurementObject.NR, NR_SERVING, None)],
+            {NR_OTHER_GNB: sample(-110.0)},
+            -118.0,
+        )
+        assert decision.ho_type is HandoverType.SCGC
+        assert decision.target is NR_OTHER_GNB
+
+    def test_scgc_takes_first_candidate_not_best(self):
+        # The §6.2 inefficiency: first qualifying in cell order, even if
+        # a stronger candidate exists.
+        decision = policy().decide(
+            state(nr=NR_SERVING),
+            [report(EventType.A2, MeasurementObject.NR, NR_SERVING, None)],
+            {NR_OTHER_GNB2: sample(-90.0), NR_OTHER_GNB: sample(-110.0)},
+            -118.0,
+        )
+        assert decision.target is NR_OTHER_GNB  # lower gci, not stronger
+
+    def test_nr_a3_same_gnb_is_scgm(self):
+        decision = policy().decide(
+            state(nr=NR_SERVING),
+            [report(EventType.A3, MeasurementObject.NR, NR_SERVING, NR_SAME_GNB)],
+            {}, -118.0,
+        )
+        assert decision.ho_type is HandoverType.SCGM
+        assert decision.target is NR_SAME_GNB
+
+    def test_nr_a3_cross_gnb_no_action(self):
+        decision = policy().decide(
+            state(nr=NR_SERVING),
+            [report(EventType.A3, MeasurementObject.NR, NR_SERVING, NR_OTHER_GNB)],
+            {}, -118.0,
+        )
+        assert decision is None
+
+
+class TestSaRules:
+    def test_nr_a3_is_mcgh(self):
+        decision = policy().decide(
+            state(lte=None, nr=NR_SERVING, standalone=True),
+            [report(EventType.A3, MeasurementObject.NR, NR_SERVING, NR_OTHER_GNB)],
+            {}, -118.0,
+        )
+        assert decision.ho_type is HandoverType.MCGH
+
+    def test_lte_reports_ignored_in_sa(self):
+        decision = policy().decide(
+            state(lte=None, nr=NR_SERVING, standalone=True),
+            [report(EventType.A3, MeasurementObject.LTE, None, LTE_NEIGHBOUR)],
+            {}, -118.0,
+        )
+        assert decision is None
+
+
+class TestDecideAll:
+    def test_master_and_scg_decisions_coexist(self):
+        reports = [
+            report(EventType.A3, MeasurementObject.LTE, LTE_SERVING, LTE_NEIGHBOUR),
+            report(EventType.A3, MeasurementObject.NR, NR_SERVING, NR_SAME_GNB),
+        ]
+        decisions = policy(keep_scg=1.0).decide_all(
+            state(nr=NR_SERVING), reports, {}, -118.0
+        )
+        types = [d.ho_type for d in decisions]
+        assert HandoverType.MNBH in types
+        assert HandoverType.SCGM in types
+
+    def test_duplicate_types_deduplicated(self):
+        reports = [
+            report(EventType.A3, MeasurementObject.LTE, LTE_SERVING, LTE_NEIGHBOUR),
+            report(EventType.A3, MeasurementObject.LTE, LTE_SERVING, LTE_NEIGHBOUR),
+        ]
+        decisions = policy().decide_all(state(), reports, {}, -118.0)
+        assert len(decisions) == 1
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            HandoverPolicy(np.random.default_rng(0), anchor_keeps_scg_probability=2.0)

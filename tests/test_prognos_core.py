@@ -1,0 +1,386 @@
+"""Prognos components: smoothing, RRS prediction, patterns, learner,
+predictor, and the streaming facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    DecisionLearner,
+    HandoverPredictor,
+    Pattern,
+    Prognos,
+    PrognosConfig,
+    RRSPredictor,
+    ReportPredictor,
+    TriangularKernelSmoother,
+)
+from repro.core.patterns import (
+    MAX_PATTERN_LENGTH,
+    PatternStats,
+    dedup_labels,
+    subsequences_for_phase,
+)
+from repro.core.predictor import RadioContext
+from repro.core.ho_score import DEFAULT_HO_SCORES, ho_score_for
+from repro.rrc.events import EventConfig, EventType, MeasurementObject
+from repro.rrc.taxonomy import HandoverType
+
+
+class TestSmoothing:
+    def test_constant_series_invariant(self):
+        smoother = TriangularKernelSmoother(window=5)
+        series = np.full(20, -100.0)
+        assert np.allclose(smoother.smooth_series(series), -100.0)
+
+    def test_reduces_noise_variance(self):
+        rng = np.random.default_rng(0)
+        smoother = TriangularKernelSmoother(window=8)
+        noisy = -100.0 + rng.normal(0, 4, size=200)
+        smooth = smoother.smooth_series(noisy)
+        assert np.std(smooth[10:]) < np.std(noisy[10:]) * 0.7
+
+    def test_weights_favour_recent(self):
+        smoother = TriangularKernelSmoother(window=4)
+        # Step change: the smoothed tail should sit closer to the new level.
+        series = np.array([0.0] * 10 + [10.0] * 2)
+        assert smoother.smooth_last(series) > 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TriangularKernelSmoother().smooth_last(np.array([]))
+        with pytest.raises(ValueError):
+            TriangularKernelSmoother(window=0)
+
+
+class TestRRSPredictor:
+    def test_predicts_linear_trend(self):
+        predictor = RRSPredictor(history_window_ticks=10, slope_shrinkage=1.0)
+        for i in range(10):
+            predictor.observe(i * 0.05, {"cell": -100.0 + i})
+        forecast = predictor.predict("cell", horizon_s=0.25, steps=5)
+        assert forecast is not None
+        # Trend is +20 dB/s; the triangular smoother lags a little, so
+        # check the forecast rises and lands near the trend.
+        assert forecast[-1] > forecast[0]
+        assert forecast[-1] > -92.0
+
+    def test_insufficient_history(self):
+        predictor = RRSPredictor()
+        predictor.observe(0.0, {"cell": -100.0})
+        assert predictor.predict("cell", 1.0) is None
+
+    def test_stale_cells_forgotten(self):
+        predictor = RRSPredictor(stale_after_s=1.0)
+        for i in range(10):
+            predictor.observe(i * 0.05, {"cell": -100.0})
+        predictor.observe(10.0, {"other": -90.0})
+        assert "cell" not in predictor.known_cells()
+
+    def test_shrinkage_dampens(self):
+        full = RRSPredictor(history_window_ticks=10, slope_shrinkage=1.0)
+        damped = RRSPredictor(history_window_ticks=10, slope_shrinkage=0.5)
+        for i in range(10):
+            for p in (full, damped):
+                p.observe(i * 0.05, {"cell": -100.0 + i})
+        f = full.predict("cell", 1.0)[-1]
+        d = damped.predict("cell", 1.0)[-1]
+        assert d < f
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RRSPredictor(history_window_ticks=2)
+        with pytest.raises(ValueError):
+            RRSPredictor(slope_shrinkage=0.0)
+
+
+class TestReportPredictor:
+    def _predictor(self, configs):
+        return ReportPredictor(configs, RRSPredictor(history_window_ticks=10))
+
+    def test_forecasts_approaching_a2(self):
+        config = EventConfig(EventType.A2, MeasurementObject.NR, threshold_dbm=-110.0)
+        predictor = self._predictor([config])
+        # Serving decaying 8 dB/s from -105: crosses -110 in ~0.6 s.
+        for i in range(10):
+            predictor.observe(i * 0.05, {"s": -105.0 - i * 0.4})
+        reports = predictor.predict_reports(
+            {MeasurementObject.NR: "s", MeasurementObject.LTE: None},
+            {MeasurementObject.NR: [], MeasurementObject.LTE: []},
+        )
+        assert any(r.label == "NR-A2" for r in reports)
+
+    def test_no_forecast_for_stable_signal(self):
+        config = EventConfig(EventType.A2, MeasurementObject.NR, threshold_dbm=-110.0)
+        predictor = self._predictor([config])
+        for i in range(10):
+            predictor.observe(i * 0.05, {"s": -100.0})
+        reports = predictor.predict_reports(
+            {MeasurementObject.NR: "s", MeasurementObject.LTE: None},
+            {MeasurementObject.NR: [], MeasurementObject.LTE: []},
+        )
+        assert reports == []
+
+    def test_gating_mirrors_ue(self):
+        config = EventConfig(
+            EventType.B1, MeasurementObject.NR, threshold_dbm=-110.0, only_when_detached=True
+        )
+        predictor = self._predictor([config])
+        for i in range(10):
+            predictor.observe(i * 0.05, {"s": -90.0, "n": -90.0})
+        attached = predictor.predict_reports(
+            {MeasurementObject.NR: "s", MeasurementObject.LTE: None},
+            {MeasurementObject.NR: ["n"], MeasurementObject.LTE: []},
+        )
+        assert attached == []
+        detached = predictor.predict_reports(
+            {MeasurementObject.NR: None, MeasurementObject.LTE: None},
+            {MeasurementObject.NR: ["n"], MeasurementObject.LTE: []},
+        )
+        assert any(r.label == "NR-B1" for r in detached)
+
+    def test_scoped_candidates(self):
+        config = EventConfig(
+            EventType.A3, MeasurementObject.NR, offset_db=3.0, intra_node_only=True
+        )
+        predictor = self._predictor([config])
+        for i in range(10):
+            predictor.observe(i * 0.05, {"s": -100.0 - i, "n": -95.0})
+        unscoped = predictor.predict_reports(
+            {MeasurementObject.NR: "s", MeasurementObject.LTE: None},
+            {MeasurementObject.NR: ["n"], MeasurementObject.LTE: []},
+            scoped_neighbours={MeasurementObject.NR: [], MeasurementObject.LTE: []},
+        )
+        assert unscoped == []
+
+
+class TestPatterns:
+    def test_dedup(self):
+        assert dedup_labels(["A2", "A2", "A5", "A5", "A2"]) == ("A2", "A5", "A2")
+
+    def test_subsequences_are_suffixes(self):
+        subs = subsequences_for_phase(("A1", "A2", "A5"))
+        assert ("A5",) in subs
+        assert ("A2", "A5") in subs
+        assert ("A1", "A2", "A5") in subs
+        assert ("A1",) not in subs
+
+    def test_length_cap(self):
+        labels = tuple(f"L{i}" for i in range(10))
+        subs = subsequences_for_phase(labels)
+        assert max(len(s) for s in subs) == MAX_PATTERN_LENGTH
+
+    def test_pattern_suffix_match(self):
+        pattern = Pattern(("A2", "A5"), HandoverType.LTEH)
+        assert pattern.matches_suffix(("B1", "A2", "A5"))
+        assert not pattern.matches_suffix(("A5", "A2"))
+        assert not pattern.matches_suffix(("A5",))
+
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            Pattern((), HandoverType.LTEH)
+        with pytest.raises(ValueError):
+            Pattern(tuple("abcde"), HandoverType.LTEH)
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_freshness_monotone(self, age):
+        stats = PatternStats(support=3, last_seen_phase=100)
+        f_now = stats.freshness(100 + age, horizon_phases=120)
+        f_later = stats.freshness(100 + age + 10, horizon_phases=120)
+        assert 0.0 <= f_later <= f_now <= 1.0
+
+
+class TestDecisionLearner:
+    def test_support_counting(self):
+        learner = DecisionLearner()
+        for _ in range(3):
+            learner.observe_report("A2")
+            learner.observe_report("A5")
+            learner.observe_handover(HandoverType.LTEH, 0.0)
+        patterns = learner.live_patterns()
+        key = Pattern(("A2", "A5"), HandoverType.LTEH)
+        assert patterns[key].support == 3
+
+    def test_eviction_by_freshness(self):
+        learner = DecisionLearner(freshness_horizon_phases=2)
+        learner.observe_report("A3")
+        learner.observe_handover(HandoverType.LTEH, 0.0)
+        for i in range(5):
+            learner.observe_report("NR-B1")
+            learner.observe_handover(HandoverType.SCGA, float(i + 1))
+        assert Pattern(("A3",), HandoverType.LTEH) not in learner.live_patterns()
+        stats = learner.stats()
+        assert stats.patterns_evicted > 0
+
+    def test_bootstrap_seeds_support(self):
+        learner = DecisionLearner()
+        learner.bootstrap({Pattern(("NR-A3",), HandoverType.SCGM): 10})
+        assert learner.live_patterns()[Pattern(("NR-A3",), HandoverType.SCGM)].support == 10
+
+    def test_empty_phase_gets_sentinel(self):
+        learner = DecisionLearner()
+        phase = learner.observe_handover(HandoverType.SCGR, 1.0)
+        assert phase.labels == ("<none>",)
+
+    def test_capacity_guard(self):
+        learner = DecisionLearner(max_patterns=8)
+        for i in range(40):
+            learner.observe_report(f"L{i}")
+            learner.observe_handover(HandoverType.LTEH, float(i))
+        assert len(learner.live_patterns()) <= 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionLearner(freshness_horizon_phases=0)
+        learner = DecisionLearner()
+        with pytest.raises(ValueError):
+            learner.bootstrap({Pattern(("A3",), HandoverType.LTEH): 0})
+
+
+class TestHandoverPredictor:
+    def _trained_learner(self):
+        learner = DecisionLearner()
+        for _ in range(4):
+            learner.observe_report("NR-A3")
+            learner.observe_handover(HandoverType.SCGM, 0.0)
+        return learner
+
+    def _context(self, **kwargs):
+        defaults = dict(standalone=False, nr_attached=True, lte_attached=True)
+        defaults.update(kwargs)
+        return RadioContext(**defaults)
+
+    def test_predicts_on_imminent_predicted_label(self):
+        predictor = HandoverPredictor(self._trained_learner(), min_similarity=0.0)
+        prediction = predictor.predict([], [("NR-A3", 0.5)], self._context())
+        assert prediction.ho_type is HandoverType.SCGM
+        assert prediction.lead_time_s == pytest.approx(0.5)
+
+    def test_predicts_on_fresh_actual_label(self):
+        predictor = HandoverPredictor(self._trained_learner(), min_similarity=0.0)
+        prediction = predictor.predict([("NR-A3", 0.1)], [], self._context())
+        assert prediction.ho_type is HandoverType.SCGM
+
+    def test_stale_actual_does_not_fire(self):
+        predictor = HandoverPredictor(self._trained_learner(), min_similarity=0.0)
+        prediction = predictor.predict([("NR-A3", 5.0)], [], self._context())
+        assert prediction.ho_type is HandoverType.NONE
+
+    def test_sanity_check_blocks_impossible_type(self):
+        predictor = HandoverPredictor(self._trained_learner(), min_similarity=0.0)
+        prediction = predictor.predict(
+            [], [("NR-A3", 0.5)], self._context(nr_attached=False)
+        )
+        assert prediction.ho_type is HandoverType.NONE
+
+    def test_min_support_filter(self):
+        learner = DecisionLearner()
+        learner.observe_report("NR-A3")
+        learner.observe_handover(HandoverType.SCGM, 0.0)
+        predictor = HandoverPredictor(learner, min_support=3, min_similarity=0.0)
+        prediction = predictor.predict([], [("NR-A3", 0.5)], self._context())
+        assert prediction.ho_type is HandoverType.NONE
+
+    def test_higher_support_wins(self):
+        learner = DecisionLearner()
+        for _ in range(10):
+            learner.observe_report("NR-A3")
+            learner.observe_handover(HandoverType.SCGM, 0.0)
+        learner.observe_report("NR-A3")
+        learner.observe_handover(HandoverType.SCGC, 0.0)
+        predictor = HandoverPredictor(learner, min_similarity=0.0)
+        prediction = predictor.predict([], [("NR-A3", 0.5)], self._context())
+        assert prediction.ho_type is HandoverType.SCGM
+
+    def test_ho_score_attached(self):
+        predictor = HandoverPredictor(self._trained_learner(), min_similarity=0.0)
+        prediction = predictor.predict([], [("NR-A3", 0.5)], self._context())
+        assert prediction.ho_score == pytest.approx(DEFAULT_HO_SCORES[HandoverType.SCGM])
+
+
+class TestHoScore:
+    def test_default_lookup(self):
+        assert ho_score_for(HandoverType.NONE) == 1.0
+        assert ho_score_for(HandoverType.SCGA) > 1.0
+        assert ho_score_for(HandoverType.SCGR) < 1.0
+
+    def test_custom_table(self):
+        assert ho_score_for(HandoverType.SCGM, {HandoverType.SCGM: 2.0}) == 2.0
+
+    def test_invalid_score_rejected(self):
+        with pytest.raises(ValueError):
+            ho_score_for(HandoverType.SCGM, {HandoverType.SCGM: 0.0})
+
+
+class TestPrognosFacade:
+    def _synthetic_stream(self, prognos):
+        """Feed a repeating SCGM pattern with decaying serving RRS."""
+        t = 0.0
+        for episode in range(6):
+            # Serving beam decays while its same-gNB sibling rises.
+            for i in range(40):
+                rsrp = {
+                    "serving": -90.0 - i * 0.5,
+                    "sibling": -110.0 + i * 0.5,
+                }
+                prognos.step(
+                    t,
+                    rsrp,
+                    {MeasurementObject.NR: "serving", MeasurementObject.LTE: "anchor"},
+                    {MeasurementObject.NR: ["sibling"], MeasurementObject.LTE: []},
+                    scoped_neighbours={
+                        MeasurementObject.NR: ["sibling"],
+                        MeasurementObject.LTE: [],
+                    },
+                )
+                t += 0.05
+            prognos.observe_report("NR-A3", t)
+            prognos.observe_command(HandoverType.SCGM, t + 0.06)
+            t += 0.5
+
+    def test_learns_and_predicts_stream(self):
+        configs = [
+            EventConfig(
+                EventType.A3,
+                MeasurementObject.NR,
+                offset_db=3.0,
+                intra_node_only=True,
+            )
+        ]
+        prognos = Prognos(configs, PrognosConfig(min_similarity=0.0))
+        self._synthetic_stream(prognos)
+        # After several episodes the pattern must be live.
+        patterns = prognos.learner.live_patterns()
+        assert Pattern(("NR-A3",), HandoverType.SCGM) in patterns
+        # And a fresh crossing must be predicted ahead of the report.
+        prediction = prognos.step(
+            1000.0,
+            {"serving": -104.0, "sibling": -104.5},
+            {MeasurementObject.NR: "serving", MeasurementObject.LTE: "anchor"},
+            {MeasurementObject.NR: ["sibling"], MeasurementObject.LTE: []},
+            scoped_neighbours={
+                MeasurementObject.NR: ["sibling"],
+                MeasurementObject.LTE: [],
+            },
+        )
+        for i in range(1, 15):
+            prediction = prognos.step(
+                1000.0 + i * 0.05,
+                {"serving": -104.0 - i * 0.6, "sibling": -104.5 + i * 0.6},
+                {MeasurementObject.NR: "serving", MeasurementObject.LTE: "anchor"},
+                {MeasurementObject.NR: ["sibling"], MeasurementObject.LTE: []},
+                scoped_neighbours={
+                    MeasurementObject.NR: ["sibling"],
+                    MeasurementObject.LTE: [],
+                },
+            )
+            if prediction.predicts_handover:
+                break
+        assert prediction.ho_type is HandoverType.SCGM
+
+    def test_ablation_flags(self):
+        configs = [EventConfig(EventType.A3, MeasurementObject.NR, offset_db=3.0)]
+        off = Prognos(configs, PrognosConfig(use_report_predictor=False))
+        assert off.config.use_report_predictor is False
+        no_evict = Prognos(configs, PrognosConfig(use_eviction=False))
+        assert no_evict.learner._horizon > 10**6  # effectively never

@@ -1,0 +1,231 @@
+"""Radio substrate: bands, propagation, fading, RRS synthesis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.radio import (
+    BAND_CATALOG,
+    Band,
+    BandClass,
+    FastFading,
+    PathLossModel,
+    RadioAccessTechnology,
+    RadioEnvironment,
+    ShadowingField,
+    band_by_name,
+)
+from repro.radio.rrs import AUDIBILITY_FLOOR_DBM, noise_power_dbm
+
+
+class TestBands:
+    def test_catalog_is_consistent(self):
+        for name, band in BAND_CATALOG.items():
+            assert band.name == name
+            assert band.frequency_mhz > 0
+            assert band.bandwidth_mhz > 0
+
+    def test_lookup(self):
+        band = band_by_name("n260")
+        assert band.band_class is BandClass.MMWAVE
+        assert band.rat is RadioAccessTechnology.NR
+
+    def test_unknown_band_raises(self):
+        with pytest.raises(KeyError, match="unknown band"):
+            band_by_name("n999")
+
+    def test_mmwave_flag(self):
+        assert band_by_name("n260").is_mmwave
+        assert not band_by_name("n71").is_mmwave
+
+    def test_wavelength(self):
+        assert band_by_name("n71").wavelength_m == pytest.approx(0.473, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Band("bad", RadioAccessTechnology.NR, BandClass.LOW, -1.0, 20.0)
+        with pytest.raises(ValueError):
+            Band("bad", RadioAccessTechnology.NR, BandClass.LOW, 600.0, 0.0)
+
+    def test_mmwave_scs_is_wide(self):
+        assert band_by_name("n260").scs_khz == pytest.approx(120.0)
+        assert band_by_name("B2").scs_khz == pytest.approx(15.0)
+
+
+class TestPathLoss:
+    def setup_method(self):
+        self.model = PathLossModel()
+        self.low = band_by_name("n71")
+        self.mmwave = band_by_name("n260")
+
+    def test_monotonic_in_distance(self):
+        losses = [self.model.path_loss_db(self.low, d) for d in (10, 100, 1000, 5000)]
+        assert losses == sorted(losses)
+
+    def test_higher_band_attenuates_more(self):
+        assert self.model.path_loss_db(self.mmwave, 200.0) > self.model.path_loss_db(
+            self.low, 200.0
+        )
+
+    def test_clamps_below_reference(self):
+        assert self.model.path_loss_db(self.low, 0.0) == self.model.path_loss_db(
+            self.low, 1.0
+        )
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.path_loss_db(self.low, -1.0)
+
+    def test_vectorised_matches_scalar(self):
+        distances = np.array([5.0, 50.0, 500.0])
+        vector = self.model.path_loss_db_array(self.low, distances)
+        scalar = [self.model.path_loss_db(self.low, d) for d in distances]
+        assert np.allclose(vector, scalar)
+
+    @given(st.floats(min_value=1.0, max_value=1e4), st.floats(min_value=1.0, max_value=1e4))
+    def test_distance_ordering_property(self, d1, d2):
+        l1 = self.model.path_loss_db(self.low, d1)
+        l2 = self.model.path_loss_db(self.low, d2)
+        assert (d1 <= d2) == (l1 <= l2) or math.isclose(l1, l2)
+
+
+class TestShadowing:
+    def test_zero_sigma_is_flat(self):
+        field = ShadowingField(0.0, 50.0, np.random.default_rng(1))
+        assert field.sample(0.0) == 0.0
+        assert field.sample(100.0) == 0.0
+
+    def test_correlation_decays(self):
+        rng = np.random.default_rng(2)
+        # Estimate lag correlation empirically over many fields.
+        short_gap, long_gap = [], []
+        for _ in range(400):
+            field = ShadowingField(6.0, 50.0, rng)
+            v0 = field.sample(0.0)
+            v1 = field.sample(10.0)
+            field2 = ShadowingField(6.0, 50.0, rng)
+            w0 = field2.sample(0.0)
+            w1 = field2.sample(500.0)
+            short_gap.append(v0 * v1)
+            long_gap.append(w0 * w1)
+        assert np.mean(short_gap) > np.mean(long_gap) + 5.0
+
+    def test_backwards_sampling_raises(self):
+        field = ShadowingField(6.0, 50.0, np.random.default_rng(3))
+        field.sample(100.0)
+        with pytest.raises(ValueError):
+            field.sample(50.0)
+
+    def test_stationary_variance(self):
+        rng = np.random.default_rng(4)
+        values = []
+        for _ in range(300):
+            field = ShadowingField(6.0, 50.0, rng)
+            field.sample(0.0)
+            values.append(field.sample(1000.0))
+        assert np.std(values) == pytest.approx(6.0, rel=0.25)
+
+    def test_sigma_scale(self):
+        field = ShadowingField.for_band(
+            band_by_name("n71"), np.random.default_rng(5), sigma_scale=0.5
+        )
+        assert field.sigma_db == pytest.approx(3.0)
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            ShadowingField(-1.0, 50.0, rng)
+        with pytest.raises(ValueError):
+            ShadowingField(6.0, 0.0, rng)
+
+
+class TestFastFading:
+    def test_mean_power_near_unity(self):
+        fading = FastFading(1.0, 10.0, 0.05, np.random.default_rng(7))
+        samples = fading.sample_series_db(4000)
+        mean_power = np.mean(10 ** (samples / 10.0))
+        assert mean_power == pytest.approx(1.0, rel=0.15)
+
+    def test_large_k_reduces_variance(self):
+        rng = np.random.default_rng(8)
+        weak = FastFading(0.5, 10.0, 0.05, rng).sample_series_db(2000)
+        strong = FastFading(20.0, 10.0, 0.05, rng).sample_series_db(2000)
+        assert np.std(strong) < np.std(weak)
+
+    def test_doppler_formula(self):
+        # 30 m/s at 600 MHz: wavelength ~0.5 m -> ~60 Hz.
+        assert FastFading.doppler_hz(30.0, 600.0) == pytest.approx(60.0, rel=0.01)
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(9)
+        with pytest.raises(ValueError):
+            FastFading(-1.0, 10.0, 0.05, rng)
+        with pytest.raises(ValueError):
+            FastFading(1.0, -5.0, 0.05, rng)
+        with pytest.raises(ValueError):
+            FastFading(1.0, 10.0, 0.0, rng)
+        with pytest.raises(ValueError):
+            FastFading.doppler_hz(-1.0, 600.0)
+
+
+class TestRadioEnvironment:
+    def _environment(self, **kwargs):
+        return RadioEnvironment(np.random.default_rng(10), **kwargs)
+
+    def test_measures_registered_cells(self):
+        env = self._environment()
+        band = band_by_name("n71")
+        env.register("cell", band, 58.0)
+        samples = env.measure({"cell": 500.0}, travelled_m=0.0)
+        assert "cell" in samples
+        assert samples["cell"].rsrp_dbm > AUDIBILITY_FLOOR_DBM
+
+    def test_unregistered_cell_raises(self):
+        env = self._environment()
+        with pytest.raises(KeyError):
+            env.measure({"ghost": 100.0}, travelled_m=0.0)
+
+    def test_inaudible_cells_filtered(self):
+        env = self._environment()
+        band = band_by_name("n260")
+        env.register("far", band, 78.0)
+        samples = env.measure({"far": 50_000.0}, travelled_m=0.0)
+        assert samples == {}
+
+    def test_interference_reduces_sinr(self):
+        band = band_by_name("n41")
+        quiet = self._environment(interference_load=0.0)
+        noisy = self._environment(interference_load=0.5)
+        for env in (quiet, noisy):
+            env.register("a", band, 66.0)
+            env.register("b", band, 66.0)
+        sq = quiet.measure({"a": 300.0, "b": 400.0}, 0.0)
+        sn = noisy.measure({"a": 300.0, "b": 400.0}, 0.0)
+        assert sn["a"].sinr_db < sq["a"].sinr_db
+
+    def test_rsrq_bounded_above_by_zero(self):
+        env = self._environment()
+        band = band_by_name("n71")
+        env.register("cell", band, 58.0)
+        sample = env.measure({"cell": 200.0}, 0.0)["cell"]
+        assert sample.rsrq_db < 0.0
+
+    def test_stronger_than(self):
+        env = self._environment()
+        band = band_by_name("n71")
+        env.register("near", band, 58.0)
+        env.register("far", band, 58.0)
+        samples = env.measure({"near": 100.0, "far": 3000.0}, 0.0)
+        assert samples["near"].stronger_than(samples["far"], offset_db=3.0)
+
+    def test_noise_power_scaling(self):
+        # Wider subcarriers collect more noise.
+        assert noise_power_dbm(120.0) > noise_power_dbm(15.0)
+        with pytest.raises(ValueError):
+            noise_power_dbm(0.0)
+
+    def test_invalid_interference_load(self):
+        with pytest.raises(ValueError):
+            RadioEnvironment(np.random.default_rng(0), interference_load=1.5)

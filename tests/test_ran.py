@@ -1,0 +1,210 @@
+"""RAN substrate: cells, towers, carriers, deployment generation."""
+
+import numpy as np
+import pytest
+
+from repro.geo.point import Point
+from repro.geo.polyline import Polyline
+from repro.radio.bands import BandClass, RadioAccessTechnology, band_by_name
+from repro.ran import (
+    CARRIERS,
+    DeploymentBuilder,
+    OPX,
+    OPY,
+    OPZ,
+    SegmentConfig,
+    carrier_by_name,
+)
+from repro.ran.cells import Cell, NodeKind, Tower
+
+
+def nr_cell(gci=0, pci=None, band="n71", node=0, tower=0):
+    return Cell(
+        gci=gci,
+        pci=pci if pci is not None else gci,
+        band=band_by_name(band),
+        node_id=node,
+        tower_id=tower,
+        position=Point(0, 0),
+        eirp_dbm=58.0,
+        carrier="OpX",
+    )
+
+
+class TestCells:
+    def test_pci_range_validation(self):
+        with pytest.raises(ValueError):
+            nr_cell(pci=1008)
+        with pytest.raises(ValueError):
+            Cell(0, 504, band_by_name("B2"), 0, 0, Point(0, 0), 60.0, "OpX")
+
+    def test_node_kind(self):
+        assert nr_cell().node_kind is NodeKind.GNB
+        lte = Cell(0, 100, band_by_name("B2"), 0, 0, Point(0, 0), 60.0, "OpX")
+        assert lte.node_kind is NodeKind.ENB
+
+    def test_tower_colocation_flags(self):
+        tower = Tower(0, Point(0, 0), "OpX")
+        tower.cells.append(nr_cell())
+        assert tower.has_gnb and not tower.has_enb
+        tower.cells.append(Cell(1, 10, band_by_name("B2"), 1, 0, Point(0, 0), 60.0, "OpX"))
+        assert tower.is_colocated_site
+
+
+class TestCarriers:
+    def test_three_carriers(self):
+        assert set(CARRIERS) == {"OpX", "OpY", "OpZ"}
+
+    def test_lookup(self):
+        assert carrier_by_name("OpY") is OPY
+        with pytest.raises(KeyError):
+            carrier_by_name("OpQ")
+
+    def test_only_opy_supports_sa(self):
+        assert OPY.supports_sa
+        assert not OPX.supports_sa and not OPZ.supports_sa
+
+    def test_band_counts_match_table1(self):
+        # Table 1: OpX 5 LTE bands, OpY 9, OpZ 6.
+        assert len(OPX.lte_bands) == 5
+        assert len(OPY.lte_bands) == 9
+        assert len(OPZ.lte_bands) == 6
+
+    def test_coloc_fractions_in_paper_range(self):
+        for carrier in CARRIERS.values():
+            assert 0.05 <= carrier.coloc_fraction <= 0.36
+
+    def test_event_configs_standalone(self):
+        configs = OPY.event_configs(BandClass.LOW, standalone=True)
+        assert all(c.measurement.value == "nr" for c in configs)
+
+    def test_event_configs_nsa_has_both_objects(self):
+        configs = OPX.event_configs(BandClass.MMWAVE)
+        objects = {c.measurement.value for c in configs}
+        assert objects == {"lte", "nr"}
+
+    def test_unsupported_nr_layer_raises(self):
+        with pytest.raises(ValueError):
+            OPX.nr_band_name(BandClass.MID)
+
+    def test_nr_a3_is_intra_node(self):
+        configs = OPX.nr_event_configs(BandClass.LOW)
+        a3 = next(c for c in configs if c.event.value == "A3")
+        assert a3.intra_node_only
+
+    def test_b1_is_discovery_only(self):
+        configs = OPX.nr_event_configs(BandClass.LOW)
+        b1 = next(c for c in configs if c.event.value == "B1")
+        assert b1.only_when_detached
+
+
+class TestDeployment:
+    def _build(self, carrier=OPX, band=BandClass.LOW, length=6000.0, seed=5, **seg):
+        rng = np.random.default_rng(seed)
+        route = Polyline.straight(length)
+        segment = SegmentConfig(
+            0.0, length, lte_isd_m=600.0, nr_band_class=band, nr_isd_m=1400.0, **seg
+        )
+        return DeploymentBuilder(route, carrier, rng).add_segment(segment).build()
+
+    def test_builds_both_layers(self):
+        deployment = self._build()
+        rats = {c.rat for c in deployment.cells}
+        assert rats == {RadioAccessTechnology.LTE, RadioAccessTechnology.NR}
+
+    def test_cell_counts_scale_with_isd(self):
+        deployment = self._build()
+        lte = [c for c in deployment.cells if c.rat is RadioAccessTechnology.LTE]
+        assert len(lte) == pytest.approx(10, abs=2)  # 6 km / 600 m
+
+    def test_audible_matches_brute_force(self):
+        deployment = self._build()
+        for x in (0.0, 1500.0, 4000.0):
+            point = Point(x, 0.0)
+            fast = {c.gci for c in deployment.audible_cells(point)}
+            brute = {
+                c.gci
+                for c in deployment.cells
+                if c.distance_to(point) <= c.audible_radius_m
+            }
+            assert fast == brute
+
+    def test_adjacent_cells_have_distinct_pcis(self):
+        deployment = self._build()
+        for cell in deployment.cells:
+            nearby = [
+                o
+                for o in deployment.cells
+                if o is not cell
+                and o.rat is cell.rat
+                and o.distance_to(cell.position) < 3000.0
+            ]
+            assert all(o.pci != cell.pci or o.tower_id == cell.tower_id for o in nearby)
+
+    def test_colocated_share_pci(self):
+        deployment = self._build(carrier=OPX, seed=11, length=20000.0)
+        for tower in deployment.towers:
+            if tower.is_colocated_site:
+                enb_pcis = {c.pci for c in tower.cells if c.node_kind is NodeKind.ENB}
+                gnb_first = [c for c in tower.cells if c.node_kind is NodeKind.GNB]
+                assert any(c.pci in enb_pcis for c in gnb_first)
+
+    def test_segment_lookup(self):
+        deployment = self._build()
+        assert deployment.segment_at(100.0) is deployment.segments[0]
+        assert deployment.segment_at(1e7) is None
+
+    def test_sa_segment_has_no_lte(self):
+        rng = np.random.default_rng(6)
+        route = Polyline.straight(5000.0)
+        segment = SegmentConfig(
+            0.0, 5000.0, nr_band_class=BandClass.LOW, nr_isd_m=900.0, standalone=True
+        )
+        deployment = DeploymentBuilder(route, OPY, rng).add_segment(segment).build()
+        assert all(c.rat is RadioAccessTechnology.NR for c in deployment.cells)
+
+    def test_sa_requires_carrier_support(self):
+        rng = np.random.default_rng(7)
+        route = Polyline.straight(5000.0)
+        segment = SegmentConfig(
+            0.0, 5000.0, nr_band_class=BandClass.LOW, standalone=True
+        )
+        with pytest.raises(ValueError, match="does not support SA"):
+            DeploymentBuilder(route, OPX, rng).add_segment(segment)
+
+    def test_segment_beyond_route_rejected(self):
+        rng = np.random.default_rng(8)
+        route = Polyline.straight(1000.0)
+        with pytest.raises(ValueError, match="exceeds route"):
+            DeploymentBuilder(route, OPX, rng).add_segment(SegmentConfig(0.0, 2000.0))
+
+    def test_empty_build_rejected(self):
+        rng = np.random.default_rng(9)
+        with pytest.raises(ValueError):
+            DeploymentBuilder(Polyline.straight(1000.0), OPX, rng).build()
+
+    def test_cells_per_gnb_override(self):
+        deployment = self._build(cells_per_gnb=1)
+        nr_nodes = {}
+        for cell in deployment.cells:
+            if cell.rat is RadioAccessTechnology.NR:
+                nr_nodes.setdefault(cell.node_id, 0)
+                nr_nodes[cell.node_id] += 1
+        assert all(count == 1 for count in nr_nodes.values())
+
+    def test_eirp_bonus_applied(self):
+        boosted = self._build(eirp_bonus_db=12.0)
+        plain = self._build(eirp_bonus_db=0.0)
+        b = max(c.eirp_dbm for c in boosted.cells)
+        p = max(c.eirp_dbm for c in plain.cells)
+        assert b == pytest.approx(p + 12.0)
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            SegmentConfig(10.0, 5.0)
+        with pytest.raises(ValueError):
+            SegmentConfig(0.0, 100.0, lte_isd_m=0.0)
+        with pytest.raises(ValueError):
+            SegmentConfig(0.0, 100.0, jitter=0.9)
+        with pytest.raises(ValueError):
+            SegmentConfig(0.0, 100.0, cells_per_gnb=0)

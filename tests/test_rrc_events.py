@@ -1,0 +1,96 @@
+"""Measurement events (Table 4) and their trigger evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.radio.rrs import RRSSample
+from repro.rrc.events import (
+    EventConfig,
+    EventType,
+    MeasurementObject,
+    evaluate_event,
+)
+
+
+def sample(rsrp: float) -> RRSSample:
+    return RRSSample(rsrp_dbm=rsrp, rsrq_db=-8.0, sinr_db=15.0)
+
+
+def config(event: EventType, **kwargs) -> EventConfig:
+    return EventConfig(event, MeasurementObject.LTE, **kwargs)
+
+
+class TestTriggerConditions:
+    def test_a1_serving_better_than_threshold(self):
+        cfg = config(EventType.A1, threshold_dbm=-100.0)
+        assert evaluate_event(cfg, sample(-90.0), None)
+        assert not evaluate_event(cfg, sample(-110.0), None)
+
+    def test_a2_serving_worse_than_threshold(self):
+        cfg = config(EventType.A2, threshold_dbm=-100.0)
+        assert evaluate_event(cfg, sample(-110.0), None)
+        assert not evaluate_event(cfg, sample(-90.0), None)
+
+    def test_a3_neighbour_offset_better(self):
+        cfg = config(EventType.A3, offset_db=3.0)
+        assert evaluate_event(cfg, sample(-100.0), sample(-95.0))
+        assert not evaluate_event(cfg, sample(-100.0), sample(-99.0))
+
+    def test_a4_b1_neighbour_above_threshold(self):
+        for event in (EventType.A4, EventType.B1):
+            cfg = config(event, threshold_dbm=-105.0)
+            assert evaluate_event(cfg, None, sample(-100.0))
+            assert not evaluate_event(cfg, None, sample(-110.0))
+
+    def test_a5_dual_condition(self):
+        cfg = config(EventType.A5, threshold_dbm=-105.0, threshold2_dbm=-100.0)
+        assert evaluate_event(cfg, sample(-110.0), sample(-95.0))
+        assert not evaluate_event(cfg, sample(-95.0), sample(-95.0))  # serving too good
+        assert not evaluate_event(cfg, sample(-110.0), sample(-104.0))  # nbr too weak
+
+    def test_periodic_always_true(self):
+        cfg = config(EventType.PERIODIC)
+        assert evaluate_event(cfg, None, None)
+
+    def test_hysteresis_delays_entry(self):
+        cfg = config(EventType.A2, threshold_dbm=-100.0, hysteresis_db=3.0)
+        assert not evaluate_event(cfg, sample(-101.0), None)
+        assert evaluate_event(cfg, sample(-104.0), None)
+
+    def test_missing_serving_counts_as_weak(self):
+        cfg = config(EventType.A2, threshold_dbm=-100.0)
+        assert evaluate_event(cfg, None, None)
+
+    def test_missing_neighbour_never_triggers(self):
+        cfg = config(EventType.A3, offset_db=3.0)
+        assert not evaluate_event(cfg, sample(-100.0), None)
+
+    @given(st.floats(min_value=-140, max_value=-40), st.floats(min_value=-140, max_value=-40))
+    def test_a3_antisymmetry(self, s, n):
+        cfg = config(EventType.A3, offset_db=0.0, hysteresis_db=0.0)
+        forward = evaluate_event(cfg, sample(s), sample(n))
+        backward = evaluate_event(cfg, sample(n), sample(s))
+        assert not (forward and backward)
+
+
+class TestEventConfig:
+    def test_label_carries_nr_prefix(self):
+        lte = EventConfig(EventType.A3, MeasurementObject.LTE)
+        nr = EventConfig(EventType.A3, MeasurementObject.NR)
+        assert lte.label == "A3"
+        assert nr.label == "NR-A3"
+
+    def test_needs_neighbour(self):
+        assert EventConfig(EventType.A3, MeasurementObject.LTE).event.needs_neighbour
+        assert not EventConfig(EventType.A2, MeasurementObject.LTE).event.needs_neighbour
+
+    def test_needs_serving(self):
+        assert EventConfig(EventType.A2, MeasurementObject.NR).needs_serving
+        assert EventConfig(EventType.A5, MeasurementObject.LTE).needs_serving
+        assert not EventConfig(EventType.B1, MeasurementObject.NR).needs_serving
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventConfig(EventType.A2, MeasurementObject.LTE, time_to_trigger_s=-1.0)
+        with pytest.raises(ValueError):
+            EventConfig(EventType.A2, MeasurementObject.LTE, hysteresis_db=-1.0)

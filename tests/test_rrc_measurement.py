@@ -1,0 +1,207 @@
+"""Event monitor: TTT, latching, re-reporting, scoping, L3 filtering."""
+
+import pytest
+
+from repro.radio.rrs import RRSSample
+from repro.rrc.events import EventConfig, EventType, MeasurementObject
+from repro.rrc.measurement import EventMonitor, L3Filter
+
+
+def sample(rsrp: float) -> RRSSample:
+    return RRSSample(rsrp_dbm=rsrp, rsrq_db=-8.0, sinr_db=12.0)
+
+
+class FakeCell:
+    """Duck-typed cell with the attributes scoping inspects."""
+
+    def __init__(self, name, node_id=0, band_name="B2"):
+        self.name = name
+        self.node_id = node_id
+        self.band = type("B", (), {"name": band_name})()
+
+    def __repr__(self):
+        return self.name
+
+
+SERVING = FakeCell("serving", node_id=1)
+NEIGHBOUR = FakeCell("neighbour", node_id=1)
+OTHER_NODE = FakeCell("other", node_id=2)
+
+
+def observe(monitor, t, serving_rsrp, neighbour_rsrp, neighbour=NEIGHBOUR):
+    return monitor.observe(
+        t,
+        {
+            MeasurementObject.LTE: (SERVING, sample(serving_rsrp)),
+            MeasurementObject.NR: None,
+        },
+        {MeasurementObject.LTE: {neighbour: sample(neighbour_rsrp)}, MeasurementObject.NR: {}},
+    )
+
+
+class TestTimeToTrigger:
+    def _monitor(self, ttt=0.2):
+        return EventMonitor(
+            [EventConfig(EventType.A3, MeasurementObject.LTE, offset_db=3.0, time_to_trigger_s=ttt)]
+        )
+
+    def test_fires_only_after_ttt(self):
+        monitor = self._monitor(ttt=0.2)
+        assert observe(monitor, 0.0, -100, -95) == []
+        assert observe(monitor, 0.1, -100, -95) == []
+        fired = observe(monitor, 0.2, -100, -95)
+        assert len(fired) == 1
+        assert fired[0].label == "A3"
+        assert fired[0].neighbour_cell is NEIGHBOUR
+
+    def test_condition_lapse_resets_ttt(self):
+        monitor = self._monitor(ttt=0.2)
+        observe(monitor, 0.0, -100, -95)
+        observe(monitor, 0.1, -100, -110)  # condition lapses
+        assert observe(monitor, 0.2, -100, -95) == []
+        assert observe(monitor, 0.4, -100, -95) != []
+
+    def test_zero_ttt_fires_immediately(self):
+        monitor = self._monitor(ttt=0.0)
+        assert observe(monitor, 0.0, -100, -95) != []
+
+    def test_latched_event_rereports_periodically(self):
+        monitor = EventMonitor(
+            [EventConfig(EventType.A3, MeasurementObject.LTE, offset_db=3.0)],
+            report_interval_s=0.5,
+        )
+        assert observe(monitor, 0.0, -100, -95) != []
+        assert observe(monitor, 0.2, -100, -95) == []
+        assert observe(monitor, 0.5, -100, -95) != []
+
+    def test_reset_clears_latch(self):
+        monitor = self._monitor(ttt=0.0)
+        assert observe(monitor, 0.0, -100, -95) != []
+        monitor.reset()
+        assert observe(monitor, 0.05, -100, -95) != []
+
+    def test_reset_event_targets_one_object(self):
+        configs = [
+            EventConfig(EventType.A3, MeasurementObject.LTE, offset_db=3.0),
+            EventConfig(EventType.B1, MeasurementObject.NR, threshold_dbm=-110.0),
+        ]
+        monitor = EventMonitor(configs)
+        nr_cell = FakeCell("nr", node_id=3)
+        serving = {
+            MeasurementObject.LTE: (SERVING, sample(-100)),
+            MeasurementObject.NR: None,
+        }
+        neighbours = {
+            MeasurementObject.LTE: {NEIGHBOUR: sample(-95)},
+            MeasurementObject.NR: {nr_cell: sample(-100)},
+        }
+        fired = monitor.observe(0.0, serving, neighbours)
+        assert {r.label for r in fired} == {"A3", "NR-B1"}
+        monitor.reset_event(MeasurementObject.NR)
+        fired = monitor.observe(0.05, serving, neighbours)
+        assert {r.label for r in fired} == {"NR-B1"}
+
+
+class TestConfigurationGating:
+    def test_serving_based_event_needs_serving(self):
+        monitor = EventMonitor(
+            [EventConfig(EventType.A2, MeasurementObject.NR, threshold_dbm=-100.0)]
+        )
+        fired = monitor.observe(
+            0.0,
+            {MeasurementObject.LTE: None, MeasurementObject.NR: None},
+            {MeasurementObject.LTE: {}, MeasurementObject.NR: {}},
+        )
+        assert fired == []
+
+    def test_b1_deconfigured_while_attached(self):
+        monitor = EventMonitor(
+            [
+                EventConfig(
+                    EventType.B1,
+                    MeasurementObject.NR,
+                    threshold_dbm=-110.0,
+                    only_when_detached=True,
+                )
+            ]
+        )
+        nr_cell = FakeCell("nr")
+        attached = {
+            MeasurementObject.LTE: None,
+            MeasurementObject.NR: (SERVING, sample(-90)),
+        }
+        detached = {MeasurementObject.LTE: None, MeasurementObject.NR: None}
+        neighbours = {MeasurementObject.LTE: {}, MeasurementObject.NR: {nr_cell: sample(-100)}}
+        assert monitor.observe(0.0, attached, neighbours) == []
+        assert monitor.observe(0.1, detached, neighbours) != []
+
+    def test_intra_node_scoping(self):
+        monitor = EventMonitor(
+            [
+                EventConfig(
+                    EventType.A3,
+                    MeasurementObject.LTE,
+                    offset_db=3.0,
+                    intra_node_only=True,
+                )
+            ]
+        )
+        fired = observe(monitor, 0.0, -100, -90, neighbour=OTHER_NODE)
+        assert fired == []
+        fired = observe(monitor, 0.1, -100, -90, neighbour=NEIGHBOUR)
+        assert fired != []
+
+    def test_intra_frequency_scoping(self):
+        monitor = EventMonitor(
+            [
+                EventConfig(
+                    EventType.A3,
+                    MeasurementObject.LTE,
+                    offset_db=3.0,
+                    intra_frequency_only=True,
+                )
+            ]
+        )
+        other_band = FakeCell("ob", node_id=1, band_name="B66")
+        assert observe(monitor, 0.0, -100, -90, neighbour=other_band) == []
+        assert observe(monitor, 0.1, -100, -90, neighbour=NEIGHBOUR) != []
+
+    def test_monitor_requires_configs(self):
+        with pytest.raises(ValueError):
+            EventMonitor([])
+
+
+class TestL3Filter:
+    def test_first_sample_passthrough(self):
+        filt = L3Filter(alpha=0.2)
+        out = filt.update(0.0, {"c": sample(-100.0)})
+        assert out["c"].rsrp_dbm == pytest.approx(-100.0)
+
+    def test_smooths_towards_new_values(self):
+        filt = L3Filter(alpha=0.2)
+        filt.update(0.0, {"c": sample(-100.0)})
+        out = filt.update(0.05, {"c": sample(-80.0)})
+        assert -100.0 < out["c"].rsrp_dbm < -80.0
+        assert out["c"].rsrp_dbm == pytest.approx(-96.0)
+
+    def test_variance_reduction(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        filt = L3Filter(alpha=0.2)
+        raw, smooth = [], []
+        for i in range(500):
+            value = -100.0 + rng.normal(0, 5)
+            raw.append(value)
+            smooth.append(filt.update(i * 0.05, {"c": sample(value)})["c"].rsrp_dbm)
+        assert np.std(smooth[50:]) < np.std(raw[50:]) * 0.7
+
+    def test_forgets_stale_cells(self):
+        filt = L3Filter(alpha=0.2, forget_s=1.0)
+        filt.update(0.0, {"c": sample(-100.0)})
+        out = filt.update(5.0, {"c": sample(-80.0)})
+        assert out["c"].rsrp_dbm == pytest.approx(-80.0)  # restarted
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            L3Filter(alpha=0.0)

@@ -1,0 +1,91 @@
+"""Named scenarios: construction, validation, determinism."""
+
+import pytest
+
+from repro.net.bearer import BearerMode
+from repro.radio.bands import BandClass, RadioAccessTechnology
+from repro.ran import OPX, OPY
+from repro.simulate.scenarios import (
+    FREEWAY_NR_ISD_M,
+    city_drive_scenario,
+    city_walk_scenario,
+    coverage_scenario,
+    energy_loop_scenario,
+    freeway_scenario,
+)
+
+
+class TestScenarioConstruction:
+    def test_freeway_names_carry_context(self):
+        scenario = freeway_scenario(OPX, BandClass.LOW, length_km=3, seed=1)
+        assert "OpX" in scenario.name and "NSA" in scenario.name
+
+    def test_freeway_isd_defaults_by_band(self):
+        assert FREEWAY_NR_ISD_M[BandClass.MMWAVE] < FREEWAY_NR_ISD_M[BandClass.MID]
+        assert FREEWAY_NR_ISD_M[BandClass.MID] < FREEWAY_NR_ISD_M[BandClass.LOW]
+
+    def test_sa_freeway_has_no_lte_cells(self):
+        scenario = freeway_scenario(
+            OPY, BandClass.LOW, standalone=True, length_km=3, seed=2
+        )
+        rats = {c.rat for c in scenario.deployment.cells}
+        assert rats == {RadioAccessTechnology.NR}
+
+    def test_lte_only_freeway(self):
+        scenario = freeway_scenario(OPX, None, length_km=3, seed=3)
+        rats = {c.rat for c in scenario.deployment.cells}
+        assert rats == {RadioAccessTechnology.LTE}
+
+    def test_city_walk_multi_band_segments(self):
+        scenario = city_walk_scenario(
+            OPX, (BandClass.MMWAVE, BandClass.LOW), duration_min=3, seed=4
+        )
+        classes = {s.nr_band_class for s in scenario.deployment.segments}
+        assert classes == {BandClass.MMWAVE, BandClass.LOW}
+
+    def test_city_walk_requires_bands(self):
+        with pytest.raises(ValueError):
+            city_walk_scenario(OPX, (), duration_min=3)
+
+    def test_city_walk_disables_mnbh(self):
+        scenario = city_walk_scenario(OPX, (BandClass.MMWAVE,), duration_min=3, seed=5)
+        assert scenario.config.anchor_keeps_scg_probability == 0.0
+
+    def test_bearer_propagates(self):
+        scenario = freeway_scenario(
+            OPX, BandClass.LOW, length_km=3, seed=6, bearer=BearerMode.FIVE_G_ONLY
+        )
+        assert scenario.config.bearer is BearerMode.FIVE_G_ONLY
+
+    def test_coverage_rural_low_band_is_single_cell_gnbs(self):
+        scenario = coverage_scenario(OPX, BandClass.LOW, length_km=10, seed=7)
+        segment = scenario.deployment.segments[0]
+        assert segment.cells_per_gnb == 1
+        assert segment.eirp_bonus_db > 0
+
+    def test_energy_loops_denser_than_freeway(self):
+        energy = energy_loop_scenario(OPX, BandClass.LOW, length_km=5, seed=8)
+        freeway = freeway_scenario(OPX, BandClass.LOW, length_km=5, seed=8)
+        assert len(energy.deployment.cells) > len(freeway.deployment.cells)
+
+    def test_city_drive_loop_route(self):
+        scenario = city_drive_scenario(OPX, BandClass.LOW, distance_km=3, seed=9)
+        route = scenario.trajectory.route
+        assert route.point_at(route.length) == route.point_at(0.0)
+
+
+class TestScenarioDeterminism:
+    def test_same_seed_same_log(self):
+        a = freeway_scenario(OPX, BandClass.LOW, length_km=2, seed=11).run()
+        b = freeway_scenario(OPX, BandClass.LOW, length_km=2, seed=11).run()
+        assert len(a.ticks) == len(b.ticks)
+        assert [h.ho_type for h in a.handovers] == [h.ho_type for h in b.handovers]
+        assert a.handovers[0].t1_ms == b.handovers[0].t1_ms if a.handovers else True
+
+    def test_different_seed_differs(self):
+        a = freeway_scenario(OPX, BandClass.LOW, length_km=2, seed=12).run()
+        b = freeway_scenario(OPX, BandClass.LOW, length_km=2, seed=13).run()
+        # Tower jitter and fading differ; logs should not be identical.
+        assert [t.nr_serving_gci for t in a.ticks] != [t.nr_serving_gci for t in b.ticks] or len(
+            a.handovers
+        ) != len(b.handovers)

@@ -1,0 +1,53 @@
+"""DriveLog artifact round-trips."""
+
+import json
+
+import pytest
+
+from repro.simulate.serialization import (
+    FORMAT_VERSION,
+    load_log,
+    log_from_dict,
+    log_to_dict,
+    save_log,
+)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self, freeway_low_log):
+        rebuilt = log_from_dict(log_to_dict(freeway_low_log))
+        assert rebuilt.carrier == freeway_low_log.carrier
+        assert rebuilt.bearer == freeway_low_log.bearer
+        assert len(rebuilt.ticks) == len(freeway_low_log.ticks)
+        assert len(rebuilt.reports) == len(freeway_low_log.reports)
+        assert len(rebuilt.handovers) == len(freeway_low_log.handovers)
+        a, b = freeway_low_log.ticks[100], rebuilt.ticks[100]
+        assert a == b
+        assert freeway_low_log.handovers[0] == rebuilt.handovers[0]
+        assert freeway_low_log.reports[0] == rebuilt.reports[0]
+
+    def test_analysis_invariant_under_roundtrip(self, freeway_low_log):
+        from repro.analysis import frequency_breakdown
+
+        original = frequency_breakdown([freeway_low_log])
+        rebuilt = frequency_breakdown([log_from_dict(log_to_dict(freeway_low_log))])
+        assert original.spacing_4g_km == rebuilt.spacing_4g_km
+        assert original.count_by_type == rebuilt.count_by_type
+
+    def test_file_roundtrip_plain_and_gzip(self, freeway_low_log, tmp_path):
+        for name in ("log.json", "log.json.gz"):
+            path = save_log(freeway_low_log, tmp_path / name)
+            rebuilt = load_log(path)
+            assert len(rebuilt.ticks) == len(freeway_low_log.ticks)
+        plain = (tmp_path / "log.json").stat().st_size
+        gz = (tmp_path / "log.json.gz").stat().st_size
+        assert gz < plain / 2
+
+    def test_version_check(self, freeway_low_log):
+        payload = log_to_dict(freeway_low_log)
+        payload["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="format version"):
+            log_from_dict(payload)
+
+    def test_payload_is_json_serialisable(self, freeway_low_log):
+        json.dumps(log_to_dict(freeway_low_log))

@@ -1,0 +1,147 @@
+"""End-to-end drive simulator invariants (uses session fixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.net.bearer import BearerMode
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+from repro.rrc.taxonomy import HandoverType
+from repro.simulate.scenarios import freeway_scenario
+from repro.ue.state import RadioMode
+
+
+class TestDriveLogStructure:
+    def test_ticks_are_regular(self, freeway_low_log):
+        times = [t.time_s for t in freeway_low_log.ticks]
+        deltas = np.diff(times)
+        assert np.allclose(deltas, deltas[0], atol=1e-6)
+
+    def test_handovers_ordered_and_staged(self, freeway_low_log):
+        for record in freeway_low_log.handovers:
+            assert record.decision_time_s < record.exec_start_s < record.complete_s
+            assert record.t1_ms > 0 and record.t2_ms > 0
+            assert record.total_ms == pytest.approx(record.t1_ms + record.t2_ms)
+
+    def test_reports_sorted(self, freeway_low_log):
+        times = [r.time_s for r in freeway_low_log.reports]
+        assert times == sorted(times)
+
+    def test_nsa_drive_sees_nsa_mode(self, freeway_low_log):
+        modes = {t.mode for t in freeway_low_log.ticks}
+        assert RadioMode.NSA in modes
+
+    def test_handover_targets_change_serving(self, freeway_low_log):
+        for record in freeway_low_log.handovers:
+            if record.ho_type in (HandoverType.SCGM, HandoverType.SCGC):
+                assert record.source_gci != record.target_gci
+
+    def test_scg_procedures_have_band_class(self, freeway_low_log):
+        for record in freeway_low_log.handovers:
+            if record.ho_type.is_scg_procedure:
+                assert record.band_class is BandClass.LOW
+
+    def test_signaling_attached_to_every_handover(self, freeway_low_log):
+        for record in freeway_low_log.handovers:
+            assert record.signaling.total > 0
+            assert record.energy_j > 0
+
+    def test_trigger_labels_present(self, freeway_low_log):
+        labelled = [h for h in freeway_low_log.handovers if h.trigger_labels]
+        assert len(labelled) == len(freeway_low_log.handovers)
+
+    def test_interruption_zeroes_capacity(self, freeway_low_log):
+        for tick in freeway_low_log.ticks:
+            if tick.nr_interrupted:
+                assert tick.nr_capacity_mbps == 0.0
+            if tick.lte_interrupted:
+                assert tick.lte_capacity_mbps == 0.0
+
+    def test_dual_bearer_sums_legs(self, freeway_low_log):
+        assert freeway_low_log.bearer is BearerMode.DUAL
+        for tick in freeway_low_log.ticks[::50]:
+            assert tick.total_capacity_mbps == pytest.approx(
+                tick.lte_capacity_mbps + tick.nr_capacity_mbps
+                if tick.nr_serving_gci is not None
+                else tick.lte_capacity_mbps
+            )
+
+
+class TestSaDrive:
+    def test_sa_only_mcgh(self, sa_freeway_log):
+        types = {h.ho_type for h in sa_freeway_log.handovers}
+        assert types <= {HandoverType.MCGH}
+
+    def test_sa_mode(self, sa_freeway_log):
+        modes = {t.mode for t in sa_freeway_log.ticks}
+        assert modes <= {RadioMode.SA}
+
+    def test_sa_has_no_lte_leg(self, sa_freeway_log):
+        assert all(t.lte_serving_gci is None for t in sa_freeway_log.ticks)
+
+
+class TestWalkDrive:
+    def test_walk_covers_loop(self, mmwave_walk_log):
+        assert mmwave_walk_log.distance_km > 0.5
+
+    def test_walk_has_scg_procedures(self, mmwave_walk_log):
+        counts = mmwave_walk_log.count_by_type()
+        scg = sum(
+            counts.get(t, 0)
+            for t in (HandoverType.SCGA, HandoverType.SCGM, HandoverType.SCGC)
+        )
+        assert scg > 0
+
+    def test_neighbours_include_scope_flags(self, mmwave_walk_log):
+        flagged = [
+            obs
+            for tick in mmwave_walk_log.ticks
+            for obs in tick.nr_neighbours
+            if obs.in_a3_scope
+        ]
+        assert flagged  # same-gNB beams must be visible to Prognos
+
+
+class TestLogAggregates:
+    def test_count_by_type_sums(self, freeway_low_log):
+        counts = freeway_low_log.count_by_type()
+        assert sum(counts.values()) == len(freeway_low_log.handovers)
+
+    def test_unique_cells(self, freeway_low_log):
+        cells = freeway_low_log.unique_cells_seen()
+        assert len(cells) >= 5
+
+    def test_capacity_series_alignment(self, freeway_low_log):
+        times, caps = freeway_low_log.capacity_series()
+        assert len(times) == len(caps) == len(freeway_low_log.ticks)
+
+    def test_merge_rebases(self, freeway_low_log):
+        merged = freeway_low_log.merge(freeway_low_log)
+        assert len(merged.ticks) == 2 * len(freeway_low_log.ticks)
+        assert merged.duration_s == pytest.approx(
+            2 * freeway_low_log.duration_s, abs=1.0
+        )
+        times = [t.time_s for t in merged.ticks]
+        assert times == sorted(times)
+
+    def test_mixed_sa_nsa_segments_rejected(self):
+        import numpy as np
+
+        from repro.geo.polyline import Polyline
+        from repro.mobility import ConstantSpeedModel
+        from repro.ran import DeploymentBuilder, OPY, SegmentConfig
+        from repro.simulate.simulator import DriveSimulator
+
+        rng = np.random.default_rng(0)
+        route = Polyline.straight(4000.0)
+        deployment = (
+            DeploymentBuilder(route, OPY, rng)
+            .add_segment(
+                SegmentConfig(0, 2000, nr_band_class=BandClass.LOW, standalone=True)
+            )
+            .add_segment(SegmentConfig(2000, 4000, nr_band_class=BandClass.LOW))
+            .build()
+        )
+        trajectory = ConstantSpeedModel(30.0).generate(route)
+        with pytest.raises(ValueError, match="mixed SA/NSA"):
+            DriveSimulator(deployment, trajectory, rng)

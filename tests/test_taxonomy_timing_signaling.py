@@ -1,0 +1,170 @@
+"""Handover taxonomy (Table 2), timing model (§5.2), signaling (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.radio.bands import BandClass
+from repro.rrc.handover import (
+    HandoverTimingModel,
+    MMWAVE_T2_MULTIPLIER,
+    NON_COLOCATION_T1_PENALTY_MS,
+    StageDistribution,
+)
+from repro.rrc.signaling import SignalingModel, SignalingTally
+from repro.rrc.taxonomy import HandoverCategory, HandoverType, TechChange
+
+
+class TestTaxonomy:
+    def test_table2_tech_changes(self):
+        assert HandoverType.SCGA.tech_change is TechChange.FOUR_TO_FIVE
+        assert HandoverType.SCGR.tech_change is TechChange.FIVE_TO_FOUR
+        assert HandoverType.SCGM.tech_change is TechChange.FIVE_TO_FIVE
+        assert HandoverType.SCGC.tech_change is TechChange.FIVE_TO_FOUR_TO_FIVE
+        assert HandoverType.LTEH.tech_change is TechChange.FOUR_TO_FOUR
+
+    def test_table2_categories(self):
+        assert HandoverType.SCGA.category is HandoverCategory.FIVE_G
+        assert HandoverType.MNBH.category is HandoverCategory.FOUR_G
+        assert HandoverType.LTEH.category is HandoverCategory.FOUR_G
+        assert HandoverType.MCGH.category is HandoverCategory.FIVE_G
+
+    def test_scg_procedures(self):
+        scg = {t for t in HandoverType if t.is_scg_procedure}
+        assert scg == {
+            HandoverType.SCGA,
+            HandoverType.SCGR,
+            HandoverType.SCGM,
+            HandoverType.SCGC,
+        }
+
+    def test_interruption_footnote(self):
+        # 5G HOs do not interrupt the 4G user plane; 4G HOs interrupt both.
+        assert not HandoverType.SCGM.interrupts_lte_data
+        assert HandoverType.SCGM.interrupts_nr_data
+        assert HandoverType.LTEH.interrupts_lte_data
+        assert HandoverType.LTEH.interrupts_nr_data
+        assert HandoverType.MNBH.interrupts_lte_data
+        assert not HandoverType.NONE.interrupts_nr_data
+
+
+class TestTimingModel:
+    def _samples(self, ho_type, n=300, **kwargs):
+        model = HandoverTimingModel(np.random.default_rng(0))
+        return [model.sample(ho_type, **kwargs) for _ in range(n)]
+
+    def test_nsa_total_near_167ms(self):
+        # NSA average across SCG procedures is calibrated near 167 ms.
+        samples = []
+        for ho_type in (HandoverType.SCGA, HandoverType.SCGM, HandoverType.SCGC):
+            samples += self._samples(ho_type, n=200)
+        mean_total = np.mean([s.total_ms for s in samples])
+        assert 140 <= mean_total <= 195
+
+    def test_lte_total_near_76ms(self):
+        samples = self._samples(HandoverType.LTEH, n=400)
+        assert np.mean([s.total_ms for s in samples]) == pytest.approx(76.0, rel=0.12)
+
+    def test_nsa_lteh_slower_than_plain(self):
+        plain = np.mean([s.total_ms for s in self._samples(HandoverType.LTEH)])
+        nsa = np.mean(
+            [s.total_ms for s in self._samples(HandoverType.LTEH, nsa_attached=True)]
+        )
+        assert nsa > plain * 1.5
+
+    def test_mmwave_t2_multiplier(self):
+        low = np.mean(
+            [
+                s.t2_ms
+                for s in self._samples(HandoverType.SCGC, band_class=BandClass.LOW)
+            ]
+        )
+        mmwave = np.mean(
+            [
+                s.t2_ms
+                for s in self._samples(HandoverType.SCGC, band_class=BandClass.MMWAVE)
+            ]
+        )
+        assert mmwave / low == pytest.approx(MMWAVE_T2_MULTIPLIER, rel=0.1)
+
+    def test_non_colocation_penalty(self):
+        colocated = np.mean(
+            [s.t1_ms for s in self._samples(HandoverType.SCGA, colocated=True)]
+        )
+        separate = np.mean(
+            [s.t1_ms for s in self._samples(HandoverType.SCGA, colocated=False)]
+        )
+        assert separate - colocated == pytest.approx(
+            NON_COLOCATION_T1_PENALTY_MS, abs=5.0
+        )
+
+    def test_sa_has_high_t1_variance(self):
+        sa = self._samples(HandoverType.MCGH, standalone=True)
+        lte = self._samples(HandoverType.LTEH)
+        assert np.std([s.t1_ms for s in sa]) > np.std([s.t1_ms for s in lte])
+
+    def test_none_rejected(self):
+        model = HandoverTimingModel(np.random.default_rng(1))
+        with pytest.raises(ValueError):
+            model.sample(HandoverType.NONE)
+
+    def test_unknown_context_rejected(self):
+        model = HandoverTimingModel(np.random.default_rng(2))
+        with pytest.raises(ValueError):
+            model.sample(HandoverType.MCGH, standalone=False)
+
+    def test_stage_distribution_validation(self):
+        with pytest.raises(ValueError):
+            StageDistribution(0.0, 5.0)
+
+    def test_scales(self):
+        base = HandoverTimingModel(np.random.default_rng(3))
+        scaled = HandoverTimingModel(np.random.default_rng(3), t2_scale=2.0)
+        b = np.mean([base.sample(HandoverType.LTEH).t2_ms for _ in range(200)])
+        s = np.mean([scaled.sample(HandoverType.LTEH).t2_ms for _ in range(200)])
+        assert s == pytest.approx(2.0 * b, rel=0.15)
+
+
+class TestSignaling:
+    def _model(self):
+        return SignalingModel(np.random.default_rng(4))
+
+    def test_scgc_doubles_reconfiguration(self):
+        tally = self._model().for_handover(
+            HandoverType.SCGC, reports_observed=2, band_class=BandClass.LOW
+        )
+        assert tally.rrc_reconfigurations == 2
+        assert tally.rrc_measurement_reports == 2
+
+    def test_scgr_skips_rach(self):
+        tally = self._model().for_handover(
+            HandoverType.SCGR, reports_observed=1, band_class=BandClass.LOW
+        )
+        assert tally.rach_procedures in (0, 1)  # occasional retry jitter
+
+    def test_mmwave_phy_explosion(self):
+        model = self._model()
+        low = model.for_handover(
+            HandoverType.SCGM, reports_observed=1, band_class=BandClass.LOW
+        )
+        mmwave = model.for_handover(
+            HandoverType.SCGM, reports_observed=1, band_class=BandClass.MMWAVE
+        )
+        assert mmwave.phy_ssb_measurements >= 5 * low.phy_ssb_measurements
+
+    def test_totals(self):
+        tally = SignalingTally(1, 1, 1, 1, 8)
+        assert tally.rrc_total == 3
+        assert tally.total == 12
+
+    def test_add(self):
+        total = SignalingTally()
+        total.add(SignalingTally(1, 1, 1, 1, 8))
+        total.add(SignalingTally(2, 1, 1, 0, 4))
+        assert total.rrc_measurement_reports == 3
+        assert total.phy_ssb_measurements == 12
+
+    def test_none_rejected(self):
+        with pytest.raises(ValueError):
+            self._model().for_handover(
+                HandoverType.NONE, reports_observed=1, band_class=None
+            )
