@@ -13,26 +13,28 @@ from conftest import print_header
 
 
 def test_sec51_handover_frequency(benchmark, corpus):
+    # Per-drive handover spacing is noisy (shadowing clusters the
+    # events), so the NSA rate comparisons pool several seeds per band.
     logs = {
-        "NSA low-band": corpus.freeway_low(),
-        "NSA mmWave": corpus.freeway_mmwave(),
-        "NSA mid-band": corpus.freeway_mid(),
-        "SA low-band": corpus.freeway_sa(),
-        "LTE-only": corpus.freeway_lte_only(),
+        "NSA low-band": corpus.freeway_low_pool(),
+        "NSA mmWave": corpus.freeway_mmwave_pool(),
+        "NSA mid-band": corpus.freeway_mid_pool(),
+        "SA low-band": [corpus.freeway_sa()],
+        "LTE-only": [corpus.freeway_lte_only()],
     }
 
     def analyse():
         out = {}
-        for name, log in logs.items():
+        for name, pool in logs.items():
             if name.startswith("SA"):
                 types = SA_TYPES
             elif name == "LTE-only":
                 types = FOUR_G_TYPES
             else:
                 types = FIVE_G_NSA_TYPES
-            out[name] = handover_spacing_km([log], types)
+            out[name] = handover_spacing_km(pool, types)
         out["4G under NSA"] = handover_spacing_km(
-            [logs["NSA low-band"]], FOUR_G_TYPES
+            logs["NSA low-band"], FOUR_G_TYPES
         )
         return out
 
@@ -63,15 +65,15 @@ def test_sec51_handover_frequency(benchmark, corpus):
 def test_sec51_signaling_overheads(benchmark, corpus):
     lte = corpus.freeway_lte_only()
     sa = corpus.freeway_sa()
-    low = corpus.freeway_low()
-    mmwave = corpus.freeway_mmwave()
+    low = corpus.freeway_low_pool()
+    mmwave = corpus.freeway_mmwave_pool()
 
     def analyse():
         return {
             "LTE": signaling_per_km([lte]),
             "SA": signaling_per_km([sa]),
-            "NSA low": signaling_per_km([low]),
-            "NSA mmWave": signaling_per_km([mmwave]),
+            "NSA low": signaling_per_km(low),
+            "NSA mmWave": signaling_per_km(mmwave),
         }
 
     rates = benchmark.pedantic(analyse, rounds=1, iterations=1)

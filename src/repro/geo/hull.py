@@ -95,6 +95,10 @@ def hulls_overlap(a: Sequence[Point], b: Sequence[Point]) -> bool:
             continue
         a_min, a_max = _project(polys[0], axis)
         b_min, b_max = _project(polys[1], axis)
-        if a_max < b_min or b_max < a_min:
+        # Relative tolerance: hull construction rounds cross products, so
+        # a boundary point can land a few ulps outside its own hull; an
+        # exact comparison would call that a separation.
+        tol = 1e-12 * max(abs(a_min), abs(a_max), abs(b_min), abs(b_max))
+        if a_max < b_min - tol or b_max < a_min - tol:
             return False
     return True

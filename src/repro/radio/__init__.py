@@ -18,19 +18,29 @@ from repro.radio.bands import (
 )
 from repro.radio.propagation import PathLossModel, ShadowingField
 from repro.radio.fading import FastFading
-from repro.radio.rrs import RRSSample, RadioEnvironment, CellSignal
+from repro.radio.rrs import (
+    BlockMeasurement,
+    CellSignal,
+    MeasurementBatch,
+    RRSSample,
+    RadioEnvironment,
+    ScalarRadioEnvironment,
+)
 
 __all__ = [
     "BAND_CATALOG",
     "Band",
     "BandClass",
+    "BlockMeasurement",
     "CellSignal",
     "Duplex",
     "FastFading",
+    "MeasurementBatch",
     "PathLossModel",
     "RRSSample",
     "RadioAccessTechnology",
     "RadioEnvironment",
+    "ScalarRadioEnvironment",
     "ShadowingField",
     "band_by_name",
 ]

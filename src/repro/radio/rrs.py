@@ -6,6 +6,21 @@ The paper abbreviates the radio quality triple (RSRP, RSRQ, SINR) as
 audible cell, including co-channel interference between cells on the
 same band, which is what makes RSRQ/SINR behave differently from RSRP
 near cell edges — precisely where handovers happen.
+
+Two implementations live here:
+
+* :class:`RadioEnvironment` — the production path. Per-cell propagation
+  state is kept in structure-of-arrays form and every tick is computed
+  with batched numpy operations: one path-loss vector, one batched
+  shadowing/fading innovation draw, and per-band linear-power partial
+  sums that reduce the co-channel interference computation from
+  O(cells²) to O(cells). The random draws are laid out so the generator
+  stream matches the scalar reference exactly (one shadowing plus two
+  fading normals per cell, in measurement order).
+* :class:`ScalarRadioEnvironment` — the original per-cell reference
+  implementation, kept for equivalence tests and as the benchmark
+  baseline. It is bit-compatible with the vectorized path up to
+  last-ulp libm differences (≪ 1e-9 dB).
 """
 
 from __future__ import annotations
@@ -23,7 +38,13 @@ from repro.radio.fading import (
     RICIAN_K_SUBURBAN,
     RICIAN_K_URBAN,
 )
-from repro.radio.propagation import PathLossModel, ShadowingField
+from repro.radio.propagation import (
+    DEFAULT_DECORRELATION_M,
+    DEFAULT_SHADOW_SIGMA_DB,
+    PathLossModel,
+    ShadowingField,
+    free_space_intercept_db,
+)
 
 #: Thermal noise density in dBm/Hz at 290 K.
 THERMAL_NOISE_DBM_HZ = -174.0
@@ -84,7 +105,11 @@ def default_k_factor(band: Band, urban: bool) -> float:
 
 
 class CellSignal:
-    """Per-(UE, cell) signal state: shadowing field plus fading process."""
+    """Per-(UE, cell) signal state: shadowing field plus fading process.
+
+    Scalar companion of the vectorized environment — used by the
+    reference implementation and available for one-off probes.
+    """
 
     def __init__(
         self,
@@ -115,6 +140,66 @@ class CellSignal:
         return self.tx_power_dbm - loss + shadow + fade
 
 
+@dataclass(frozen=True, slots=True)
+class MeasurementBatch:
+    """One tick of audible-cell measurements in array form.
+
+    ``keys[i]`` corresponds to ``rsrp[i]`` / ``rsrq[i]`` / ``sinr[i]``,
+    in the order the cells were passed to ``measure_batch`` (inaudible
+    cells removed). Array consumers (the L3 filter, capacity, neighbour
+    ranking) work on the columns directly; :meth:`samples` materialises
+    the classic per-cell dict when objects are needed.
+    """
+
+    keys: list
+    rsrp: np.ndarray
+    rsrq: np.ndarray
+    sinr: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def samples(self) -> dict[object, RRSSample]:
+        rsrp = self.rsrp.tolist()
+        rsrq = self.rsrq.tolist()
+        sinr = self.sinr.tolist()
+        return {
+            key: RRSSample(rsrp_dbm=rsrp[i], rsrq_db=rsrq[i], sinr_db=sinr[i])
+            for i, key in enumerate(self.keys)
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class BlockMeasurement:
+    """A block of ticks measured in one call, in (ticks, cells) arrays.
+
+    Row ``t`` holds every cell's measurement at the block's ``t``-th
+    tick; ``audible[t, i]`` marks whether cell ``keys[i]`` cleared the
+    reporting floor that tick (inaudible cells still advanced their
+    propagation state and still interfered).
+    """
+
+    keys: list
+    rsrp: np.ndarray
+    rsrq: np.ndarray
+    sinr: np.ndarray
+    audible: np.ndarray
+
+
+def _resolve_load(
+    interference_load: dict[BandClass, float] | float | None,
+) -> dict[BandClass, float]:
+    if interference_load is None:
+        load = dict(DEFAULT_INTERFERENCE_LOAD)
+    elif isinstance(interference_load, dict):
+        load = dict(interference_load)
+    else:
+        load = {band_class: float(interference_load) for band_class in BandClass}
+    if any(not 0.0 <= v <= 1.0 for v in load.values()):
+        raise ValueError("interference load must lie in [0, 1]")
+    return load
+
+
 class RadioEnvironment:
     """Synthesises the full RRS triple for a set of audible cells.
 
@@ -122,6 +207,378 @@ class RadioEnvironment:
     UE's cumulative travelled distance (which indexes the shadowing
     fields). Cells are identified by an opaque hashable key — the RAN
     layer uses the cell's global identity.
+
+    All per-cell propagation state (path-loss coefficients, shadowing
+    AR(1) state, fading complex-gaussian state, noise and interference
+    coefficients) lives in parallel numpy arrays; one :meth:`measure_batch`
+    call advances every requested cell with a handful of vector
+    operations and a single batched draw from the generator.
+
+    Cells that stop being measured for ``evict_after_measures``
+    consecutive measurement ticks are evicted (their propagation state is
+    dropped), bounding memory and the interference scan on long drives.
+    A re-appearing cell is re-registered with fresh shadowing/fading
+    state, exactly like a cell seen for the first time.
+    """
+
+    _INITIAL_CAPACITY = 32
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        interference_load: dict[BandClass, float] | float | None = None,
+        speed_mps: float = 30.0,
+        sample_interval_s: float = 0.05,
+        urban: bool = False,
+        shadow_sigma_scale: float = 1.0,
+        evict_after_measures: int | None = None,
+    ):
+        if shadow_sigma_scale < 0:
+            raise ValueError("sigma scale must be non-negative")
+        if evict_after_measures is not None and evict_after_measures < 1:
+            raise ValueError("evict_after_measures must be positive")
+        self._rng = rng
+        self._load = _resolve_load(interference_load)
+        self._speed = speed_mps
+        self._interval = sample_interval_s
+        self._urban = urban
+        self._shadow_scale = shadow_sigma_scale
+        self._evict_after = evict_after_measures
+        self._measure_count = 0
+
+        self._keys: list[object] = []
+        self._index: dict[object, int] = {}
+        self._band_of: list[Band] = []
+        self._band_group: dict[str, int] = {}
+        self._n = 0
+        #: Bumped whenever eviction compacts the arrays (cached index
+        #: resolutions become stale).
+        self._generation = 0
+        self._resolve_cache: tuple | None = None
+        self._alloc(self._INITIAL_CAPACITY)
+
+    # -- storage ---------------------------------------------------------
+
+    def _alloc(self, capacity: int) -> None:
+        self._tx = np.empty(capacity)
+        self._pl_intercept = np.empty(capacity)
+        self._pl_slope = np.empty(capacity)
+        self._noise_mw = np.empty(capacity)
+        self._cell_load = np.empty(capacity)
+        self._band_id = np.empty(capacity, dtype=np.intp)
+        self._sh_sigma = np.empty(capacity)
+        self._sh_dcorr = np.empty(capacity)
+        self._sh_last_dist = np.empty(capacity)
+        self._sh_last_val = np.empty(capacity)
+        self._fd_rho = np.empty(capacity)
+        self._fd_sigma = np.empty(capacity)
+        self._fd_los = np.empty(capacity)
+        self._fd_nlos = np.empty(capacity)
+        self._fd_re = np.empty(capacity)
+        self._fd_im = np.empty(capacity)
+        self._last_seen = np.empty(capacity, dtype=np.int64)
+
+    _ARRAY_FIELDS = (
+        "_tx",
+        "_pl_intercept",
+        "_pl_slope",
+        "_noise_mw",
+        "_cell_load",
+        "_band_id",
+        "_sh_sigma",
+        "_sh_dcorr",
+        "_sh_last_dist",
+        "_sh_last_val",
+        "_fd_rho",
+        "_fd_sigma",
+        "_fd_los",
+        "_fd_nlos",
+        "_fd_re",
+        "_fd_im",
+        "_last_seen",
+    )
+
+    def _grow(self) -> None:
+        capacity = max(self._tx.shape[0] * 2, self._INITIAL_CAPACITY)
+        for name in self._ARRAY_FIELDS:
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
+
+    @property
+    def tracked_cells(self) -> int:
+        """Number of cells currently holding propagation state."""
+        return self._n
+
+    # -- registration ----------------------------------------------------
+
+    def register(self, key: object, band: Band, tx_power_dbm: float) -> None:
+        """Register a cell; idempotent for an already-known key."""
+        if key in self._index:
+            return
+        if self._n == self._tx.shape[0]:
+            self._grow()
+        i = self._n
+        exponent = PathLossModel().exponent_for(band)
+        doppler = FastFading.doppler_hz(self._speed, band.frequency_mhz)
+        x = math.pi * doppler * self._interval
+        rho_f = math.exp(-(x * x))
+        k = default_k_factor(band, self._urban)
+        # Fading bootstrap: the same two unit-variance complex-gaussian
+        # component draws the scalar FastFading constructor performs.
+        root_half = math.sqrt(0.5)
+        g_re = float(self._rng.normal(0, root_half))
+        g_im = float(self._rng.normal(0, root_half))
+
+        self._tx[i] = tx_power_dbm
+        self._pl_intercept[i] = free_space_intercept_db(band.frequency_mhz)
+        self._pl_slope[i] = 10.0 * exponent
+        self._noise_mw[i] = _db_to_mw(noise_power_dbm(band.scs_khz))
+        self._cell_load[i] = self._load[band.band_class]
+        self._band_id[i] = self._band_group.setdefault(
+            band.name, len(self._band_group)
+        )
+        self._sh_sigma[i] = DEFAULT_SHADOW_SIGMA_DB[band.band_class] * self._shadow_scale
+        self._sh_dcorr[i] = DEFAULT_DECORRELATION_M[band.band_class]
+        self._sh_last_dist[i] = np.nan
+        self._sh_last_val[i] = 0.0
+        self._fd_rho[i] = rho_f
+        self._fd_sigma[i] = math.sqrt(max(1.0 - rho_f * rho_f, 0.0) * 0.5)
+        self._fd_los[i] = math.sqrt(k / (k + 1.0))
+        self._fd_nlos[i] = math.sqrt(1.0 / (k + 1.0))
+        self._fd_re[i] = g_re
+        self._fd_im[i] = g_im
+        self._last_seen[i] = self._measure_count
+        self._keys.append(key)
+        self._index[key] = i
+        self._band_of.append(band)
+        self._n += 1
+
+    # -- measurement -----------------------------------------------------
+
+    def _resolve(self, keys: list) -> tuple[np.ndarray, np.ndarray]:
+        """(positions, band one-hot) for ``keys``, cached by list identity.
+
+        The cache holds a reference to ``keys``, so callers must treat a
+        list they pass as immutable while they keep reusing it. Eviction
+        bumps the generation and invalidates stale resolutions.
+        """
+        cache = self._resolve_cache
+        if (
+            cache is not None
+            and cache[0] is keys
+            and cache[1] == self._generation
+        ):
+            return cache[2], cache[3]
+        n = len(keys)
+        index = self._index
+        try:
+            idx = np.fromiter((index[k] for k in keys), dtype=np.intp, count=n)
+        except KeyError as exc:
+            raise KeyError(f"cell {exc.args[0]!r} was never registered") from None
+        # One column per band group: co-channel totals become one matmul.
+        onehot = np.zeros((n, len(self._band_group)))
+        onehot[np.arange(n), self._band_id[idx]] = 1.0
+        self._resolve_cache = (keys, self._generation, idx, onehot)
+        return idx, onehot
+
+    def measure_block(
+        self,
+        keys: list,
+        distances_m: np.ndarray,
+        travelled_m: np.ndarray,
+    ) -> BlockMeasurement:
+        """Measure ``keys`` over a block of consecutive ticks at once.
+
+        ``distances_m`` is (ticks, cells); ``travelled_m`` is the UE's
+        cumulative arc length per tick. The whole block costs one
+        generator draw and a handful of (ticks, cells) array operations —
+        the AR(1) recurrences run as two tiny vector ops per tick. The
+        draw layout per tick is [shadow_i, fade_re_i, fade_im_i] per
+        cell, so the generator stream is identical to measuring the same
+        ticks one at a time (and to the scalar reference).
+
+        One block counts as one measurement round for eviction purposes.
+        """
+        d = np.asarray(distances_m, dtype=float)
+        travelled = np.atleast_1d(np.asarray(travelled_m, dtype=float))
+        n = len(keys)
+        ticks = travelled.shape[0]
+        if n == 0:
+            empty = np.empty((ticks, 0))
+            return BlockMeasurement([], empty, empty, empty, empty.astype(bool))
+        if d.shape != (ticks, n):
+            raise ValueError("distances must be a (ticks, cells) array matching keys")
+        if np.any(d < 0):
+            raise ValueError("distance must be non-negative")
+        if ticks > 1 and np.any(np.diff(travelled) < -1e-9):
+            raise ValueError("shadowing field sampled backwards along the track")
+        idx, onehot = self._resolve(keys)
+
+        sigma = self._sh_sigma[idx]
+        dcorr = self._sh_dcorr[idx]
+        rho_f = self._fd_rho[idx]
+        sigma_f = self._fd_sigma[idx]
+        shadow_active = bool(np.any(sigma > 0.0))
+        if shadow_active:
+            z = self._rng.standard_normal(3 * n * ticks).reshape(ticks, 3 * n)
+            z_shadow, z_re, z_im = z[:, 0::3], z[:, 1::3], z[:, 2::3]
+        else:
+            # The scalar ShadowingField consumes no draws at sigma == 0;
+            # mirror that so the streams stay aligned.
+            z = self._rng.standard_normal(2 * n * ticks).reshape(ticks, 2 * n)
+            z_shadow, z_re, z_im = None, z[:, 0::2], z[:, 1::2]
+
+        # --- correlated shadowing (Gudmundson AR(1) over distance) ---
+        # The first tick correlates against each cell's stored state
+        # (never-sampled cells start fresh); later ticks all share the
+        # same travelled-distance step, so their rho/innovation rows are
+        # precomputed and the recurrence is two ops per tick.
+        if shadow_active:
+            last_dist = self._sh_last_dist[idx]
+            first = np.isnan(last_dist)
+            delta0 = travelled[0] - last_dist
+            if np.any((delta0 < -1e-9) & ~first):
+                raise ValueError("shadowing field sampled backwards along the track")
+            with np.errstate(invalid="ignore"):
+                rho0 = np.exp(-np.maximum(delta0, 0.0) / dcorr)
+                innov0 = sigma * np.sqrt(np.maximum(1.0 - rho0 * rho0, 0.0))
+            rho0 = np.where(first, 0.0, rho0)
+            innov0 = np.where(first, sigma, innov0)
+            shadow = np.empty((ticks, n))
+            val = rho0 * self._sh_last_val[idx] + z_shadow[0] * innov0
+            shadow[0] = val
+            if ticks > 1:
+                steps = np.diff(travelled)
+                rho_t = np.exp(-np.maximum(steps, 0.0)[:, None] / dcorr)
+                innov_t = sigma * np.sqrt(np.maximum(1.0 - rho_t * rho_t, 0.0))
+                for t in range(1, ticks):
+                    val = rho_t[t - 1] * val + z_shadow[t] * innov_t[t - 1]
+                    shadow[t] = val
+            self._sh_last_val[idx] = val
+            self._sh_last_dist[idx] = travelled[-1]
+        else:
+            shadow = 0.0
+
+        # --- correlated Rician fading ---
+        g_re = np.empty((ticks, n))
+        g_im = np.empty((ticks, n))
+        cur_re = self._fd_re[idx]
+        cur_im = self._fd_im[idx]
+        for t in range(ticks):
+            cur_re = rho_f * cur_re + z_re[t] * sigma_f
+            cur_im = rho_f * cur_im + z_im[t] * sigma_f
+            g_re[t] = cur_re
+            g_im[t] = cur_im
+        self._fd_re[idx] = cur_re
+        self._fd_im[idx] = cur_im
+        h_re = self._fd_los[idx] + self._fd_nlos[idx] * g_re
+        h_im = self._fd_nlos[idx] * g_im
+        power = np.maximum(h_re * h_re + h_im * h_im, 1e-12)
+        fade_db = 10.0 * np.log10(power)
+
+        # --- path loss and RSRP ---
+        loss = self._pl_intercept[idx] + self._pl_slope[idx] * np.log10(
+            np.maximum(d, 1.0)
+        )
+        rsrp = self._tx[idx] - loss + shadow + fade_db
+
+        # --- co-channel interference: per-band linear-power partial sums
+        # turn the all-pairs scan into O(cells). ---
+        signal_mw = 10.0 ** (rsrp / 10.0)
+        band_ids = self._band_id[idx]
+        totals = signal_mw @ onehot
+        interference_mw = self._cell_load[idx] * (totals[:, band_ids] - signal_mw)
+        denom = interference_mw + self._noise_mw[idx]
+        signal_db = 10.0 * np.log10(np.maximum(signal_mw, 1e-30))
+        sinr = signal_db - 10.0 * np.log10(np.maximum(denom, 1e-30))
+        rsrq = signal_db - 10.0 * np.log10(np.maximum(signal_mw + denom, 1e-30))
+
+        self._last_seen[idx] = self._measure_count
+        self._measure_count += 1
+        self._maybe_evict()
+
+        audible = rsrp >= AUDIBILITY_FLOOR_DBM
+        return BlockMeasurement(list(keys), rsrp, rsrq, sinr, audible)
+
+    def measure_batch(
+        self,
+        keys: list,
+        distances_m: np.ndarray,
+        travelled_m: float,
+    ) -> MeasurementBatch:
+        """Measure ``keys`` (all registered) for one tick.
+
+        Returns only audible cells (RSRP above the reporting floor); the
+        inaudible ones still advance their propagation state and still
+        contribute co-channel interference, exactly as in the scalar
+        reference. Single-tick wrapper over :meth:`measure_block`.
+        """
+        n = len(keys)
+        if n == 0:
+            empty = np.empty(0)
+            return MeasurementBatch([], empty, empty, empty)
+        d = np.asarray(distances_m, dtype=float)
+        if d.shape != (n,):
+            raise ValueError("distances must be a 1-D array matching keys")
+        block = self.measure_block(keys, d.reshape(1, n), np.array([travelled_m]))
+        rsrp, rsrq, sinr = block.rsrp[0], block.rsrq[0], block.sinr[0]
+        audible = block.audible[0]
+        if bool(audible.all()):
+            return MeasurementBatch(list(keys), rsrp, rsrq, sinr)
+        which = np.nonzero(audible)[0]
+        kept = [keys[i] for i in which.tolist()]
+        return MeasurementBatch(kept, rsrp[which], rsrq[which], sinr[which])
+
+    def measure(
+        self,
+        distances_m: dict[object, float],
+        travelled_m: float,
+    ) -> dict[object, RRSSample]:
+        """Measure every registered cell in ``distances_m``.
+
+        Thin dict-based wrapper over :meth:`measure_batch`, kept as the
+        classic scalar-friendly API.
+        """
+        keys = list(distances_m.keys())
+        distances = np.fromiter(distances_m.values(), dtype=float, count=len(keys))
+        return self.measure_batch(keys, distances, travelled_m).samples()
+
+    # -- eviction --------------------------------------------------------
+
+    def _maybe_evict(self) -> None:
+        if self._evict_after is None or self._n == 0:
+            return
+        # Sweep rarely; staleness is judged against the same cutoff either
+        # way, so amortising the compaction does not change results.
+        if self._measure_count % max(self._evict_after // 2, 16) != 0:
+            return
+        cutoff = self._measure_count - self._evict_after
+        keep = self._last_seen[: self._n] >= cutoff
+        if bool(keep.all()):
+            return
+        kept_positions = np.nonzero(keep)[0]
+        for name in self._ARRAY_FIELDS:
+            arr = getattr(self, name)
+            arr[: kept_positions.size] = arr[: self._n][kept_positions]
+        kept_list = kept_positions.tolist()
+        self._keys = [self._keys[i] for i in kept_list]
+        self._band_of = [self._band_of[i] for i in kept_list]
+        self._index = {key: i for i, key in enumerate(self._keys)}
+        self._n = len(self._keys)
+        self._generation += 1
+        self._resolve_cache = None
+
+
+class ScalarRadioEnvironment:
+    """Reference per-cell implementation of :class:`RadioEnvironment`.
+
+    This is the original O(cells²) scalar pipeline, retained verbatim as
+    the ground truth for equivalence tests and as the baseline the
+    throughput benchmark measures speedups against. It consumes the
+    generator stream in the same order as the vectorized path.
     """
 
     def __init__(
@@ -134,16 +591,8 @@ class RadioEnvironment:
         urban: bool = False,
         shadow_sigma_scale: float = 1.0,
     ):
-        if interference_load is None:
-            load = dict(DEFAULT_INTERFERENCE_LOAD)
-        elif isinstance(interference_load, dict):
-            load = dict(interference_load)
-        else:
-            load = {band_class: float(interference_load) for band_class in BandClass}
-        if any(not 0.0 <= v <= 1.0 for v in load.values()):
-            raise ValueError("interference load must lie in [0, 1]")
         self._rng = rng
-        self._load = load
+        self._load = _resolve_load(interference_load)
         self._speed = speed_mps
         self._interval = sample_interval_s
         self._urban = urban

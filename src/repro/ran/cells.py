@@ -76,6 +76,12 @@ class Cell:
         if not 0 <= self.pci < limit:
             raise ValueError(f"PCI {self.pci} out of range for {self.rat}")
 
+    def __hash__(self) -> int:
+        # Cells are keyed into dicts on every simulator tick; hashing the
+        # full field tuple (bands, points, enums) dominated profiles. The
+        # GCI is unique per deployment, so it is a sufficient hash.
+        return hash(self.gci)
+
     @property
     def rat(self) -> RadioAccessTechnology:
         return self.band.rat

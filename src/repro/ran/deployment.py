@@ -108,6 +108,21 @@ class Deployment:
             key = self._grid_key(cell.position)
             self._grid.setdefault(key, []).append(cell)
         self._max_radius = max((c.audible_radius_m for c in self.cells), default=0.0)
+        # Flattened cell arrays in (grid key, insertion) order so audibility
+        # queries are one vectorized pass instead of a python grid scan.
+        # np.nonzero on this layout reproduces the grid scan's result order.
+        flat: list[Cell] = []
+        flat_keys: list[tuple[int, int]] = []
+        for key in sorted(self._grid):
+            for cell in self._grid[key]:
+                flat.append(cell)
+                flat_keys.append(key)
+        self._flat_cells = flat
+        self._flat_gx = np.array([k[0] for k in flat_keys], dtype=np.int64)
+        self._flat_gy = np.array([k[1] for k in flat_keys], dtype=np.int64)
+        self._flat_x = np.array([c.position.x for c in flat], dtype=float)
+        self._flat_y = np.array([c.position.y for c in flat], dtype=float)
+        self._flat_r = np.array([c.audible_radius_m for c in flat], dtype=float)
 
     def _grid_key(self, point: Point) -> tuple[int, int]:
         return (int(point.x // self._GRID_M), int(point.y // self._GRID_M))
@@ -126,18 +141,25 @@ class Deployment:
         return None
 
     def audible_cells(self, point: Point) -> list[Cell]:
-        """Cells whose audible radius covers ``point``."""
+        """Cells whose audible radius covers ``point``.
+
+        Result order is (grid key, insertion) — what a row-major scan of
+        the grid neighbourhood would visit.
+        """
         if not self.cells:
             return []
         reach = int(math.ceil(self._max_radius / self._GRID_M))
         cx, cy = self._grid_key(point)
-        found: list[Cell] = []
-        for ix in range(cx - reach, cx + reach + 1):
-            for iy in range(cy - reach, cy + reach + 1):
-                for cell in self._grid.get((ix, iy), ()):
-                    if cell.distance_to(point) <= cell.audible_radius_m:
-                        found.append(cell)
-        return found
+        near = (
+            (np.abs(self._flat_gx - cx) <= reach)
+            & (np.abs(self._flat_gy - cy) <= reach)
+            & (
+                np.hypot(self._flat_x - point.x, self._flat_y - point.y)
+                <= self._flat_r
+            )
+        )
+        cells = self._flat_cells
+        return [cells[i] for i in np.nonzero(near)[0].tolist()]
 
     @property
     def colocated_gnb_fraction(self) -> float:

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.radio.rrs import RRSSample
 from repro.rrc.events import EventConfig, EventType, MeasurementObject, evaluate_event
 
@@ -58,38 +60,158 @@ class L3Filter:
     Cells that stop being measured are forgotten after ``forget_s``.
     """
 
+    _INITIAL_CAPACITY = 32
+    _COMPACT_EVERY = 512
+
     def __init__(self, alpha: float = 0.16, forget_s: float = 2.0):
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must lie in (0, 1]")
         self._alpha = alpha
         self._forget_s = forget_s
-        self._state: dict[object, tuple[float, RRSSample]] = {}
+        self._index: dict[object, int] = {}
+        self._keys: list[object] = []
+        self._n = 0
+        self._updates = 0
+        #: Bumped when compaction moves slots (cached slot arrays stale).
+        self.generation = 0
+        self._last_time = np.empty(self._INITIAL_CAPACITY)
+        self._vals = np.empty((self._INITIAL_CAPACITY, 3))
+
+    def _slot(self, cell: object) -> int:
+        i = self._index.get(cell)
+        if i is not None:
+            return i
+        if self._n == self._last_time.shape[0]:
+            capacity = self._last_time.shape[0] * 2
+            last_time = np.empty(capacity)
+            vals = np.empty((capacity, 3))
+            last_time[: self._n] = self._last_time[: self._n]
+            vals[: self._n] = self._vals[: self._n]
+            self._last_time, self._vals = last_time, vals
+        i = self._n
+        self._last_time[i] = -np.inf
+        self._n += 1
+        self._index[cell] = i
+        self._keys.append(cell)
+        return i
+
+    def slot_array(self, keys: list) -> np.ndarray:
+        """Array of filter slots for ``keys`` (creating missing ones).
+
+        Callers that reuse a fixed key set can cache this as long as
+        :attr:`generation` is unchanged.
+        """
+        return np.fromiter(
+            (self._slot(k) for k in keys), dtype=np.intp, count=len(keys)
+        )
+
+    def update_block(
+        self,
+        times_s: np.ndarray,
+        slots: np.ndarray,
+        rsrp: np.ndarray,
+        rsrq: np.ndarray,
+        sinr: np.ndarray,
+        measured: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fold a block of ticks in; return filtered (ticks, cells) arrays.
+
+        ``slots`` comes from :meth:`slot_array`; ``measured[t, i]`` marks
+        whether cell ``i`` was actually measured at tick ``t`` — cells
+        measured every tick smooth continuously, unmeasured ticks leave a
+        cell's state untouched (it goes stale and restarts from raw, like
+        in :meth:`update_batch`). Rows of the output for unmeasured cells
+        are filler and must be masked by the caller.
+        """
+        ticks, n = rsrp.shape
+        raw = np.stack((rsrp, rsrq, sinr), axis=2)
+        if n == 0:
+            empty = np.empty((ticks, 0))
+            return empty, empty, empty
+        out = np.empty_like(raw)
+        a = self._alpha
+        # Work on local copies; one gather/scatter per block, not per tick.
+        last_time = self._last_time[slots].copy()
+        vals = self._vals[slots].copy()
+        for t in range(ticks):
+            time_s = times_s[t]
+            fresh = (time_s - last_time) <= self._forget_s
+            smoothed = np.where(fresh[:, None], (1 - a) * vals + a * raw[t], raw[t])
+            m = measured[t]
+            vals = np.where(m[:, None], smoothed, vals)
+            last_time = np.where(m, time_s, last_time)
+            out[t] = smoothed
+        self._last_time[slots] = last_time
+        self._vals[slots] = vals
+        before = self._updates
+        self._updates += ticks
+        if self._updates // self._COMPACT_EVERY != before // self._COMPACT_EVERY:
+            self._compact(float(times_s[-1]))
+        return out[..., 0], out[..., 1], out[..., 2]
+
+    def update_batch(
+        self,
+        time_s: float,
+        keys: list,
+        rsrp: np.ndarray,
+        rsrq: np.ndarray,
+        sinr: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fold one tick of raw sample arrays in; return filtered arrays.
+
+        ``keys[i]`` owns row ``i`` of each array. Cells whose last
+        measurement is older than ``forget_s`` restart from the raw
+        sample, exactly like never-seen cells.
+        """
+        n = len(keys)
+        if n == 0:
+            empty = np.empty(0)
+            return empty, empty, empty
+        idx = np.fromiter((self._slot(k) for k in keys), dtype=np.intp, count=n)
+        fresh = (time_s - self._last_time[idx]) <= self._forget_s
+        a = self._alpha
+        old = self._vals[idx]
+        raw = np.stack((rsrp, rsrq, sinr), axis=1)
+        smoothed = np.where(fresh[:, None], (1 - a) * old + a * raw, raw)
+        self._vals[idx] = smoothed
+        self._last_time[idx] = time_s
+        self._updates += 1
+        if self._updates % self._COMPACT_EVERY == 0:
+            self._compact(time_s)
+        return smoothed[:, 0], smoothed[:, 1], smoothed[:, 2]
 
     def update(self, time_s: float, raw: dict[object, RRSSample]) -> dict[object, RRSSample]:
         """Fold one tick of raw samples in; return filtered samples."""
-        a = self._alpha
-        filtered: dict[object, RRSSample] = {}
-        for cell, sample in raw.items():
-            previous = self._state.get(cell)
-            if previous is None or time_s - previous[0] > self._forget_s:
-                smoothed = sample
-            else:
-                old = previous[1]
-                smoothed = RRSSample(
-                    rsrp_dbm=(1 - a) * old.rsrp_dbm + a * sample.rsrp_dbm,
-                    rsrq_db=(1 - a) * old.rsrq_db + a * sample.rsrq_db,
-                    sinr_db=(1 - a) * old.sinr_db + a * sample.sinr_db,
-                )
-            self._state[cell] = (time_s, smoothed)
-            filtered[cell] = smoothed
-        # Forget cells that have not been measured recently.
-        stale = [c for c, (t, _) in self._state.items() if time_s - t > self._forget_s]
-        for cell in stale:
-            del self._state[cell]
-        return filtered
+        keys = list(raw.keys())
+        n = len(keys)
+        rsrp = np.fromiter((s.rsrp_dbm for s in raw.values()), dtype=float, count=n)
+        rsrq = np.fromiter((s.rsrq_db for s in raw.values()), dtype=float, count=n)
+        sinr = np.fromiter((s.sinr_db for s in raw.values()), dtype=float, count=n)
+        f_rsrp, f_rsrq, f_sinr = self.update_batch(time_s, keys, rsrp, rsrq, sinr)
+        f_rsrp, f_rsrq, f_sinr = f_rsrp.tolist(), f_rsrq.tolist(), f_sinr.tolist()
+        return {
+            cell: RRSSample(rsrp_dbm=f_rsrp[i], rsrq_db=f_rsrq[i], sinr_db=f_sinr[i])
+            for i, cell in enumerate(keys)
+        }
+
+    def _compact(self, time_s: float) -> None:
+        """Drop state for cells not measured within the forget horizon."""
+        keep = (time_s - self._last_time[: self._n]) <= self._forget_s
+        if bool(keep.all()):
+            return
+        kept = np.nonzero(keep)[0]
+        self._last_time[: kept.size] = self._last_time[: self._n][kept]
+        self._vals[: kept.size] = self._vals[: self._n][kept]
+        self._keys = [self._keys[i] for i in kept.tolist()]
+        self._index = {key: i for i, key in enumerate(self._keys)}
+        self._n = len(self._keys)
+        self.generation += 1
 
     def reset(self) -> None:
-        self._state.clear()
+        self._index.clear()
+        self._keys.clear()
+        self._n = 0
+        self.generation += 1
 
 
 @dataclass
@@ -97,6 +219,38 @@ class _TriggerState:
     held_since_s: float | None = None
     latched: bool = False
     last_fire_s: float = float("-inf")
+
+
+@dataclass(slots=True)
+class ObjectView:
+    """One measurement object's state over a measurement block.
+
+    The vectorized simulator feeds :meth:`EventMonitor.observe_arrays`
+    one of these per measurement object instead of materialising
+    per-cell sample dicts. ``cells`` is the block-fixed measured cell
+    list for the object; ``rsrp_block``/``mask_block`` are the block's
+    smoothed RSRP and audibility as (ticks, cells) arrays and ``tick``
+    selects the current row. ``rsrp_rows``/``mask_rows`` mirror them as
+    nested python lists so single-element reads skip numpy scalar
+    boxing. ``sample_at`` lazily builds an
+    :class:`~repro.radio.rrs.RRSSample` for a position (only fired
+    reports ever need sample objects). ``token`` changes whenever
+    ``cells`` changes, keying the monitor's per-block caches.
+    """
+
+    cells: list
+    pos_of: dict
+    token: object = None
+    serving_cell: object | None = None
+    serving_pos: int | None = None
+    rsrp_block: np.ndarray | None = None
+    mask_block: np.ndarray | None = None
+    rsrp_rows: list | None = None
+    rsrq_rows: list | None = None
+    sinr_rows: list | None = None
+    mask_rows: list | None = None
+    tick: int = 0
+    sample_at: object = None
 
 
 class EventMonitor:
@@ -116,6 +270,22 @@ class EventMonitor:
         self._configs = list(configs)
         self._report_interval_s = report_interval_s
         self._state: dict[tuple[int, object | None], _TriggerState] = {}
+        # (config idx, block token, serving cell, serving audible) ->
+        # (candidate position set, per-tick triggered-position lists);
+        # valid as long as the view's cell list is.
+        self._block_cache: dict[tuple, tuple[set[int], list[list[int]]]] = {}
+        # Attribute/property lookups hoisted out of the per-tick loop.
+        self._fast = [
+            (
+                config,
+                config.event,
+                config.event.needs_neighbour,
+                config.needs_serving,
+                config.only_when_detached,
+                config.hysteresis_db,
+            )
+            for config in self._configs
+        ]
 
     @property
     def configs(self) -> list[EventConfig]:
@@ -127,10 +297,10 @@ class EventMonitor:
 
     def reset_event(self, measurement: MeasurementObject) -> None:
         """Drop trigger state for one measurement object only."""
-        for (index, _cell), state in list(self._state.items()):
-            if self._configs[index].measurement is measurement:
-                state.held_since_s = None
-                state.latched = False
+        for key in [
+            k for k in self._state if self._configs[k[0]].measurement is measurement
+        ]:
+            del self._state[key]
 
     def observe(
         self,
@@ -159,10 +329,8 @@ class EventMonitor:
             if (config.needs_serving and serving_pair is None) or (
                 config.only_when_detached and serving_pair is not None
             ):
-                for key, state in self._state.items():
-                    if key[0] == index:
-                        state.held_since_s = None
-                        state.latched = False
+                for key in [k for k in self._state if k[0] == index]:
+                    del self._state[key]
                 continue
             if config.event.needs_neighbour:
                 candidates = neighbours.get(obj, {})
@@ -222,6 +390,170 @@ class EventMonitor:
                     )
         return reports
 
+    def observe_arrays(
+        self, time_s: float, views: dict[MeasurementObject, ObjectView]
+    ) -> list[MeasurementReport]:
+        """Array-form :meth:`observe` for the vectorized simulator.
+
+        Produces the same reports in the same order as :meth:`observe`
+        fed the equivalent sample dicts: reports append in config order,
+        and within a config in ascending candidate position order (the
+        insertion order of the dicts the scalar path builds). Candidate
+        filtering and the entering conditions are evaluated for the whole
+        block at once the first time a (config, serving) pair is seen —
+        the per-tick work is a cache lookup plus advancing the handful of
+        triggered or active cells.
+        """
+        reports: list[MeasurementReport] = []
+        state = self._state
+        for index, (config, ev, needs_nb, needs_srv, only_det, hys) in enumerate(
+            self._fast
+        ):
+            view = views.get(config.measurement)
+            t = 0 if view is None else view.tick
+            spos = None if view is None else view.serving_pos
+            serving_ok = (
+                view is not None
+                and view.serving_cell is not None
+                and spos is not None
+                and view.mask_rows[t][spos]
+            )
+            if (needs_srv and not serving_ok) or (only_det and serving_ok):
+                if state:
+                    for key in [k for k in state if k[0] == index]:
+                        del state[key]
+                continue
+            serving_cell = view.serving_cell if serving_ok else None
+            serving_sample: RRSSample | None = None
+            if needs_nb:
+                if view is None or not view.cells:
+                    continue
+                pos_set, true_lists = self._block_eval(
+                    index, config, ev, hys, view, serving_cell
+                )
+                true_list = true_lists[t]
+                if state:
+                    actives = [k for k in state if k[0] == index]
+                    if actives:
+                        mask_row = view.mask_rows[t]
+                        pos_of = view.pos_of
+                        for key in actives:
+                            p = pos_of.get(key[1])
+                            # Cells outside today's candidate set
+                            # (unmeasured, filtered out, or inaudible)
+                            # keep their state, as in the dict path;
+                            # audible candidates whose condition lapsed
+                            # reset.
+                            if (
+                                p is None
+                                or p in true_list
+                                or p not in pos_set
+                                or not mask_row[p]
+                            ):
+                                continue
+                            del state[key]
+                for p in true_list:
+                    cell = view.cells[p]
+                    if self._advance((index, cell), True, time_s, config):
+                        if serving_sample is None and serving_ok:
+                            serving_sample = view.sample_at(spos)
+                        reports.append(
+                            MeasurementReport(
+                                time_s=time_s,
+                                config=config,
+                                serving_cell=serving_cell,
+                                neighbour_cell=cell,
+                                serving_sample=serving_sample,
+                                neighbour_sample=view.sample_at(p),
+                            )
+                        )
+            else:
+                if ev is EventType.A1:
+                    cond = view.rsrp_rows[t][spos] - hys > config.threshold_dbm
+                elif ev is EventType.A2:
+                    cond = view.rsrp_rows[t][spos] + hys < config.threshold_dbm
+                else:  # PERIODIC
+                    cond = True
+                if self._advance((index, None), cond, time_s, config):
+                    if serving_sample is None and serving_ok:
+                        serving_sample = view.sample_at(spos)
+                    reports.append(
+                        MeasurementReport(
+                            time_s=time_s,
+                            config=config,
+                            serving_cell=serving_cell,
+                            neighbour_cell=None,
+                            serving_sample=serving_sample,
+                        )
+                    )
+        return reports
+
+    def _block_eval(
+        self,
+        index: int,
+        config: EventConfig,
+        ev: EventType,
+        hys: float,
+        view: ObjectView,
+        serving_cell: object | None,
+    ) -> tuple[set[int], list[list[int]]]:
+        """Candidate set and per-tick triggered positions for a block.
+
+        Keyed on the *actual* serving (identity exclusion) and whether it
+        is audible (filter scoping) — both change the candidate set. The
+        entering condition only depends on the block's smoothed RSRP and
+        the serving column, so it is evaluated for every (tick, cell) in
+        one vectorized pass; ticks where the config is gated out simply
+        never consult their row.
+        """
+        # serving_pos stands in for the serving cell when it is measured
+        # (bijective within a token, cheaper to hash than a Cell).
+        skey = view.serving_pos if view.serving_pos is not None else view.serving_cell
+        key = (index, view.token, skey, serving_cell is not None)
+        cached = self._block_cache.get(key)
+        if cached is not None:
+            return cached
+        positions: list[int] = []
+        if not (config.intra_node_only and serving_cell is None):
+            want_node = getattr(serving_cell, "node_id", None)
+            want_band = getattr(getattr(serving_cell, "band", None), "name", None)
+            for p, cell in enumerate(view.cells):
+                if cell is view.serving_cell:
+                    continue
+                if config.intra_node_only and getattr(cell, "node_id", None) != want_node:
+                    continue
+                if (
+                    config.intra_frequency_only
+                    and serving_cell is not None
+                    and getattr(getattr(cell, "band", None), "name", None) != want_band
+                ):
+                    continue
+                positions.append(p)
+        ticks = view.rsrp_block.shape[0]
+        true_lists: list[list[int]] = [[] for _ in range(ticks)]
+        if positions:
+            cand = np.array(positions, dtype=np.intp)
+            cand_rsrp = view.rsrp_block[:, cand]
+            if ev is EventType.A3:
+                scol = view.rsrp_block[:, view.serving_pos]
+                cond = cand_rsrp > scol[:, None] + config.offset_db + hys
+            elif ev is EventType.A5:
+                scol = view.rsrp_block[:, view.serving_pos]
+                cond = (scol + hys < config.threshold_dbm)[:, None] & (
+                    cand_rsrp - hys > config.threshold2_dbm
+                )
+            else:  # A4 / B1
+                cond = cand_rsrp - hys > config.threshold_dbm
+            cond &= view.mask_block[:, cand]
+            tt, pp = np.nonzero(cond)
+            for t_, p_ in zip(tt.tolist(), pp.tolist()):
+                true_lists[t_].append(positions[p_])
+        if len(self._block_cache) > 256:
+            self._block_cache.clear()
+        result = (set(positions), true_lists)
+        self._block_cache[key] = result
+        return result
+
     def _advance(
         self,
         key: tuple[int, object | None],
@@ -229,11 +561,14 @@ class EventMonitor:
         time_s: float,
         config: EventConfig,
     ) -> bool:
-        state = self._state.setdefault(key, _TriggerState())
         if not condition:
-            state.held_since_s = None
-            state.latched = False
+            # Dropping the entry is equivalent to resetting it: last_fire_s
+            # is only read while latched, and latching always rewrites it.
+            self._state.pop(key, None)
             return False
+        state = self._state.get(key)
+        if state is None:
+            state = self._state[key] = _TriggerState()
         if state.latched:
             # Condition still holding: periodic re-report.
             if time_s - state.last_fire_s + 1e-9 >= self._report_interval_s:

@@ -32,9 +32,12 @@ from repro.simulate.dataset import (
     build_table1_dataset,
     DatasetSummary,
 )
+from repro.simulate.cache import DriveCache
+from repro.simulate.runner import run_drives
 
 __all__ = [
     "DatasetSummary",
+    "DriveCache",
     "DriveLog",
     "DriveSimulator",
     "HandoverRecord",
@@ -49,4 +52,5 @@ __all__ = [
     "coverage_scenario",
     "energy_loop_scenario",
     "freeway_scenario",
+    "run_drives",
 ]

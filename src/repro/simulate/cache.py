@@ -1,0 +1,176 @@
+"""On-disk corpus cache: content-addressed DriveLog storage.
+
+Rebuilding the benchmark corpus dominates iteration time — every bench
+session re-simulated every drive from scratch. This module caches each
+:class:`~repro.simulate.records.DriveLog` on disk, keyed by a sha256
+over everything that determines the log bit-for-bit:
+
+* the scenario's name and seed,
+* every :class:`SimulationConfig` knob,
+* the deployment (carrier plus each cell's identity/position/power and
+  the segment layout),
+* the trajectory (tick interval plus the packed time/arc/x/y/speed
+  arrays), and
+* a code-version token — a hash over the ``repro`` package sources —
+  so editing the simulator silently invalidates stale entries instead
+  of serving logs produced by old code.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` relocates the cache root (default
+  ``./.repro-cache``).
+* ``REPRO_NO_CACHE=1`` disables the cache entirely (every lookup
+  misses, nothing is written).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.simulate.records import DriveLog
+from repro.simulate.scenarios import Scenario
+from repro.simulate.serialization import load_log, save_log
+
+_DEFAULT_ROOT = ".repro-cache"
+_code_version_token: str | None = None
+
+
+def code_version_token() -> str:
+    """A hash over the ``repro`` package sources (cached per process)."""
+    global _code_version_token
+    if _code_version_token is None:
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).resolve().parent
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(source.relative_to(package_root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(source.read_bytes())
+        _code_version_token = digest.hexdigest()
+    return _code_version_token
+
+
+def _jsonable(value):
+    """Coerce config field values to something json can serialise stably."""
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.name]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def scenario_fingerprint(scenario: Scenario) -> dict:
+    """A JSON-compatible digest of everything that determines the log."""
+    config = {
+        f.name: _jsonable(getattr(scenario.config, f.name))
+        for f in dataclasses.fields(scenario.config)
+    }
+    cells = [
+        [
+            c.gci,
+            c.pci,
+            c.band.name,
+            c.node_id,
+            c.tower_id,
+            c.position.x,
+            c.position.y,
+            c.eirp_dbm,
+        ]
+        for c in scenario.deployment.cells
+    ]
+    segments = [
+        {f.name: _jsonable(getattr(s, f.name)) for f in dataclasses.fields(s)}
+        for s in scenario.deployment.segments
+    ]
+    track = np.array(
+        [
+            [s.time_s, s.arc_m, s.position.x, s.position.y, s.speed_mps]
+            for s in scenario.trajectory
+        ],
+        dtype=np.float64,
+    )
+    return {
+        "name": scenario.name,
+        "seed": scenario.seed,
+        "config": config,
+        "carrier": scenario.deployment.carrier.name,
+        "cells": cells,
+        "segments": segments,
+        "trajectory": {
+            "ticks": len(scenario.trajectory),
+            "tick_interval_s": scenario.trajectory.tick_interval_s,
+            "track_sha256": hashlib.sha256(track.tobytes()).hexdigest(),
+        },
+        "code_version": code_version_token(),
+    }
+
+
+class DriveCache:
+    """Content-addressed store of simulated drive logs.
+
+    Entries live under ``root`` as ``<key>.json.gz`` where ``key`` is
+    :meth:`key_for` of the scenario. Lookups on a disabled cache always
+    miss; stores become no-ops.
+    """
+
+    def __init__(self, root: str | Path | None = None, *, enabled: bool | None = None):
+        if enabled is None:
+            enabled = os.environ.get("REPRO_NO_CACHE", "") != "1"
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_ROOT
+        self.root = Path(root)
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @staticmethod
+    def key_for(scenario: Scenario) -> str:
+        payload = json.dumps(
+            scenario_fingerprint(scenario), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json.gz"
+
+    def get(self, scenario: Scenario) -> DriveLog | None:
+        """The cached log for ``scenario``, or None on a miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self._path(self.key_for(scenario))
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            log = load_log(path)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            # A truncated or stale-format entry is a miss, not an error.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return log
+
+    def put(self, scenario: Scenario, log: DriveLog) -> None:
+        """Store ``log`` under the scenario's content key."""
+        if not self.enabled:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(self.key_for(scenario))
+        # The temp name keeps the .gz suffix so save_log compresses it.
+        tmp = path.with_name(f".{path.name}.tmp.gz")
+        save_log(log, tmp)
+        tmp.replace(path)
+        self.stores += 1
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}

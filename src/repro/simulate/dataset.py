@@ -173,30 +173,52 @@ def build_table1_dataset(
     return summaries
 
 
-def build_d1_dataset(*, traces: int = 7, seed: int = 41, duration_min: float = 35.0) -> list[DriveLog]:
+def build_d1_dataset(
+    *,
+    traces: int = 7,
+    seed: int = 41,
+    duration_min: float = 35.0,
+    workers: int | None = None,
+) -> list[DriveLog]:
     """D1: walking loops of a tourist area (mmWave 5G + mid-band LTE)."""
-    return [
-        city_walk_scenario(
-            OPX,
-            (BandClass.MMWAVE,),
-            duration_min=duration_min,
-            seed=seed + i,
-        ).run()
-        for i in range(traces)
-    ]
+    from repro.simulate.runner import run_drives
+
+    return run_drives(
+        [
+            city_walk_scenario(
+                OPX,
+                (BandClass.MMWAVE,),
+                duration_min=duration_min,
+                seed=seed + i,
+            )
+            for i in range(traces)
+        ],
+        workers=workers,
+    )
 
 
-def build_d2_dataset(*, traces: int = 10, seed: int = 97, duration_min: float = 25.0) -> list[DriveLog]:
+def build_d2_dataset(
+    *,
+    traces: int = 10,
+    seed: int = 97,
+    duration_min: float = 25.0,
+    workers: int | None = None,
+) -> list[DriveLog]:
     """D2: downtown walking loops (mmWave + low-band 5G + LTE)."""
-    return [
-        city_walk_scenario(
-            OPX,
-            (BandClass.MMWAVE, BandClass.LOW),
-            duration_min=duration_min,
-            seed=seed + i,
-        ).run()
-        for i in range(traces)
-    ]
+    from repro.simulate.runner import run_drives
+
+    return run_drives(
+        [
+            city_walk_scenario(
+                OPX,
+                (BandClass.MMWAVE, BandClass.LOW),
+                duration_min=duration_min,
+                seed=seed + i,
+            )
+            for i in range(traces)
+        ],
+        workers=workers,
+    )
 
 
 def build_abr_traces(

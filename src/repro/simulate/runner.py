@@ -1,0 +1,84 @@
+"""Parallel drive execution with transparent caching.
+
+:func:`run_drives` is the one entry point for turning scenarios into
+drive logs. It looks every scenario up in the :class:`DriveCache`
+first, simulates only the misses — fanned out over a
+``ProcessPoolExecutor`` when ``workers`` > 1 — and returns logs in the
+input order.
+
+Determinism is inherent rather than arranged: each
+:meth:`Scenario.run` seeds its own ``np.random.default_rng`` from the
+scenario seed, so a drive's log is a pure function of the scenario and
+identical no matter which worker (or how many workers) produced it.
+
+``REPRO_BENCH_WORKERS`` sets the default worker count (1 = serial).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from repro.simulate.cache import DriveCache
+from repro.simulate.records import DriveLog
+from repro.simulate.scenarios import Scenario
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_BENCH_WORKERS`` (default 1 = serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def _run_one(scenario: Scenario) -> DriveLog:
+    # Module-level so ProcessPoolExecutor can pickle it by reference.
+    return scenario.run()
+
+
+def run_drives(
+    scenarios: Sequence[Scenario],
+    workers: int | None = None,
+    *,
+    cache: DriveCache | None = None,
+    use_cache: bool = True,
+) -> list[DriveLog]:
+    """Simulate ``scenarios``; return their logs in input order.
+
+    Args:
+        scenarios: the drives to run.
+        workers: process count for the misses. None reads
+            ``REPRO_BENCH_WORKERS``; 0/1 runs serially in-process.
+        cache: the drive cache to consult/fill. None constructs the
+            default (``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` aware).
+        use_cache: False bypasses caching entirely for this call.
+    """
+    scenarios = list(scenarios)
+    if workers is None:
+        workers = default_workers()
+    if cache is None and use_cache:
+        cache = DriveCache()
+
+    logs: list[DriveLog | None] = [None] * len(scenarios)
+    misses: list[int] = []
+    for i, scenario in enumerate(scenarios):
+        cached = cache.get(scenario) if use_cache and cache else None
+        if cached is not None:
+            logs[i] = cached
+        else:
+            misses.append(i)
+
+    if misses:
+        if workers <= 1 or len(misses) == 1:
+            fresh = [_run_one(scenarios[i]) for i in misses]
+        else:
+            with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
+                fresh = list(pool.map(_run_one, (scenarios[i] for i in misses)))
+        for i, log in zip(misses, fresh):
+            logs[i] = log
+            if use_cache and cache:
+                cache.put(scenarios[i], log)
+
+    return logs  # type: ignore[return-value]

@@ -16,6 +16,7 @@ XCAL + 5G Tracker capture.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,12 +25,12 @@ from repro.mobility.trajectory import Trajectory
 from repro.net.bearer import BearerMode
 from repro.net.capacity import CapacityModel
 from repro.radio.bands import BandClass, RadioAccessTechnology
-from repro.radio.rrs import RadioEnvironment, RRSSample
+from repro.radio.rrs import RadioEnvironment, RRSSample, ScalarRadioEnvironment
 from repro.ran.cells import Cell
 from repro.ran.deployment import Deployment, SegmentConfig
 from repro.rrc.events import MeasurementObject
 from repro.rrc.handover import HandoverExecution, HandoverTimingModel
-from repro.rrc.measurement import EventMonitor, L3Filter, MeasurementReport
+from repro.rrc.measurement import EventMonitor, L3Filter, MeasurementReport, ObjectView
 from repro.rrc.policy import AttachmentState, HandoverDecision, HandoverPolicy
 from repro.rrc.signaling import SignalingModel
 from repro.rrc.taxonomy import HandoverType
@@ -69,6 +70,13 @@ class SimulationConfig:
     #: §6.2's proposed carrier fix: SCG Change picks the strongest
     #: qualifying target instead of the first one (ablation knob).
     quality_aware_scgc: bool = False
+    #: Use the vectorized radio pipeline (False selects the scalar
+    #: reference implementation — equivalence tests / bench baseline).
+    vectorized_radio: bool = True
+    #: Evict a cell's propagation state after it has been absent from the
+    #: measured set for this many audible-set refreshes (None = never).
+    #: Only the vectorized radio pipeline evicts.
+    cell_evict_refreshes: int | None = 60
     scenario_name: str = ""
 
 
@@ -117,24 +125,40 @@ class DriveSimulator:
         self._config = config or SimulationConfig()
         self._carrier = deployment.carrier
         tick = trajectory.tick_interval_s or 0.05
-        self._env = RadioEnvironment(
-            rng,
+        env_kwargs = dict(
             interference_load=self._config.interference_load,
             speed_mps=max(trajectory.mean_speed_mps, 1.0),
             sample_interval_s=tick,
             urban=any(s.urban for s in deployment.segments),
             shadow_sigma_scale=self._config.shadow_sigma_scale,
         )
+        self._vectorized = self._config.vectorized_radio
+        if self._vectorized:
+            # One measure_block call per audible refresh window = one
+            # measurement round, so the refresh count maps directly.
+            self._env = RadioEnvironment(
+                rng,
+                **env_kwargs,
+                evict_after_measures=self._config.cell_evict_refreshes,
+            )
+        else:
+            self._env = ScalarRadioEnvironment(rng, **env_kwargs)
+        # The control plane (policy coin flips, HO timing, signaling,
+        # energy) draws from a spawned child stream: the block path pulls
+        # a whole window's radio draws upfront, so control draws may not
+        # interleave with the radio stream if scalar and vectorized runs
+        # are to consume it identically.
+        ctrl_rng = rng.spawn(1)[0]
         self._policy = HandoverPolicy(
-            rng,
+            ctrl_rng,
             anchor_keeps_scg_probability=self._config.anchor_keeps_scg_probability,
             quality_aware_scgc=self._config.quality_aware_scgc,
         )
         self._timing = HandoverTimingModel(
-            rng, t1_scale=self._carrier.t1_scale, t2_scale=self._carrier.t2_scale
+            ctrl_rng, t1_scale=self._carrier.t1_scale, t2_scale=self._carrier.t2_scale
         )
-        self._signaling = SignalingModel(rng)
-        self._energy = EnergyModel(rng)
+        self._signaling = SignalingModel(ctrl_rng)
+        self._energy = EnergyModel(ctrl_rng)
         self._capacity = CapacityModel()
 
         first_segment = deployment.segments[0]
@@ -155,13 +179,19 @@ class DriveSimulator:
         self._cooldown_master_s = float("-inf")
         self._cooldown_scg_s = float("-inf")
         #: Reports not yet consumed by a decision — the current "phase".
-        #: Entries expire after a few seconds (stale radio state).
-        self._report_buffer: list[MeasurementReport] = []
+        #: Entries expire after a few seconds (stale radio state); the
+        #: deque lets expiry pop from the left without rebuilding.
+        self._report_buffer: deque[MeasurementReport] = deque()
         #: All reports sent since the last decision (signaling accounting
         #: — unlike the buffer, these never expire within a phase).
         self._phase_report_count = 0
         self._nr_attach: _NrAttachInfo | None = None
         self._audible: list[Cell] = []
+        self._audible_gen = 0
+        self._measured_key: int | None = None
+        self._measured_cells: list[Cell] = []
+        self._measured_x = np.empty(0)
+        self._measured_y = np.empty(0)
         self._current_segment: SegmentConfig | None = None
         #: Records synthesised alongside a primary one (coupled SCGR).
         self._extra_records: list[HandoverRecord] = []
@@ -170,9 +200,26 @@ class DriveSimulator:
 
     def run(self) -> DriveLog:
         """Execute the drive and return the full log."""
+        if self._vectorized:
+            return self._run_vectorized()
+        return self._run_scalar()
+
+    def _finish(self, ticks, reports_log, handovers) -> DriveLog:
+        return DriveLog(
+            self._carrier.name,
+            None if self._standalone else self._config.bearer,
+            ticks,
+            reports_log,
+            handovers,
+            scenario=self._config.scenario_name,
+        )
+
+    def _run_scalar(self) -> DriveLog:
+        """Reference per-tick loop over the scalar radio pipeline."""
         ticks: list[TickRecord] = []
         reports_log: list[ReportRecord] = []
         handovers: list[HandoverRecord] = []
+        top_k = self._config.neighbour_top_k
 
         for index, sample in enumerate(self._trajectory):
             time_s = sample.time_s
@@ -184,28 +231,25 @@ class DriveSimulator:
             self._refresh_segment(segment)
             if index % self._config.audible_refresh_ticks == 0 or not self._audible:
                 self._audible = self._deployment.audible_cells(sample.position)
+                self._audible_gen += 1
                 for cell in self._audible:
                     self._env.register(cell, cell.band, cell.eirp_dbm)
-            # Serving cells must stay measured even when they fall out of
-            # the refreshed audible set (so A2/RLF logic sees them fade).
-            measured = list(self._audible)
-            for serving in self._ue.serving_cells:
-                if serving not in measured:
-                    self._env.register(serving, serving.band, serving.eirp_dbm)
-                    measured.append(serving)
+            measured = self._measured_set()
 
-            distances = {cell: cell.distance_to(sample.position) for cell in measured}
-            raw_samples = self._env.measure(distances, sample.arc_m)
             # The UE evaluates events on L3-filtered measurements; the
             # raw per-tick samples still drive capacity and the logs.
+            distances_map = {
+                cell: cell.distance_to(sample.position) for cell in measured
+            }
+            raw_samples = self._env.measure(distances_map, sample.arc_m)
             samples = self._l3.update(time_s, raw_samples)
-
             lte_samples = {
                 c: s for c, s in samples.items() if c.rat is RadioAccessTechnology.LTE
             }
             nr_samples = {
                 c: s for c, s in samples.items() if c.rat is RadioAccessTechnology.NR
             }
+
             self._bootstrap_attachment(lte_samples, nr_samples)
 
             lte_serving = self._ue.lte_serving
@@ -239,60 +283,314 @@ class DriveSimulator:
                     },
                 }
                 new_reports = self._monitor.observe(time_s, serving_map, neighbour_map)
-                for report in new_reports:
-                    reports_log.append(
-                        ReportRecord(
-                            time_s=time_s,
-                            label=report.label,
-                            serving_gci=(
-                                report.serving_cell.gci
-                                if isinstance(report.serving_cell, Cell)
-                                else None
-                            ),
-                            neighbour_gci=(
-                                report.neighbour_cell.gci
-                                if isinstance(report.neighbour_cell, Cell)
-                                else None
-                            ),
-                            serving_rrs=report.serving_sample,
-                            neighbour_rrs=report.neighbour_sample,
-                        )
-                    )
+                self._log_reports(reports_log, new_reports, time_s)
 
             # --- handover progression / decision ---
-            self._phase_report_count += len(new_reports)
-            self._report_buffer.extend(new_reports)
-            self._report_buffer = [
-                r for r in self._report_buffer if time_s - r.time_s <= 3.0
-            ]
-            for slot in ("master", "scg"):
-                record = self._advance_pending(slot, time_s)
-                if record is not None:
-                    handovers.append(record)
-            if self._extra_records:
-                handovers.extend(self._extra_records)
-                self._extra_records = []
+            self._progress_handovers(time_s, new_reports, handovers)
             if self._report_buffer and segment is not None:
                 self._maybe_decide(
                     time_s, sample.arc_m, self._report_buffer, nr_samples, segment
                 )
 
             # --- capacity and logging (raw samples drive the PHY) ---
+            lte_neigh = _top_neighbours(lte_samples, self._ue.lte_serving, top_k)
+            nr_neigh = _top_neighbours(nr_samples, self._ue.nr_serving, top_k)
             ticks.append(
                 self._tick_record(
-                    sample, lte_serving_raw, nr_serving_raw, lte_samples, nr_samples, time_s
+                    sample, lte_serving_raw, nr_serving_raw, lte_neigh, nr_neigh, time_s
                 )
             )
-        return DriveLog(
-            self._carrier.name,
-            None if self._standalone else self._config.bearer,
-            ticks,
-            reports_log,
-            handovers,
-            scenario=self._config.scenario_name,
-        )
+        return self._finish(ticks, reports_log, handovers)
+
+    def _run_vectorized(self) -> DriveLog:
+        """Block-based loop over the vectorized radio pipeline.
+
+        The measured cell set is fixed between audible refreshes, so the
+        whole refresh window is measured and L3-filtered in one
+        (ticks, cells) block; the per-tick work that remains — events,
+        handover progression, logging — runs on array rows and only
+        materialises sample objects where the log needs them. Produces
+        the same DriveLog as :meth:`_run_scalar` (the generator stream,
+        report order and all derived decisions match).
+        """
+        ticks: list[TickRecord] = []
+        reports_log: list[ReportRecord] = []
+        handovers: list[HandoverRecord] = []
+        top_k = self._config.neighbour_top_k
+        refresh = self._config.audible_refresh_ticks
+        traj_samples = list(self._trajectory)
+        total = len(traj_samples)
+        route_len = self._trajectory.route.length
+        count = total
+        xs = np.fromiter((s.position.x for s in traj_samples), dtype=float, count=count)
+        ys = np.fromiter((s.position.y for s in traj_samples), dtype=float, count=count)
+        arcs = np.fromiter((s.arc_m for s in traj_samples), dtype=float, count=count)
+        times = np.fromiter((s.time_s for s in traj_samples), dtype=float, count=count)
+
+        lte_obj, nr_obj = MeasurementObject.LTE, MeasurementObject.NR
+        index = 0
+        while index < total:
+            # --- refresh the audible set; block runs to the next refresh
+            # boundary (every tick re-scans while nothing is audible, as
+            # in the scalar loop).
+            self._audible = self._deployment.audible_cells(
+                traj_samples[index].position
+            )
+            self._audible_gen += 1
+            for cell in self._audible:
+                self._env.register(cell, cell.band, cell.eirp_dbm)
+            measured = self._measured_set()
+            if not self._audible:
+                end = index + 1
+            else:
+                end = min((index // refresh + 1) * refresh, total)
+
+            # --- one radio + L3 block for the whole window ---
+            distances = np.hypot(
+                xs[index:end, None] - self._measured_x[None, :],
+                ys[index:end, None] - self._measured_y[None, :],
+            )
+            block = self._env.measure_block(measured, distances, arcs[index:end])
+            slots = self._l3.slot_array(measured)
+            f_rsrp, f_rsrq, f_sinr = self._l3.update_block(
+                times[index:end], slots, block.rsrp, block.rsrq, block.sinr,
+                block.audible,
+            )
+
+            # --- block-fixed per-object structure ---
+            lte_pos_l: list[int] = []
+            nr_pos_l: list[int] = []
+            for i, cell in enumerate(measured):
+                if cell.rat is RadioAccessTechnology.LTE:
+                    lte_pos_l.append(i)
+                else:
+                    nr_pos_l.append(i)
+            lte_cells = [measured[i] for i in lte_pos_l]
+            nr_cells = [measured[i] for i in nr_pos_l]
+            # Nested-list mirrors of the block arrays: the per-tick loop
+            # reads single elements, where python lists beat numpy scalar
+            # boxing by an order of magnitude.
+            sm_rsrp, sm_rsrq, sm_sinr = (
+                f_rsrp.tolist(), f_rsrq.tolist(), f_sinr.tolist(),
+            )
+            raw_rsrp, raw_rsrq, raw_sinr = (
+                block.rsrp.tolist(), block.rsrq.tolist(), block.sinr.tolist(),
+            )
+            row = {}
+
+            def _smoothed_at(gp: int) -> RRSSample:
+                return RRSSample(
+                    rsrp_dbm=row["rsrp"][gp],
+                    rsrq_db=row["rsrq"][gp],
+                    sinr_db=row["sinr"][gp],
+                )
+
+            lte_view = ObjectView(
+                cells=lte_cells,
+                pos_of={c: j for j, c in enumerate(lte_cells)},
+                token=self._audible_gen,
+                rsrp_block=f_rsrp[:, lte_pos_l],
+                mask_block=block.audible[:, lte_pos_l],
+                sample_at=lambda p: _smoothed_at(lte_pos_l[p]),
+            )
+            nr_view = ObjectView(
+                cells=nr_cells,
+                pos_of={c: j for j, c in enumerate(nr_cells)},
+                token=self._audible_gen,
+                rsrp_block=f_rsrp[:, nr_pos_l],
+                mask_block=block.audible[:, nr_pos_l],
+                sample_at=lambda p: _smoothed_at(nr_pos_l[p]),
+            )
+            lte_view.rsrp_rows = lte_view.rsrp_block.tolist()
+            lte_view.rsrq_rows = f_rsrq[:, lte_pos_l].tolist()
+            lte_view.sinr_rows = f_sinr[:, lte_pos_l].tolist()
+            lte_view.mask_rows = lte_view.mask_block.tolist()
+            nr_view.rsrp_rows = nr_view.rsrp_block.tolist()
+            nr_view.rsrq_rows = f_rsrq[:, nr_pos_l].tolist()
+            nr_view.sinr_rows = f_sinr[:, nr_pos_l].tolist()
+            nr_view.mask_rows = nr_view.mask_block.tolist()
+            views = {lte_obj: lte_view, nr_obj: nr_view}
+
+            # Audible counts and full descending-RSRP orders for the whole
+            # block in one pass each: neighbour ranking and bootstrap then
+            # walk small python lists instead of calling numpy per tick.
+            # (Inaudible cells sink to -inf, so each order row's first
+            # `naud` entries are exactly the audible cells, strongest
+            # first — distinct floats make the order unambiguous.)
+            lte_naud = lte_view.mask_block.sum(axis=1).tolist()
+            nr_naud = nr_view.mask_block.sum(axis=1).tolist()
+            lte_order = np.argsort(
+                np.where(lte_view.mask_block, -lte_view.rsrp_block, np.inf), axis=1
+            ).tolist()
+            nr_order = np.argsort(
+                np.where(nr_view.mask_block, -nr_view.rsrp_block, np.inf), axis=1
+            ).tolist()
+            scope_cache: dict[tuple, list[bool]] = {}
+
+            for t in range(end - index):
+                sample = traj_samples[index + t]
+                time_s = sample.time_s
+                segment = self._deployment.segment_at(
+                    sample.arc_m % route_len if route_len > 0 else sample.arc_m
+                )
+                self._refresh_segment(segment)
+                row["rsrp"], row["rsrq"], row["sinr"] = (
+                    sm_rsrp[t], sm_rsrq[t], sm_sinr[t],
+                )
+                lte_view.tick = t
+                nr_view.tick = t
+                nr_any = nr_naud[t] > 0
+
+                # --- bootstrap (strongest audible cell, like max() over
+                # the insertion-ordered dict in the scalar path) ---
+                if self._standalone:
+                    if self._ue.nr_serving is None and nr_any:
+                        self._ue.nr_serving = nr_cells[nr_order[t][0]]
+                        self._nr_attach = None
+                        if self._monitor:
+                            self._monitor.reset()
+                elif self._ue.lte_serving is None and lte_naud[t] > 0:
+                    self._ue.lte_serving = lte_cells[lte_order[t][0]]
+                    if self._monitor:
+                        self._monitor.reset()
+
+                lte_serving = self._ue.lte_serving
+                nr_serving = self._ue.nr_serving
+                lte_sp = lte_view.pos_of.get(lte_serving) if lte_serving else None
+                nr_sp = nr_view.pos_of.get(nr_serving) if nr_serving else None
+                lte_view.serving_cell, lte_view.serving_pos = lte_serving, lte_sp
+                nr_view.serving_cell, nr_view.serving_pos = nr_serving, nr_sp
+
+                lte_serving_raw = None
+                if lte_sp is not None and lte_view.mask_rows[t][lte_sp]:
+                    gp = lte_pos_l[lte_sp]
+                    lte_serving_raw = RRSSample(
+                        rsrp_dbm=raw_rsrp[t][gp],
+                        rsrq_db=raw_rsrq[t][gp],
+                        sinr_db=raw_sinr[t][gp],
+                    )
+                nr_serving_raw = None
+                if nr_sp is not None and nr_view.mask_rows[t][nr_sp]:
+                    gp = nr_pos_l[nr_sp]
+                    nr_serving_raw = RRSSample(
+                        rsrp_dbm=raw_rsrp[t][gp],
+                        rsrq_db=raw_rsrq[t][gp],
+                        sinr_db=raw_sinr[t][gp],
+                    )
+
+                # --- event monitoring ---
+                new_reports: list[MeasurementReport] = []
+                if self._monitor is not None and (
+                    lte_serving is not None or nr_serving is not None or nr_any
+                ):
+                    new_reports = self._monitor.observe_arrays(time_s, views)
+                    self._log_reports(reports_log, new_reports, time_s)
+
+                # --- handover progression / decision ---
+                self._progress_handovers(time_s, new_reports, handovers)
+                if self._report_buffer and segment is not None:
+                    # sorted() restores ascending cell position — the
+                    # insertion order the scalar path's dicts have.
+                    nr_samples = {
+                        nr_cells[j]: _smoothed_at(nr_pos_l[j])
+                        for j in sorted(nr_order[t][: nr_naud[t]])
+                    }
+                    self._maybe_decide(
+                        time_s, sample.arc_m, self._report_buffer, nr_samples, segment
+                    )
+
+                # --- capacity and logging (raw samples drive the PHY) ---
+                lte_neigh = _top_from_order(
+                    lte_cells, lte_order[t], lte_naud[t], self._ue.lte_serving,
+                    lte_view, scope_cache, top_k,
+                )
+                nr_neigh = _top_from_order(
+                    nr_cells, nr_order[t], nr_naud[t], self._ue.nr_serving,
+                    nr_view, scope_cache, top_k,
+                )
+                ticks.append(
+                    self._tick_record(
+                        sample, lte_serving_raw, nr_serving_raw,
+                        lte_neigh, nr_neigh, time_s,
+                    )
+                )
+            index = end
+        return self._finish(ticks, reports_log, handovers)
+
+    def _log_reports(
+        self,
+        reports_log: list[ReportRecord],
+        new_reports: list[MeasurementReport],
+        time_s: float,
+    ) -> None:
+        for report in new_reports:
+            reports_log.append(
+                ReportRecord(
+                    time_s=time_s,
+                    label=report.label,
+                    serving_gci=(
+                        report.serving_cell.gci
+                        if isinstance(report.serving_cell, Cell)
+                        else None
+                    ),
+                    neighbour_gci=(
+                        report.neighbour_cell.gci
+                        if isinstance(report.neighbour_cell, Cell)
+                        else None
+                    ),
+                    serving_rrs=report.serving_sample,
+                    neighbour_rrs=report.neighbour_sample,
+                )
+            )
+
+    def _progress_handovers(
+        self,
+        time_s: float,
+        new_reports: list[MeasurementReport],
+        handovers: list[HandoverRecord],
+    ) -> None:
+        self._phase_report_count += len(new_reports)
+        self._report_buffer.extend(new_reports)
+        buffer = self._report_buffer
+        while buffer and time_s - buffer[0].time_s > 3.0:
+            buffer.popleft()
+        for slot in ("master", "scg"):
+            record = self._advance_pending(slot, time_s)
+            if record is not None:
+                handovers.append(record)
+        if self._extra_records:
+            handovers.extend(self._extra_records)
+            self._extra_records = []
 
     # ------------------------------------------------------------------
+
+    def _measured_set(self) -> list[Cell]:
+        """Audible cells plus the serving cells, with cached positions.
+
+        Serving cells must stay measured even when they fall out of the
+        refreshed audible set (so A2/RLF logic sees them fade). The set
+        is fixed between audible refreshes — handover targets always come
+        from the measured set, so a mid-window serving change never
+        introduces an unmeasured serving cell — which is what lets the
+        vector path measure a whole refresh window in one block.
+        """
+        key = self._audible_gen
+        if key != self._measured_key:
+            measured = list(self._audible)
+            for serving in self._ue.serving_cells:
+                if serving not in measured:
+                    self._env.register(serving, serving.band, serving.eirp_dbm)
+                    measured.append(serving)
+            self._measured_cells = measured
+            count = len(measured)
+            self._measured_x = np.fromiter(
+                (c.position.x for c in measured), dtype=float, count=count
+            )
+            self._measured_y = np.fromiter(
+                (c.position.y for c in measured), dtype=float, count=count
+            )
+            self._measured_key = key
+        return self._measured_cells
 
     def _refresh_segment(self, segment: SegmentConfig | None) -> None:
         if segment is None:
@@ -382,7 +680,7 @@ class DriveSimulator:
         if scheduled:
             # The consumed reports form a completed phase; later reports
             # start the next one.
-            self._report_buffer = []
+            self._report_buffer.clear()
             self._phase_report_count = 0
 
     def _involved_band_class(self, decision: HandoverDecision) -> BandClass | None:
@@ -563,8 +861,8 @@ class DriveSimulator:
         sample,
         lte_serving_sample: RRSSample | None,
         nr_serving_sample: RRSSample | None,
-        lte_samples: dict[Cell, RRSSample],
-        nr_samples: dict[Cell, RRSSample],
+        lte_neigh: tuple[NeighbourObservation, ...],
+        nr_neigh: tuple[NeighbourObservation, ...],
         time_s: float,
     ) -> TickRecord:
         lte_serving = self._ue.lte_serving
@@ -587,10 +885,6 @@ class DriveSimulator:
             ).capacity_mbps
 
         total = self._total_capacity(lte_cap, nr_cap, lte_int)
-
-        top_k = self._config.neighbour_top_k
-        lte_neigh = _top_neighbours(lte_samples, lte_serving, top_k)
-        nr_neigh = _top_neighbours(nr_samples, nr_serving, top_k)
 
         return TickRecord(
             time_s=time_s,
@@ -627,11 +921,12 @@ class DriveSimulator:
         return lte_cap + nr_cap
 
 
-def _top_neighbours(
-    samples: dict[Cell, RRSSample], serving: Cell | None, k: int
-) -> tuple[NeighbourObservation, ...]:
-    neighbours = [(c, s) for c, s in samples.items() if c is not serving]
-    neighbours.sort(key=lambda item: item[1].rsrp_dbm, reverse=True)
+def _select_top(cells: list[Cell], rsrp: np.ndarray, serving: Cell | None, k: int):
+    """Pick the reported neighbour indices out of candidate ``cells``.
+
+    Returns (indices into ``cells`` strongest-first, in_scope predicate).
+    """
+    count = len(cells)
     serving_node = serving.node_id if serving is not None else None
     serving_band = serving.band.name if serving is not None else None
 
@@ -644,28 +939,120 @@ def _top_neighbours(
             return cell.node_id == serving_node
         return cell.band.name == serving_band
 
+    # Partial selection: only the top k (plus any reserved in-scope
+    # extras) ever need ordering, so argpartition replaces the full sort.
+    if count > k > 0:
+        part = np.argpartition(-rsrp, k - 1)
+        top = part[:k]
+        rest = part[k:]
+    else:
+        top = np.arange(min(count, max(k, 0)))
+        rest = np.arange(min(count, max(k, 0)), count)
+    top = top[np.argsort(-rsrp[top])]
+    chosen = top.tolist()
+
     # The UE reports the strongest cells overall, but the configured
     # measurement objects guarantee the serving node's own cells (the A3
     # candidates) are always measured — reserve up to two slots for them.
-    chosen = neighbours[:k]
-    in_scope_chosen = sum(1 for c, _ in chosen if in_scope(c))
+    in_scope_chosen = sum(1 for i in chosen if in_scope(cells[i]))
     if in_scope_chosen < 2:
-        extras = [item for item in neighbours[k:] if in_scope(item[0])]
-        for extra in extras[: 2 - in_scope_chosen]:
+        extra_idx = [i for i in rest.tolist() if in_scope(cells[i])]
+        extra_idx.sort(key=lambda i: -rsrp[i])
+        for i in extra_idx[: 2 - in_scope_chosen]:
             # Replace the weakest out-of-scope entry.
-            for i in range(len(chosen) - 1, -1, -1):
-                if not in_scope(chosen[i][0]):
-                    chosen[i] = extra
+            for j in range(len(chosen) - 1, -1, -1):
+                if not in_scope(cells[chosen[j]]):
+                    chosen[j] = i
                     break
             else:
-                chosen.append(extra)
-    chosen.sort(key=lambda item: item[1].rsrp_dbm, reverse=True)
+                chosen.append(i)
+    chosen.sort(key=lambda i: -rsrp[i])
+    return chosen, in_scope
+
+
+def _top_neighbours(
+    samples: dict[Cell, RRSSample], serving: Cell | None, k: int
+) -> tuple[NeighbourObservation, ...]:
+    cells = [c for c in samples if c is not serving]
+    count = len(cells)
+    if count == 0:
+        return ()
+    rsrp = np.fromiter((samples[c].rsrp_dbm for c in cells), dtype=float, count=count)
+    chosen, in_scope = _select_top(cells, rsrp, serving, k)
     return tuple(
         NeighbourObservation(
-            gci=c.gci,
-            pci=c.pci,
-            rrs=s,
-            in_a3_scope=in_scope(c),
+            gci=cells[i].gci,
+            pci=cells[i].pci,
+            rrs=samples[cells[i]],
+            in_a3_scope=in_scope(cells[i]),
         )
-        for c, s in chosen
+        for i in chosen
+    )
+
+
+def _top_from_order(
+    cells: list[Cell],
+    order_row: list[int],
+    naud: int,
+    serving: Cell | None,
+    view: ObjectView,
+    scope_cache: dict[tuple, list[bool]],
+    k: int,
+) -> tuple[NeighbourObservation, ...]:
+    """Order-walk `_top_neighbours`: ``order_row[:naud]`` holds the audible
+    positions of one measurement object strongest-first, so top-k selection
+    and the in-scope reserve become short list walks. Matches `_select_top`
+    exactly because RSRP draws are distinct floats: the first k entries are
+    the argpartition top-k already in descending order, and filtering the
+    descending candidate list by membership reproduces the final sort.
+    """
+    if naud == 0:
+        return ()
+    spos = view.pos_of.get(serving) if serving is not None else None
+    cand = [p for p in order_row[:naud] if p != spos]
+    if not cand:
+        return ()
+    key = (id(cells), serving)
+    flags = scope_cache.get(key)
+    if flags is None:
+        if serving is None:
+            flags = [False] * len(cells)
+        else:
+            # NR A3 is scoped to the serving gNB's cells; LTE A3 to the
+            # serving frequency. Both mirror what the network configures.
+            node = serving.node_id
+            band = serving.band.name
+            flags = [
+                (c.node_id == node)
+                if c.rat is RadioAccessTechnology.NR
+                else (c.band.name == band)
+                for c in cells
+            ]
+        scope_cache[key] = flags
+    chosen = cand[: max(k, 0)]
+    in_scope_chosen = sum(1 for p in chosen if flags[p])
+    if in_scope_chosen < 2:
+        extras = [p for p in cand[len(chosen) :] if flags[p]]
+        for p in extras[: 2 - in_scope_chosen]:
+            # Replace the weakest out-of-scope entry.
+            for j in range(len(chosen) - 1, -1, -1):
+                if not flags[chosen[j]]:
+                    chosen[j] = p
+                    break
+            else:
+                chosen.append(p)
+    chosen_set = set(chosen)
+    t = view.tick
+    rs, rq, si = view.rsrp_rows[t], view.rsrq_rows[t], view.sinr_rows[t]
+    return tuple(
+        [
+            NeighbourObservation(
+                gci=cells[p].gci,
+                pci=cells[p].pci,
+                rrs=RRSSample(rsrp_dbm=rs[p], rsrq_db=rq[p], sinr_db=si[p]),
+                in_a3_scope=flags[p],
+            )
+            for p in cand
+            if p in chosen_set
+        ]
     )
