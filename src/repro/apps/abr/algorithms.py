@@ -15,7 +15,25 @@ the seam where the paper splices Prognos in.
 from __future__ import annotations
 
 import itertools
+from functools import lru_cache
 from typing import Protocol
+
+import numpy as np
+
+
+@lru_cache(maxsize=32)
+def _plan_matrix(n_levels: int, horizon: int) -> np.ndarray:
+    """All ``n_levels ** horizon`` bitrate plans as an int matrix.
+
+    Rows follow ``itertools.product(range(n_levels), repeat=horizon)``
+    order, so a first-maximum ``argmax`` over per-plan scores picks the
+    same plan the scalar enumeration would. Built once per ladder shape
+    and cached — the MPC family re-scores it every chunk.
+    """
+    grid = np.indices((n_levels,) * horizon)
+    matrix = grid.reshape(horizon, -1).T
+    matrix.setflags(write=False)
+    return matrix
 
 
 class AbrAlgorithm(Protocol):
@@ -84,6 +102,39 @@ class _MpcBase:
         predicted_mbps: float,
         chunk_s: float,
     ) -> int:
+        throughput = max(self._discounted(predicted_mbps), 0.1)
+        plans = _plan_matrix(len(levels_mbps), self.HORIZON)
+        levels = np.asarray(levels_mbps, dtype=float)
+        # Operation order mirrors the scalar reference exactly, so the
+        # per-plan values are bitwise identical and the first-maximum
+        # argmax picks the same plan on ties.
+        download_s = levels[plans] * chunk_s / throughput
+        quality = levels[plans] / levels[-1] * 10.0
+        value = np.zeros(plans.shape[0])
+        buf = np.full(plans.shape[0], float(buffer_s))
+        prev = np.full(plans.shape[0], last_level)
+        # Horizon steps stay a loop (HORIZON is 3); plans vectorize.
+        for step in range(self.HORIZON):
+            d = download_s[:, step]
+            stall = np.maximum(d - buf, 0.0)
+            buf = np.maximum(buf - d, 0.0) + chunk_s
+            value += (
+                quality[:, step]
+                - self.REBUF_PENALTY * stall
+                - self.SMOOTH_PENALTY * np.abs(plans[:, step] - prev)
+            )
+            prev = plans[:, step]
+        return int(plans[int(np.argmax(value)), 0])
+
+    def select_reference(
+        self,
+        levels_mbps: list[float],
+        buffer_s: float,
+        last_level: int,
+        predicted_mbps: float,
+        chunk_s: float,
+    ) -> int:
+        """Scalar plan enumeration — ground truth for ``select``."""
         throughput = max(self._discounted(predicted_mbps), 0.1)
         best_value = float("-inf")
         best_first = last_level

@@ -4,10 +4,21 @@ Replays drive logs through Prognos (streaming, online learning) and the
 two offline baselines (GBC, stacked LSTM), producing the paper's
 Table 3 metrics, the Fig. 18 lead-time distributions, and the Fig. 15
 bootstrap/F1-over-time curves.
+
+The replay is split into a *plan* stage and a *stream* stage: per log,
+all per-tick work that does not touch learner state (ground-truth
+labels via one ``np.searchsorted``, RRC event scheduling, per-tick
+radio inputs) is precomputed into arrays/lists up front — fanned out
+over a ``run_drives``-style process pool when ``workers`` > 1 — and the
+sequential stream stage only advances the Prognos learner. Offline
+baselines resolve through the on-disk trained-model cache
+(:mod:`repro.ml.model_cache`), so warm bench runs skip retraining; the
+independent (dataset, method) cells of Table 3 evaluate in parallel.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,11 +32,14 @@ from repro.ml.features import (
     build_radio_feature_dataset,
     handover_events,
     label_for_tick,
+    labels_for_times,
     log_time_offsets,
     train_test_split_by_time,
+    upsample_positives,
 )
 from repro.ml.gbc import GradientBoostingClassifier
 from repro.ml.lstm import StackedLstmClassifier
+from repro.ml.model_cache import ModelCache, fit_cached
 from repro.ml.metrics import (
     ClassificationReport,
     classification_report,
@@ -36,6 +50,7 @@ from repro.ran.carrier import CarrierProfile
 from repro.rrc.events import EventConfig, MeasurementObject
 from repro.rrc.taxonomy import HandoverType
 from repro.simulate.records import DriveLog, TickRecord
+from repro.simulate.runner import default_workers
 
 
 def configs_for_log(
@@ -146,6 +161,58 @@ def _tick_inputs(tick: TickRecord):
     return rsrp, serving, neighbours, scoped
 
 
+@dataclass
+class _ReplayPlan:
+    """Everything one log's replay needs, precomputed into arrays.
+
+    ``events`` merges measurement reports and handover commands in the
+    exact order the tick-by-tick reference drained them: each event is
+    assigned the first tick index whose timestamp covers it, reports
+    sort before commands within a tick, and ties within a kind keep
+    time order. ``kind`` is 0 for a report ``(label, time_s)`` and 1
+    for a command ``(ho_type, exec_start_s)``.
+    """
+
+    events: list[tuple[int, int, object, float]]
+    step_times: np.ndarray
+    step_inputs: list[tuple]
+    step_labels: list[HandoverType]
+    duration_s: float
+
+
+def _replay_plan(log: DriveLog, window_s: float, stride: int) -> _ReplayPlan:
+    """Precompute the non-learner per-tick work for one log."""
+    tick_times = np.array([t.time_s for t in log.ticks])
+    reports = sorted(log.reports, key=lambda r: r.time_s)
+    commands = sorted(log.handovers, key=lambda h: h.exec_start_s)
+    events: list[tuple[int, int, object, float]] = []
+    if reports:
+        due = np.searchsorted(tick_times, [r.time_s for r in reports], side="left")
+        events.extend(
+            (int(tick), 0, r.label, r.time_s) for tick, r in zip(due, reports)
+        )
+    if commands:
+        due = np.searchsorted(tick_times, [c.exec_start_s for c in commands], side="left")
+        events.extend(
+            (int(tick), 1, c.ho_type, c.exec_start_s) for tick, c in zip(due, commands)
+        )
+    # Stable: within a tick reports precede commands, each in time order.
+    events.sort(key=lambda e: (e[0], e[1]))
+    step_indices = np.arange(0, len(log.ticks), stride)
+    step_times = tick_times[step_indices] if len(log.ticks) else np.empty(0)
+    step_inputs = [_tick_inputs(log.ticks[i]) for i in step_indices]
+    step_labels = labels_for_times(log, step_times, window_s)
+    # Events due after the final tick are never drained (as in the
+    # tick-by-tick reference); mark them unreachable.
+    events = [e for e in events if e[0] < len(log.ticks)]
+    return _ReplayPlan(events, step_times, step_inputs, step_labels, log.duration_s)
+
+
+def _replay_plan_star(args: tuple) -> _ReplayPlan:
+    # Module-level so ProcessPoolExecutor can pickle it by reference.
+    return _replay_plan(*args)
+
+
 def run_prognos_over_logs(
     logs: list[DriveLog],
     event_configs: list[EventConfig],
@@ -156,13 +223,28 @@ def run_prognos_over_logs(
     stride: int = 1,
     standalone: bool = False,
     ho_scores: dict[HandoverType, float] | None = None,
+    workers: int | None = None,
 ) -> PrognosRunResult:
     """Stream the logs through one Prognos instance, in order.
 
     Time is re-based so consecutive logs form one continuous session
     (the learner persists across traces of the same dataset, exactly as
-    a phone replaying the same walk would accumulate patterns).
+    a phone replaying the same walk would accumulate patterns). The
+    learner's continuity is why the *stream* stage stays sequential;
+    the per-log *plan* stage carries no learner state, so ``workers``
+    > 1 fans it out over a process pool (results are identical for any
+    worker count).
     """
+    if workers is None:
+        workers = 1
+    if workers > 1 and len(logs) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(logs))) as pool:
+            plans = list(
+                pool.map(_replay_plan_star, [(log, window_s, stride) for log in logs])
+            )
+    else:
+        plans = [_replay_plan(log, window_s, stride) for log in logs]
+
     prognos = Prognos(event_configs, config, ho_scores)
     if bootstrap:
         prognos.bootstrap(bootstrap)
@@ -173,30 +255,27 @@ def run_prognos_over_logs(
     lead_times: list[float] = []
     offset = 0.0
 
-    for log in logs:
-        reports = sorted(log.reports, key=lambda r: r.time_s)
-        commands = sorted(log.handovers, key=lambda h: h.exec_start_s)
-        r_idx = c_idx = 0
+    for plan in plans:
+        e_idx = 0
+        events = plan.events
         # Track, per upcoming handover, when a correct-type prediction
         # run started (for Fig. 18 lead times).
         run_start: float | None = None
         run_type: HandoverType | None = None
-        for index, tick in enumerate(log.ticks):
-            now = tick.time_s
-            while r_idx < len(reports) and reports[r_idx].time_s <= now:
-                prognos.observe_report(reports[r_idx].label, reports[r_idx].time_s)
-                r_idx += 1
-            while c_idx < len(commands) and commands[c_idx].exec_start_s <= now:
-                command = commands[c_idx]
-                if run_type is command.ho_type and run_start is not None:
-                    lead_times.append(command.exec_start_s - run_start)
-                run_start = None
-                run_type = None
-                prognos.observe_command(command.ho_type, command.exec_start_s)
-                c_idx += 1
-            if index % stride:
-                continue
-            rsrp, serving, neighbours, scoped = _tick_inputs(tick)
+        for pos, now in enumerate(plan.step_times):
+            tick_index = pos * stride
+            while e_idx < len(events) and events[e_idx][0] <= tick_index:
+                _, kind, payload, event_time = events[e_idx]
+                if kind == 0:
+                    prognos.observe_report(payload, event_time)
+                else:
+                    if run_type is payload and run_start is not None:
+                        lead_times.append(event_time - run_start)
+                    run_start = None
+                    run_type = None
+                    prognos.observe_command(payload, event_time)
+                e_idx += 1
+            rsrp, serving, neighbours, scoped = plan.step_inputs[pos]
             prediction = prognos.step(
                 now,
                 rsrp,
@@ -214,8 +293,21 @@ def run_prognos_over_logs(
                 run_start = None
             times.append(now + offset)
             predictions.append(prediction.ho_type)
-            truths.append(label_for_tick(log, now, window_s))
-        offset += log.duration_s + 1.0
+        # Events due after the final strided step still reach the
+        # learner (the tick-by-tick reference visited every raw tick).
+        while e_idx < len(events):
+            _, kind, payload, event_time = events[e_idx]
+            if kind == 0:
+                prognos.observe_report(payload, event_time)
+            else:
+                if run_type is payload and run_start is not None:
+                    lead_times.append(event_time - run_start)
+                run_start = None
+                run_type = None
+                prognos.observe_command(payload, event_time)
+            e_idx += 1
+        truths.extend(plan.step_labels)
+        offset += plan.duration_s + 1.0
     return PrognosRunResult(
         times_s=np.array(times),
         predictions=predictions,
@@ -239,17 +331,31 @@ class Table3Row:
 
 
 def evaluate_gbc(
-    logs: list[DriveLog], *, train_fraction: float = 0.6, stride: int = 5
+    logs: list[DriveLog],
+    *,
+    train_fraction: float = 0.6,
+    stride: int = 5,
+    model_cache: ModelCache | None = None,
 ) -> ClassificationReport:
-    """Offline-trained GBC baseline (Mei et al.), 60/40 split."""
+    """Offline-trained GBC baseline (Mei et al.), 60/40 split.
+
+    The fitted booster is resolved through the trained-model cache —
+    repeated bench runs over an unchanged corpus skip retraining.
+    """
     dataset = build_radio_feature_dataset(logs, stride=stride)
     train, test = train_test_split_by_time(dataset, train_fraction)
     # Handovers are ~0.4% of ticks; without upsampling the booster
     # collapses to the majority class (exactly the "blind ML" failure
     # mode the paper highlights — we give the baseline its best shot).
-    x_train, y_train = _upsample_positives(train.x, train.labels)
-    model = GradientBoostingClassifier(n_estimators=30, max_depth=3)
-    model.fit(x_train, y_train)
+    x_train, y_train = upsample_positives(train.x, train.labels)
+    model = fit_cached(
+        "gbc",
+        lambda: GradientBoostingClassifier(n_estimators=30, max_depth=3),
+        x_train,
+        y_train,
+        {"n_estimators": 30, "max_depth": 3},
+        cache=model_cache,
+    )
     predictions = model.predict(test.x)
     events = [(t, c) for t, c in handover_events(logs) if t >= test.times_s[0]]
     return event_level_report(
@@ -261,30 +367,6 @@ def evaluate_gbc(
     )
 
 
-def _upsample_positives(
-    x: np.ndarray, labels: list[HandoverType], target_share: float = 0.08
-) -> tuple[np.ndarray, list[HandoverType]]:
-    """Replicate handover rows so each class reaches ~target_share."""
-    labels_arr = np.array([l.name for l in labels])
-    negatives = int(np.sum(labels_arr == HandoverType.NONE.name))
-    rows = [x]
-    out_labels = list(labels)
-    for cls in sorted(set(labels), key=repr):
-        if cls is HandoverType.NONE:
-            continue
-        mask = labels_arr == cls.name
-        count = int(np.sum(mask))
-        if count == 0:
-            continue
-        want = max(int(negatives * target_share), count)
-        repeats = want // count
-        if repeats > 1:
-            extra = np.tile(x[mask], (repeats - 1, 1))
-            rows.append(extra)
-            out_labels.extend([cls] * extra.shape[0])
-    return np.vstack(rows), out_labels
-
-
 def evaluate_lstm(
     logs: list[DriveLog],
     *,
@@ -292,6 +374,7 @@ def evaluate_lstm(
     stride: int = 10,
     epochs: int = 4,
     max_train_sequences: int = 4000,
+    model_cache: ModelCache | None = None,
 ) -> ClassificationReport:
     """Offline-trained stacked-LSTM baseline (Ozturk et al.)."""
     dataset = build_location_sequence_dataset(logs, stride=stride)
@@ -301,8 +384,14 @@ def evaluate_lstm(
         keep = np.linspace(0, x_train.shape[0] - 1, max_train_sequences).astype(int)
         x_train = x_train[keep]
         y_train = [y_train[i] for i in keep]
-    model = StackedLstmClassifier(hidden_dim=24, epochs=epochs)
-    model.fit(x_train, y_train)
+    model = fit_cached(
+        "lstm",
+        lambda: StackedLstmClassifier(hidden_dim=24, epochs=epochs),
+        x_train,
+        y_train,
+        {"hidden_dim": 24, "epochs": epochs},
+        cache=model_cache,
+    )
     predictions = model.predict(test.x)
     events = [(t, c) for t, c in handover_events(logs) if t >= test.times_s[0]]
     return event_level_report(
@@ -335,25 +424,44 @@ def evaluate_prognos(
     return result.report(test_after_s=cutoff), result
 
 
+def _table3_cell(spec: tuple) -> Table3Row:
+    """One (dataset, method) cell — module-level so pools can pickle it."""
+    name, method, logs, carrier, bands = spec
+    if method == "GBC":
+        report = evaluate_gbc(logs)
+    elif method == "Stacked LSTM":
+        report = evaluate_lstm(logs)
+    elif method == "Prognos":
+        report, _ = evaluate_prognos(logs, carrier, bands)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    return Table3Row(
+        name, method, report.f1, report.precision, report.recall, report.accuracy
+    )
+
+
 def table3(
     datasets: dict[str, list[DriveLog]],
     carrier: CarrierProfile,
     band_classes_by_dataset: dict[str, tuple[BandClass, ...]],
+    *,
+    workers: int | None = None,
 ) -> list[Table3Row]:
-    """Assemble Table 3: three methods over each dataset."""
-    rows: list[Table3Row] = []
-    for name, logs in datasets.items():
-        bands = band_classes_by_dataset[name]
-        gbc = evaluate_gbc(logs)
-        rows.append(Table3Row(name, "GBC", gbc.f1, gbc.precision, gbc.recall, gbc.accuracy))
-        lstm = evaluate_lstm(logs)
-        rows.append(
-            Table3Row(name, "Stacked LSTM", lstm.f1, lstm.precision, lstm.recall, lstm.accuracy)
-        )
-        prognos, _ = evaluate_prognos(logs, carrier, bands)
-        rows.append(
-            Table3Row(
-                name, "Prognos", prognos.f1, prognos.precision, prognos.recall, prognos.accuracy
-            )
-        )
-    return rows
+    """Assemble Table 3: three methods over each dataset.
+
+    The (dataset, method) cells are independent, so ``workers`` > 1
+    fans them out over a process pool (``run_drives`` style; results
+    are identical for any worker count). ``None`` reads
+    ``REPRO_BENCH_WORKERS`` like the drive runner does.
+    """
+    if workers is None:
+        workers = default_workers()
+    specs = [
+        (name, method, logs, carrier, band_classes_by_dataset[name])
+        for name, logs in datasets.items()
+        for method in ("GBC", "Stacked LSTM", "Prognos")
+    ]
+    if workers <= 1 or len(specs) == 1:
+        return [_table3_cell(spec) for spec in specs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+        return list(pool.map(_table3_cell, specs))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.tree import RegressionTree
+from repro.ml.tree import RegressionTree, presort_columns
 
 
 def _softmax(scores: np.ndarray) -> np.ndarray:
@@ -67,6 +67,10 @@ class GradientBoostingClassifier:
         scores = np.tile(self._base_scores, (n, 1))
 
         self._trees = []
+        # The feature matrix never changes across rounds — argsort its
+        # columns once and share the orders with every tree (the split
+        # search then never sorts; see repro.ml.tree).
+        full_order = presort_columns(x)
         for _ in range(self.n_estimators):
             probs = _softmax(scores)
             residuals = onehot - probs
@@ -74,14 +78,18 @@ class GradientBoostingClassifier:
             if self.subsample < 1.0:
                 take = max(int(n * self.subsample), 2)
                 idx = rng.choice(n, size=take, replace=False)
+                x_round = x[idx]
+                round_order = presort_columns(x_round)
             else:
                 idx = np.arange(n)
+                x_round = x
+                round_order = full_order
             for cls in range(k):
                 tree = RegressionTree(
                     max_depth=self.max_depth,
                     min_samples_leaf=self.min_samples_leaf,
                 )
-                tree.fit(x[idx], residuals[idx, cls])
+                tree.fit(x_round, residuals[idx, cls], presorted=round_order)
                 # Newton-style scaling of the mean-residual leaves
                 # ((K-1)/K factor of multinomial boosting).
                 tree.apply_leaf_values(lambda v: v * (k - 1) / k)

@@ -1,12 +1,18 @@
-"""Stacked LSTM classifier in numpy (BPTT + Adam).
+"""Stacked LSTM classifier in numpy (mini-batch BPTT + Adam).
 
 The Ozturk et al. baseline (§7.3): a stacked LSTM that predicts
 handovers from the device's location track. Two LSTM layers feed a
 softmax head; training is truncated-BPTT over fixed-length windows with
 Adam and class-frequency weighting.
 
-The implementation is deliberately compact but complete: full forward
-pass caching, exact gradients through both layers, gradient clipping.
+Training and inference run over ``(B, T, D)`` mini-batches: each
+timestep is one fused gate matmul across the whole batch, so the
+Python-level loop is O(T) instead of O(B * T). The original per-sample
+path is retained verbatim (``_LstmLayer.forward`` / ``backward``) as
+the equivalence reference — the same discipline as the scalar radio
+pipeline in ``repro.radio.rrs`` — and the batched gradients equal the
+sum of the per-sample gradients to fp accuracy (see
+``tests/test_ml_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -28,6 +34,21 @@ class _LstmLayer:
         self.b[:hidden_dim] = 1.0  # forget-gate bias init
         self.hidden_dim = hidden_dim
         self._cache: list[tuple] = []
+
+    def __getstate__(self):
+        # The BPTT cache is transient training state — dropping it keeps
+        # pickled models (the on-disk model cache) small.
+        return {"w": self.w, "b": self.b, "hidden_dim": self.hidden_dim}
+
+    def __setstate__(self, state):
+        self.w = state["w"]
+        self.b = state["b"]
+        self.hidden_dim = state["hidden_dim"]
+        self._cache = []
+
+    # ------------------------------------------------------------------
+    # Per-sample reference path (ground truth for the batched path).
+    # ------------------------------------------------------------------
 
     def forward(self, xs: np.ndarray) -> np.ndarray:
         """xs: (T, input_dim) -> hidden states (T, hidden_dim)."""
@@ -83,6 +104,66 @@ class _LstmLayer:
             d_inputs[t] = dz[hd:]
         return d_inputs, dw, db
 
+    # ------------------------------------------------------------------
+    # Batched path: one fused matmul per timestep across the batch.
+    # ------------------------------------------------------------------
+
+    def forward_batch(self, xs: np.ndarray) -> np.ndarray:
+        """xs: (B, T, input_dim) -> hidden states (B, T, hidden_dim)."""
+        batch, steps, _ = xs.shape
+        hd = self.hidden_dim
+        h = np.zeros((batch, hd))
+        c = np.zeros((batch, hd))
+        self._cache = []
+        outputs = np.empty((batch, steps, hd))
+        w_t = self.w.T
+        for t in range(steps):
+            z = np.hstack([h, xs[:, t]])
+            gates = z @ w_t + self.b
+            f = _sigmoid(gates[:, :hd])
+            i = _sigmoid(gates[:, hd : 2 * hd])
+            o = _sigmoid(gates[:, 2 * hd : 3 * hd])
+            g = np.tanh(gates[:, 3 * hd :])
+            c_new = f * c + i * g
+            h = o * np.tanh(c_new)
+            self._cache.append((z, f, i, o, g, c, c_new))
+            c = c_new
+            outputs[:, t] = h
+        return outputs
+
+    def backward_batch(
+        self, d_outputs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """d_outputs: (B, T, hidden) -> (d_inputs, dW, db).
+
+        dW/db are summed over the batch, so they equal the sum of the
+        per-sample ``backward`` gradients.
+        """
+        batch, steps, hd = d_outputs.shape
+        dw = np.zeros_like(self.w)
+        db = np.zeros_like(self.b)
+        d_inputs = np.empty((batch, steps, self.w.shape[1] - hd))
+        dh_next = np.zeros((batch, hd))
+        dc_next = np.zeros((batch, hd))
+        d_gates = np.empty((batch, 4 * hd))
+        for t in range(steps - 1, -1, -1):
+            z, f, i, o, g, c_prev, c_new = self._cache[t]
+            dh = d_outputs[:, t] + dh_next
+            tanh_c = np.tanh(c_new)
+            do = dh * tanh_c
+            dc = dh * o * (1 - tanh_c**2) + dc_next
+            d_gates[:, :hd] = dc * c_prev * f * (1 - f)
+            d_gates[:, hd : 2 * hd] = dc * g * i * (1 - i)
+            d_gates[:, 2 * hd : 3 * hd] = do * o * (1 - o)
+            d_gates[:, 3 * hd :] = dc * i * (1 - g**2)
+            dc_next = dc * f
+            dw += d_gates.T @ z
+            db += d_gates.sum(axis=0)
+            dz = d_gates @ self.w
+            dh_next = dz[:, :hd]
+            d_inputs[:, t] = dz[:, hd:]
+        return d_inputs, dw, db
+
 
 class _Adam:
     def __init__(self, shapes: list[tuple[int, ...]], lr: float):
@@ -115,21 +196,94 @@ class StackedLstmClassifier:
         clip: float = 5.0,
         random_state: int = 0,
         class_weighting: bool = True,
+        batch_size: int = 8,
     ):
         if hidden_dim < 1 or epochs < 1:
             raise ValueError("invalid hyperparameters")
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
         self.hidden_dim = hidden_dim
         self.epochs = epochs
         self.learning_rate = learning_rate
         self.clip = clip
         self.random_state = random_state
         self.class_weighting = class_weighting
+        self.batch_size = batch_size
         self.classes_: list[object] = []
         self._layers: list[_LstmLayer] = []
         self._w_out: np.ndarray | None = None
         self._b_out: np.ndarray | None = None
         self._mu: np.ndarray | None = None
         self._sigma: np.ndarray | None = None
+
+    def _init_parameters(
+        self, d: int, k: int, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        self._layers = [
+            _LstmLayer(d, self.hidden_dim, rng),
+            _LstmLayer(self.hidden_dim, self.hidden_dim, rng),
+        ]
+        self._w_out = rng.normal(0, 1.0 / np.sqrt(self.hidden_dim), size=(k, self.hidden_dim))
+        self._b_out = np.zeros(k)
+        return [
+            self._layers[0].w,
+            self._layers[0].b,
+            self._layers[1].w,
+            self._layers[1].b,
+            self._w_out,
+            self._b_out,
+        ]
+
+    def _batch_grads(
+        self, xs: np.ndarray, labels: np.ndarray, weights: np.ndarray
+    ) -> tuple[float, list[np.ndarray]]:
+        """Weighted cross-entropy loss and summed gradients for one batch.
+
+        xs: (B, T, d) already normalized; labels/weights: (B,).
+        """
+        assert self._w_out is not None and self._b_out is not None
+        h1 = self._layers[0].forward_batch(xs)
+        h2 = self._layers[1].forward_batch(h1)
+        final = h2[:, -1]
+        logits = final @ self._w_out.T + self._b_out
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        rows = np.arange(xs.shape[0])
+        loss = float(np.sum(-weights * np.log(probs[rows, labels] + 1e-300)))
+        d_logits = probs.copy()
+        d_logits[rows, labels] -= 1.0
+        d_logits *= weights[:, None]
+        dw_out = d_logits.T @ final
+        db_out = d_logits.sum(axis=0)
+        d_h2 = np.zeros_like(h2)
+        d_h2[:, -1] = d_logits @ self._w_out
+        d_h1, dw2, db2 = self._layers[1].backward_batch(d_h2)
+        _, dw1, db1 = self._layers[0].backward_batch(d_h1)
+        return loss, [dw1, db1, dw2, db2, dw_out, db_out]
+
+    def _sample_grads(
+        self, xs: np.ndarray, label: int, weight: float
+    ) -> tuple[float, list[np.ndarray]]:
+        """Per-sample reference gradients (xs: (T, d), normalized)."""
+        assert self._w_out is not None and self._b_out is not None
+        h1 = self._layers[0].forward(xs)
+        h2 = self._layers[1].forward(h1)
+        final = h2[-1]
+        logits = self._w_out @ final + self._b_out
+        probs = np.exp(logits - logits.max())
+        probs /= probs.sum()
+        loss = float(-weight * np.log(probs[label] + 1e-300))
+        d_logits = probs.copy()
+        d_logits[label] -= 1.0
+        d_logits *= weight
+        dw_out = np.outer(d_logits, final)
+        db_out = d_logits
+        d_h2 = np.zeros_like(h2)
+        d_h2[-1] = self._w_out.T @ d_logits
+        d_h1, dw2, db2 = self._layers[1].backward(d_h2)
+        _, dw1, db1 = self._layers[0].backward(d_h1)
+        return loss, [dw1, db1, dw2, db2, dw_out, db_out]
 
     def fit(self, sequences: np.ndarray, y: list[object]) -> "StackedLstmClassifier":
         """sequences: (n, T, d) windows; y: labels (len n)."""
@@ -156,49 +310,44 @@ class StackedLstmClassifier:
             class_weight = n / (k * np.clip(counts, 1, None))
             weights = class_weight[labels]
 
-        self._layers = [
-            _LstmLayer(d, self.hidden_dim, rng),
-            _LstmLayer(self.hidden_dim, self.hidden_dim, rng),
-        ]
-        self._w_out = rng.normal(0, 1.0 / np.sqrt(self.hidden_dim), size=(k, self.hidden_dim))
-        self._b_out = np.zeros(k)
-
-        params = [
-            self._layers[0].w,
-            self._layers[0].b,
-            self._layers[1].w,
-            self._layers[1].b,
-            self._w_out,
-            self._b_out,
-        ]
+        params = self._init_parameters(d, k, rng)
         adam = _Adam([p.shape for p in params], self.learning_rate)
 
         for _ in range(self.epochs):
             order = rng.permutation(n)
-            for sample in order:
-                xs = normalized[sample]
-                h1 = self._layers[0].forward(xs)
-                h2 = self._layers[1].forward(h1)
-                final = h2[-1]
-                logits = self._w_out @ final + self._b_out
-                probs = np.exp(logits - logits.max())
-                probs /= probs.sum()
-                d_logits = probs.copy()
-                d_logits[labels[sample]] -= 1.0
-                d_logits *= weights[sample]
-                dw_out = np.outer(d_logits, final)
-                db_out = d_logits
-                d_h2 = np.zeros_like(h2)
-                d_h2[-1] = self._w_out.T @ d_logits
-                d_h1, dw2, db2 = self._layers[1].backward(d_h2)
-                _, dw1, db1 = self._layers[0].backward(d_h1)
-                grads = [dw1, db1, dw2, db2, dw_out, db_out]
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                _, grads = self._batch_grads(
+                    normalized[batch], labels[batch], weights[batch]
+                )
                 for g in grads:
                     np.clip(g, -self.clip, self.clip, out=g)
                 adam.step(params, grads)
         return self
 
-    def predict_proba(self, sequences: np.ndarray) -> np.ndarray:
+    def predict_proba(self, sequences: np.ndarray, chunk: int = 256) -> np.ndarray:
+        if self._w_out is None or self._mu is None:
+            raise RuntimeError("classifier is not fitted")
+        sequences = np.asarray(sequences, dtype=float)
+        if sequences.ndim == 2:
+            sequences = sequences[None]
+        normalized = (sequences - self._mu) / self._sigma
+        out = np.empty((sequences.shape[0], len(self.classes_)))
+        for start in range(0, normalized.shape[0], chunk):
+            xs = normalized[start : start + chunk]
+            h1 = self._layers[0].forward_batch(xs)
+            h2 = self._layers[1].forward_batch(h1)
+            logits = h2[:, -1] @ self._w_out.T + self._b_out
+            exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+            out[start : start + chunk] = exp / exp.sum(axis=1, keepdims=True)
+        return out
+
+    def predict_proba_reference(self, sequences: np.ndarray) -> np.ndarray:
+        """Per-sample inference via the reference forward pass.
+
+        The seed implementation's ``predict_proba`` loop, retained for
+        the equivalence suite and the throughput bench's baseline.
+        """
         if self._w_out is None or self._mu is None:
             raise RuntimeError("classifier is not fitted")
         sequences = np.asarray(sequences, dtype=float)

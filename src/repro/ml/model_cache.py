@@ -1,0 +1,142 @@
+"""On-disk trained-model cache: content-addressed fitted estimators.
+
+The §7.3 benches retrain the same GBC/LSTM baselines on the same
+corpus every session. This module caches fitted models on disk, keyed
+by a sha256 over everything that determines the fit bit-for-bit:
+
+* the estimator kind and its hyperparameters,
+* the training arrays (shape, dtype, raw bytes) and label names, and
+* the same code-version token the drive cache uses — a hash over the
+  ``repro`` package sources — so editing any model code silently
+  invalidates stale entries instead of serving models produced by old
+  code.
+
+It shares the :mod:`repro.simulate.cache` infrastructure and knobs:
+``REPRO_CACHE_DIR`` relocates the root (models live under a
+``models/`` subdirectory next to the drive logs), ``REPRO_NO_CACHE=1``
+disables it entirely. Entries are gzipped pickles — models are pure
+numpy containers produced by this package, not untrusted input.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.simulate.cache import code_version_token
+
+_DEFAULT_ROOT = ".repro-cache"
+
+
+def dataset_digest(x: np.ndarray, labels: list[object]) -> str:
+    """sha256 over the training arrays and label names."""
+    digest = hashlib.sha256()
+    arr = np.ascontiguousarray(np.asarray(x, dtype=float))
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+    for label in labels:
+        digest.update(getattr(label, "name", str(label)).encode())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class ModelCache:
+    """Content-addressed store of fitted models.
+
+    Entries live under ``root/models`` as ``<kind>-<key>.pkl.gz``.
+    Lookups on a disabled cache always miss; stores become no-ops.
+    """
+
+    def __init__(self, root: str | Path | None = None, *, enabled: bool | None = None):
+        if enabled is None:
+            enabled = os.environ.get("REPRO_NO_CACHE", "") != "1"
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_ROOT
+        self.root = Path(root) / "models"
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @staticmethod
+    def key_for(kind: str, data_digest: str, params: dict) -> str:
+        payload = json.dumps(
+            {
+                "kind": kind,
+                "data": data_digest,
+                "params": {k: params[k] for k in sorted(params)},
+                "code_version": code_version_token(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / f"{kind}-{key}.pkl.gz"
+
+    def get(self, kind: str, key: str):
+        """The cached model, or None on a miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self._path(kind, key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with gzip.open(path, "rb") as fh:
+                model = pickle.load(fh)
+        except (OSError, EOFError, pickle.UnpicklingError):
+            # A truncated or stale-format entry is a miss, not an error.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return model
+
+    def put(self, kind: str, key: str, model) -> None:
+        if not self.enabled:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(kind, key)
+        tmp = path.with_name(f".{path.name}.tmp")
+        with gzip.open(tmp, "wb", compresslevel=6) as fh:
+            pickle.dump(model, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+        self.stores += 1
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+def fit_cached(
+    kind: str,
+    factory: Callable[[], object],
+    x: np.ndarray,
+    y: list[object],
+    params: dict,
+    *,
+    cache: ModelCache | None = None,
+):
+    """Fit ``factory()`` on ``(x, y)``, short-circuiting via the cache.
+
+    ``params`` must capture every hyperparameter the factory closes
+    over — it is part of the content key alongside the data digest.
+    """
+    if cache is None:
+        cache = ModelCache()
+    key = cache.key_for(kind, dataset_digest(x, y), params)
+    model = cache.get(kind, key)
+    if model is not None:
+        return model
+    model = factory().fit(x, y)
+    cache.put(kind, key, model)
+    return model

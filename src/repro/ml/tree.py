@@ -1,9 +1,15 @@
 """CART regression trees — the weak learners inside gradient boosting.
 
 Standard variance-reduction splitting with depth / minimum-samples
-stopping. Split search is vectorised per feature (sort once, scan
-prefix sums), which keeps boosting dozens of trees over ~10^4 samples
-tractable in pure numpy.
+stopping. Split search is sort-based: feature columns are argsorted
+once (stable) and candidate splits scored with cumulative sums over the
+pre-sorted columns for *all* features in one array pass. The sorted
+orders are filtered down the recursion — a stable sort restricted to a
+subset is the subset's stable sort — so no node below the root ever
+argsorts, and :class:`~repro.ml.gbc.GradientBoostingClassifier` shares
+one global column sort across every boosting round. A per-row scalar
+reference (:func:`best_split_reference`) is retained for the
+equivalence suite.
 """
 
 from __future__ import annotations
@@ -26,6 +32,107 @@ class _Node:
         return self.left is None
 
 
+def presort_columns(x: np.ndarray) -> np.ndarray:
+    """Stable per-column argsort of ``x`` — shareable across trees.
+
+    Returns an ``(n, d)`` int array whose column ``j`` sorts
+    ``x[:, j]``. Gradient boosting computes this once and passes it to
+    every round's trees (the feature matrix never changes, only the
+    residual targets do).
+    """
+    return np.argsort(x, axis=0, kind="stable")
+
+
+def best_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    order: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, gain) by variance reduction, or None.
+
+    ``order`` is the per-column sorted order of ``x`` (see
+    :func:`presort_columns`). All features are scored in one cumulative
+    sum pass; the final comparison walks features in index order with
+    the same strict ``> best + 1e-12`` rule as the scalar reference, so
+    tie-breaking is identical.
+    """
+    n, d = x.shape
+    if n < 2:
+        return None
+    sorted_x = np.take_along_axis(x, order, axis=0)
+    sorted_y = y[order]
+    parent_sse = float(np.sum((y - np.mean(y)) ** 2))
+    prefix = np.cumsum(sorted_y, axis=0)
+    prefix_sq = np.cumsum(sorted_y**2, axis=0)
+    total = prefix[-1]
+    total_sq = prefix_sq[-1]
+    counts = np.arange(1, n, dtype=float)[:, None]
+    left_sum = prefix[:-1]
+    left_sq = prefix_sq[:-1]
+    right_sum = total - left_sum
+    right_sq = total_sq - left_sq
+    left_sse = left_sq - left_sum**2 / counts
+    right_counts = n - counts
+    right_sse = right_sq - right_sum**2 / right_counts
+    gains = parent_sse - (left_sse + right_sse)
+    valid = (
+        (sorted_x[1:] > sorted_x[:-1])
+        & (counts >= min_samples_leaf)
+        & (right_counts >= min_samples_leaf)
+    )
+    gains = np.where(valid, gains, -np.inf)
+    best_gain = 0.0
+    best: tuple[int, float, float] | None = None
+    # argmax per column, then the scalar reference's sequential
+    # first-feature-wins comparison across features (d is small).
+    idx_per_feature = np.argmax(gains, axis=0)
+    gain_per_feature = gains[idx_per_feature, np.arange(d)]
+    for feature in range(d):
+        gain = gain_per_feature[feature]
+        if gain > best_gain + 1e-12:
+            best_gain = float(gain)
+            idx = int(idx_per_feature[feature])
+            threshold = (sorted_x[idx, feature] + sorted_x[idx + 1, feature]) / 2.0
+            best = (feature, threshold, best_gain)
+    return best
+
+
+def best_split_reference(
+    x: np.ndarray,
+    y: np.ndarray,
+    min_samples_leaf: int,
+) -> tuple[int, float, float] | None:
+    """Scalar per-row split search — ground truth for :func:`best_split`.
+
+    Walks every (feature, candidate threshold) pair with Python loops.
+    O(d * n^2); only for the equivalence suite and small fixtures.
+    """
+    n, d = x.shape
+    parent_sse = float(np.sum((y - np.mean(y)) ** 2))
+    best_gain = 0.0
+    best: tuple[int, float, float] | None = None
+    for feature in range(d):
+        order = np.argsort(x[:, feature], kind="stable")
+        sorted_x = x[order, feature]
+        sorted_y = y[order]
+        for split in range(1, n):
+            if sorted_x[split] <= sorted_x[split - 1]:
+                continue
+            if split < min_samples_leaf or n - split < min_samples_leaf:
+                continue
+            left = sorted_y[:split]
+            right = sorted_y[split:]
+            sse = float(np.sum((left - left.mean()) ** 2)) + float(
+                np.sum((right - right.mean()) ** 2)
+            )
+            gain = parent_sse - sse
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best = (feature, (sorted_x[split - 1] + sorted_x[split]) / 2.0, gain)
+    return best
+
+
 class RegressionTree:
     """A CART regression tree fit by variance reduction."""
 
@@ -45,64 +152,54 @@ class RegressionTree:
         self._root: _Node | None = None
 
     def fit(
-        self, x: np.ndarray, y: np.ndarray, sample_weight: np.ndarray | None = None
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+        *,
+        presorted: np.ndarray | None = None,
     ) -> "RegressionTree":
+        """Fit on ``(x, y)``.
+
+        ``presorted`` is an optional per-column sorted order of ``x``
+        (:func:`presort_columns`); passing it skips the fit's own
+        argsort — gradient boosting shares one across all rounds.
+        """
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=float)
         if x.ndim != 2:
             raise ValueError("x must be 2-D (n, d)")
         if x.shape[0] != y.shape[0]:
             raise ValueError("x and y row counts differ")
-        self._root = self._build(x, y, depth=0)
+        if presorted is None:
+            presorted = presort_columns(x)
+        elif presorted.shape != x.shape:
+            raise ValueError("presorted orders must match x's shape")
+        self._root = self._build(x, y, presorted, depth=0)
         return self
 
-    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+    def _build(self, x: np.ndarray, y: np.ndarray, order: np.ndarray, depth: int) -> _Node:
         node = _Node(value=float(np.mean(y)))
         n = y.size
         if depth >= self.max_depth or n < self.min_samples_split or np.ptp(y) == 0.0:
             return node
-        best_gain = 0.0
-        best: tuple[int, float, np.ndarray] | None = None
-        parent_sse = float(np.sum((y - np.mean(y)) ** 2))
-        for feature in range(x.shape[1]):
-            column = x[:, feature]
-            order = np.argsort(column, kind="stable")
-            sorted_x = column[order]
-            sorted_y = y[order]
-            # Candidate split points: between distinct consecutive values.
-            prefix = np.cumsum(sorted_y)
-            prefix_sq = np.cumsum(sorted_y**2)
-            total = prefix[-1]
-            total_sq = prefix_sq[-1]
-            counts = np.arange(1, n)
-            left_sum = prefix[:-1]
-            left_sq = prefix_sq[:-1]
-            right_sum = total - left_sum
-            right_sq = total_sq - left_sq
-            left_sse = left_sq - left_sum**2 / counts
-            right_counts = n - counts
-            right_sse = right_sq - right_sum**2 / right_counts
-            gains = parent_sse - (left_sse + right_sse)
-            valid = (
-                (sorted_x[1:] > sorted_x[:-1])
-                & (counts >= self.min_samples_leaf)
-                & (right_counts >= self.min_samples_leaf)
-            )
-            if not np.any(valid):
-                continue
-            gains = np.where(valid, gains, -np.inf)
-            idx = int(np.argmax(gains))
-            if gains[idx] > best_gain + 1e-12:
-                best_gain = float(gains[idx])
-                threshold = (sorted_x[idx] + sorted_x[idx + 1]) / 2.0
-                best = (feature, threshold, column <= threshold)
-        if best is None:
+        found = best_split(x, y, order, self.min_samples_leaf)
+        if found is None:
             return node
-        feature, threshold, mask = best
+        feature, threshold, _ = found
+        mask = x[:, feature] <= threshold
         node.feature = feature
         node.threshold = threshold
-        node.left = self._build(x[mask], y[mask], depth + 1)
-        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        # Filter the sorted orders instead of re-sorting: select each
+        # column's surviving rows (same count in every column) and remap
+        # the old row ids onto the children's compacted row numbering.
+        remap = np.cumsum(mask) - 1
+        remap_right = np.cumsum(~mask) - 1
+        keep = mask[order]
+        left_order = remap[order.T[keep.T].reshape(x.shape[1], -1).T]
+        right_order = remap_right[order.T[~keep.T].reshape(x.shape[1], -1).T]
+        node.left = self._build(x[mask], y[mask], left_order, depth + 1)
+        node.right = self._build(x[~mask], y[~mask], right_order, depth + 1)
         return node
 
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -112,12 +209,18 @@ class RegressionTree:
         if x.ndim == 1:
             x = x[None, :]
         out = np.empty(x.shape[0])
-        for i, row in enumerate(x):
-            node = self._root
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-                assert node is not None
-            out[i] = node.value
+        # Route index blocks down the tree: O(nodes) array ops instead
+        # of a Python loop per row.
+        stack: list[tuple[_Node, np.ndarray]] = [(self._root, np.arange(x.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if node.is_leaf:
+                out[idx] = node.value
+                continue
+            left = x[idx, node.feature] <= node.threshold
+            assert node.left is not None and node.right is not None
+            stack.append((node.left, idx[left]))
+            stack.append((node.right, idx[~left]))
         return out
 
     def apply_leaf_values(self, transform) -> None:

@@ -1,0 +1,294 @@
+"""Equivalence suite for the batched/vectorized prediction pipeline.
+
+Every fast path keeps its scalar reference in the tree (same
+discipline as the radio pipeline's ``test_radio_equivalence``); these
+tests pin the pairs together:
+
+* batched LSTM gradients/loss vs the per-sample path,
+* vectorized sort-based tree splits vs the per-row scalar search,
+* the MPC plan-matrix evaluation vs the itertools enumeration,
+* searchsorted handover labelling vs the per-tick linear scan,
+* deterministic upsampling, and the trained-model cache round-trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.abr.algorithms import FastMpc, RobustMpc, _plan_matrix
+from repro.ml.features import (
+    build_location_sequence_dataset,
+    build_radio_feature_dataset,
+    _tick_radio_features,
+    label_for_tick,
+    labels_for_times,
+    upsample_positives,
+)
+from repro.ml.gbc import GradientBoostingClassifier
+from repro.ml.lstm import StackedLstmClassifier
+from repro.ml.model_cache import ModelCache, fit_cached
+from repro.ml.tree import (
+    RegressionTree,
+    best_split,
+    best_split_reference,
+    presort_columns,
+)
+from repro.rrc.taxonomy import HandoverType
+
+
+class TestLstmBatchEquivalence:
+    @pytest.fixture()
+    def fitted(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(10, 6, 3))
+        y = ["a", "b", "a", "c", "b", "a", "c", "b", "a", "b"]
+        model = StackedLstmClassifier(hidden_dim=5, epochs=1, batch_size=4)
+        model.fit(x, y)
+        normalized = (x - model._mu) / model._sigma
+        labels = np.array([model.classes_.index(v) for v in y])
+        return model, normalized, labels
+
+    def test_batch_grads_equal_summed_per_sample(self, fitted):
+        model, normalized, labels = fitted
+        weights = np.linspace(0.5, 2.0, labels.size)
+        batch_loss, batch_grads = model._batch_grads(normalized, labels, weights)
+        loss = 0.0
+        summed = None
+        for i in range(labels.size):
+            sample_loss, grads = model._sample_grads(
+                normalized[i], int(labels[i]), float(weights[i])
+            )
+            loss += sample_loss
+            if summed is None:
+                summed = grads
+            else:
+                summed = [a + b for a, b in zip(summed, grads)]
+        assert batch_loss == pytest.approx(loss, abs=1e-8)
+        for got, want in zip(batch_grads, summed):
+            assert np.max(np.abs(got - want)) < 1e-8
+
+    def test_forward_batch_matches_per_sample(self, fitted):
+        model, normalized, _ = fitted
+        layer = model._layers[0]
+        batched = layer.forward_batch(normalized)
+        for i in range(normalized.shape[0]):
+            single = layer.forward(normalized[i])
+            assert np.max(np.abs(batched[i] - single)) < 1e-12
+
+    def test_batch_size_one_matches_per_sample_training(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(20, 5, 2))
+        y = ["a"] * 10 + ["b"] * 10
+        a = StackedLstmClassifier(hidden_dim=4, epochs=2, batch_size=1).fit(x, y)
+        b = StackedLstmClassifier(hidden_dim=4, epochs=2, batch_size=1).fit(x, y)
+        assert np.array_equal(a._w_out, b._w_out)
+        probs = a.predict_proba(x)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_pickle_drops_bptt_cache(self):
+        import pickle
+
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(8, 4, 2))
+        y = ["a", "b"] * 4
+        model = StackedLstmClassifier(hidden_dim=3, epochs=1).fit(x, y)
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone._layers[0]._cache == []
+        assert np.allclose(clone.predict_proba(x), model.predict_proba(x))
+
+
+class TestTreeSplitEquivalence:
+    def test_vectorized_matches_scalar_reference(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            n = int(rng.integers(12, 90))
+            d = int(rng.integers(1, 5))
+            # Rounded values stress duplicate-threshold handling.
+            x = np.round(rng.normal(size=(n, d)), 1)
+            y = rng.normal(size=n)
+            got = best_split(x, y, presort_columns(x), min_samples_leaf=5)
+            want = best_split_reference(x, y, min_samples_leaf=5)
+            if want is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got[0] == want[0]
+                assert got[1] == pytest.approx(want[1], abs=1e-12)
+
+    def test_filtered_orders_match_fresh_sorts(self):
+        rng = np.random.default_rng(12)
+        x = np.round(rng.normal(size=(300, 3)), 1)
+        y = rng.normal(size=300)
+        with_presort = RegressionTree(max_depth=4).fit(
+            x, y, presorted=presort_columns(x)
+        )
+        without = RegressionTree(max_depth=4).fit(x, y)
+        assert np.array_equal(with_presort.predict(x), without.predict(x))
+
+    def test_gbc_shared_presort_learns(self):
+        rng = np.random.default_rng(13)
+        x = rng.normal(size=(400, 3))
+        y = ["pos" if r[0] + r[1] > 0 else "neg" for r in x]
+        model = GradientBoostingClassifier(n_estimators=15, max_depth=2).fit(x, y)
+        accuracy = np.mean([p == t for p, t in zip(model.predict(x), y)])
+        assert accuracy > 0.9
+
+    def test_presorted_shape_validated(self):
+        x = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            RegressionTree().fit(x, np.zeros(10), presorted=np.zeros((5, 2), dtype=int))
+
+
+class TestMpcPlanMatrixEquivalence:
+    LADDER = [0.35, 0.75, 1.2, 1.85, 2.85, 4.3]
+
+    def test_plan_matrix_is_product_order(self):
+        import itertools
+
+        plans = _plan_matrix(4, 3)
+        assert plans.shape == (64, 3)
+        assert [tuple(row) for row in plans] == list(
+            itertools.product(range(4), repeat=3)
+        )
+
+    @pytest.mark.parametrize("algo_cls", [FastMpc, RobustMpc])
+    def test_select_matches_itertools_reference(self, algo_cls):
+        rng = np.random.default_rng(21)
+        algo = algo_cls()
+        for _ in range(200):
+            algo.observe_error(float(rng.uniform(0.5, 4)), float(rng.uniform(0.5, 4)))
+            buffer_s = float(rng.uniform(0.0, 25.0))
+            last = int(rng.integers(0, len(self.LADDER)))
+            predicted = float(rng.uniform(0.05, 8.0))
+            got = algo.select(self.LADDER, buffer_s, last, predicted, 4.0)
+            want = algo.select_reference(self.LADDER, buffer_s, last, predicted, 4.0)
+            assert got == want
+
+
+class TestLabelEquivalence:
+    def test_searchsorted_matches_linear_scan(self, freeway_low_log):
+        times = np.array([t.time_s for t in freeway_low_log.ticks[::7]])
+        fast = labels_for_times(freeway_low_log, times, window_s=1.0)
+        slow = [label_for_tick(freeway_low_log, t, 1.0) for t in times]
+        assert fast == slow
+        assert any(l is not HandoverType.NONE for l in fast)
+
+    def test_radio_rows_match_scalar_extraction(self, freeway_low_log):
+        dataset = build_radio_feature_dataset([freeway_low_log], stride=9)
+        slope_ticks = max(
+            int(1.0 / max(freeway_low_log.tick_interval_s, 1e-3)), 1
+        )
+        for row_i, tick_i in enumerate(range(0, len(freeway_low_log.ticks), 9)):
+            want = _tick_radio_features(freeway_low_log.ticks, tick_i, slope_ticks)
+            assert np.allclose(dataset.x[row_i], want, atol=0.0), tick_i
+
+    def test_sequence_windows_match_slicing(self, freeway_low_log):
+        dataset = build_location_sequence_dataset(
+            [freeway_low_log], stride=11, history_ticks=8
+        )
+        track = np.array(
+            [[t.x_m, t.y_m, t.speed_mps, t.arc_m] for t in freeway_low_log.ticks]
+        )
+        for row_i, tick_i in enumerate(range(8, len(freeway_low_log.ticks), 11)):
+            assert np.array_equal(dataset.x[row_i], track[tick_i - 8 : tick_i])
+
+
+class TestUpsampleDeterminism:
+    def _toy(self):
+        rng = np.random.default_rng(31)
+        x = rng.normal(size=(120, 4))
+        labels = [HandoverType.NONE] * 110 + (
+            [HandoverType.SCGA, HandoverType.LTEH] * 5
+        )
+        return x, labels
+
+    def test_resampled_set_is_deterministic(self):
+        x, labels = self._toy()
+        x1, y1 = upsample_positives(x, labels)
+        x2, y2 = upsample_positives(x, labels)
+        assert np.array_equal(x1, x2)
+        assert y1 == y2
+
+    def test_class_blocks_in_name_order(self):
+        x, labels = self._toy()
+        _, y = upsample_positives(x, labels)
+        appended = [l for l in y[len(labels) :]]
+        # Appended replication blocks follow Enum.name order: LTEH < SCGA.
+        names = [l.name for l in appended]
+        assert names == sorted(names)
+
+    def test_share_reached(self):
+        x, labels = self._toy()
+        _, y = upsample_positives(x, labels, target_share=0.10)
+        # want = max(int(110 * 0.10), 5) = 11 -> repeats = 11 // 5 = 2.
+        for cls in (HandoverType.SCGA, HandoverType.LTEH):
+            count = sum(1 for l in y if l is cls)
+            assert count == 10
+
+
+class TestModelCache:
+    def test_round_trip_skips_refit(self, tmp_path):
+        rng = np.random.default_rng(41)
+        x = rng.normal(size=(200, 3))
+        y = ["a" if r[0] > 0 else "b" for r in x]
+        cache = ModelCache(tmp_path, enabled=True)
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return GradientBoostingClassifier(n_estimators=5, max_depth=2)
+
+        params = {"n_estimators": 5, "max_depth": 2}
+        first = fit_cached("gbc", factory, x, y, params, cache=cache)
+        second = fit_cached("gbc", factory, x, y, params, cache=cache)
+        assert len(calls) == 1
+        assert cache.stats == {"hits": 1, "misses": 1, "stores": 1}
+        assert first.predict(x) == second.predict(x)
+
+    def test_key_sensitive_to_data_and_params(self, tmp_path):
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=(50, 2))
+        y = ["a"] * 25 + ["b"] * 25
+        cache = ModelCache(tmp_path, enabled=True)
+        from repro.ml.model_cache import dataset_digest
+
+        base = cache.key_for("gbc", dataset_digest(x, y), {"d": 1})
+        assert cache.key_for("gbc", dataset_digest(x, y), {"d": 2}) != base
+        x2 = x.copy()
+        x2[0, 0] += 1e-9
+        assert cache.key_for("gbc", dataset_digest(x2, y), {"d": 1}) != base
+        assert cache.key_for("lstm", dataset_digest(x, y), {"d": 1}) != base
+
+    def test_disabled_cache_always_misses(self, tmp_path):
+        rng = np.random.default_rng(43)
+        x = rng.normal(size=(60, 2))
+        y = ["a"] * 30 + ["b"] * 30
+        cache = ModelCache(tmp_path, enabled=False)
+        params = {"n_estimators": 3, "max_depth": 1}
+
+        def factory():
+            return GradientBoostingClassifier(n_estimators=3, max_depth=1)
+
+        fit_cached("gbc", factory, x, y, params, cache=cache)
+        fit_cached("gbc", factory, x, y, params, cache=cache)
+        assert cache.stats["hits"] == 0
+        assert cache.stats["stores"] == 0
+        assert not any(tmp_path.rglob("*.pkl.gz"))
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        rng = np.random.default_rng(44)
+        x = rng.normal(size=(60, 2))
+        y = ["a"] * 30 + ["b"] * 30
+        cache = ModelCache(tmp_path, enabled=True)
+        params = {"n_estimators": 3, "max_depth": 1}
+
+        def factory():
+            return GradientBoostingClassifier(n_estimators=3, max_depth=1)
+
+        fit_cached("gbc", factory, x, y, params, cache=cache)
+        (entry,) = list((tmp_path / "models").glob("gbc-*.pkl.gz"))
+        entry.write_bytes(b"not a gzip")
+        model = fit_cached("gbc", factory, x, y, params, cache=cache)
+        assert model.predict(x)  # refit transparently
+        assert cache.stats["misses"] >= 2
