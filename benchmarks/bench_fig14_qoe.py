@@ -9,7 +9,7 @@ the -GT (ground truth) upper bound.
 
 import numpy as np
 
-from repro.apps import FastMpc, Festive, RateBased, RobustMpc, VodPlayer
+from repro.apps import FastMpc, Festive, RateBased, RobustMpc, play_many
 from repro.apps.abr.prediction import PredictionFeed
 from repro.apps.volumetric import VolumetricStream
 from repro.core.evaluation import configs_for_log, run_prognos_over_logs
@@ -39,22 +39,28 @@ def test_fig14ab_vod_qoe(benchmark, corpus):
     log, events, gt_feed, pr_feed, traces = _prepare(corpus)
 
     def analyse():
+        variants = [
+            (algo_cls, variant, feed)
+            for algo_cls in (RateBased, FastMpc, RobustMpc)
+            for variant, feed in (("", None), ("-GT", gt_feed), ("-PR", pr_feed))
+        ]
+        # One flat job list over (variant x trace), fanned out over
+        # REPRO_BENCH_WORKERS processes; results come back in job order.
+        jobs = [
+            (algo_cls, trace, feed, events)
+            for algo_cls, _, feed in variants
+            for trace in traces
+        ]
+        results = play_many(jobs)
         rows = {}
-        for algo_cls in (RateBased, FastMpc, RobustMpc):
-            for variant, feed in (("", None), ("-GT", gt_feed), ("-PR", pr_feed)):
-                stalls, bitrates, mae_ho, mae_no = [], [], [], []
-                for trace in traces:
-                    result = VodPlayer(algo_cls(), feed=feed).play(trace, events)
-                    stalls.append(result.stall_pct)
-                    bitrates.append(result.normalized_bitrate)
-                    mae_ho.append(result.prediction_mae(near_ho=True))
-                    mae_no.append(result.prediction_mae(near_ho=False))
-                rows[algo_cls().name + variant] = (
-                    float(np.mean(stalls)),
-                    float(np.mean(bitrates)),
-                    float(np.mean(mae_ho)),
-                    float(np.mean(mae_no)),
-                )
+        for i, (algo_cls, variant, _) in enumerate(variants):
+            batch = results[i * len(traces) : (i + 1) * len(traces)]
+            rows[algo_cls().name + variant] = (
+                float(np.mean([r.stall_pct for r in batch])),
+                float(np.mean([r.normalized_bitrate for r in batch])),
+                float(np.mean([r.prediction_mae(near_ho=True) for r in batch])),
+                float(np.mean([r.prediction_mae(near_ho=False) for r in batch])),
+            )
         return rows
 
     rows = benchmark.pedantic(analyse, rounds=1, iterations=1)

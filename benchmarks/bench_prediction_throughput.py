@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 
 import numpy as np
@@ -34,6 +33,7 @@ from repro.ml.features import (
 from repro.ml.gbc import GradientBoostingClassifier
 from repro.ml.lstm import StackedLstmClassifier
 from repro.ml.model_cache import ModelCache, fit_cached
+from repro.perf import Timer
 from repro.radio.bands import BandClass
 from repro.ran import OPX
 from repro.simulate.runner import run_drives
@@ -45,12 +45,6 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 WALKS = 1 if SMOKE else 2
 WALK_MIN = 4 if SMOKE else 12
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_prediction.json"
-
-
-def _timed(fn):
-    start = time.perf_counter()
-    result = fn()
-    return time.perf_counter() - start, result
 
 
 def _build_radio_dataset_reference(logs) -> LabeledDataset:
@@ -77,26 +71,33 @@ def test_prediction_throughput(corpus):
         cache=corpus.drive_cache,
     )
     ticks = sum(len(log.ticks) for log in logs)
+    timer = Timer()
 
     # --- dataset build: array-at-once vs retained scalar extraction ---
-    build_fast_s, dataset = _timed(lambda: build_radio_feature_dataset(logs, stride=5))
-    build_ref_s, dataset_ref = _timed(lambda: _build_radio_dataset_reference(logs))
+    build_fast_s, dataset = timer.timed(
+        "dataset_build", lambda: build_radio_feature_dataset(logs, stride=5)
+    )
+    build_ref_s, dataset_ref = timer.timed(
+        "dataset_build_reference", lambda: _build_radio_dataset_reference(logs)
+    )
     assert np.allclose(dataset.x, dataset_ref.x)
     assert dataset.labels == dataset_ref.labels
 
-    seq_build_s, seq_dataset = _timed(
+    seq_build_s, seq_dataset = timer.timed(
+        "sequence_build",
         lambda: build_location_sequence_dataset(logs, stride=10)
     )
 
     # --- GBC training (shared column presort) + batched evaluation ---
     train, test = train_test_split_by_time(dataset, 0.6)
     x_train, y_train = upsample_positives(train.x, train.labels)
-    gbc_train_s, gbc = _timed(
+    gbc_train_s, gbc = timer.timed(
+        "gbc_train",
         lambda: GradientBoostingClassifier(n_estimators=30, max_depth=3).fit(
             x_train, y_train
         )
     )
-    gbc_eval_s, _ = _timed(lambda: gbc.predict(test.x))
+    gbc_eval_s, _ = timer.timed("gbc_eval", lambda: gbc.predict(test.x))
 
     # --- LSTM training: mini-batch BPTT vs per-sample reference ---
     seq_train, seq_test = train_test_split_by_time(seq_dataset, 0.6)
@@ -107,23 +108,30 @@ def test_prediction_throughput(corpus):
         x_seq = x_seq[keep]
         y_seq = [y_seq[i] for i in keep]
     epochs = 1 if SMOKE else 2
-    lstm_train_s, lstm = _timed(
+    lstm_train_s, lstm = timer.timed(
+        "lstm_train",
         lambda: StackedLstmClassifier(hidden_dim=24, epochs=epochs).fit(x_seq, y_seq)
     )
-    lstm_ref_s, _ = _timed(
+    lstm_ref_s, _ = timer.timed(
+        "lstm_train_reference",
         lambda: StackedLstmClassifier(hidden_dim=24, epochs=epochs, batch_size=1).fit(
             x_seq, y_seq
         )
     )
-    lstm_eval_s, probs = _timed(lambda: lstm.predict_proba(seq_test.x))
-    lstm_eval_ref_s, probs_ref = _timed(
+    lstm_eval_s, probs = timer.timed(
+        "lstm_eval", lambda: lstm.predict_proba(seq_test.x)
+    )
+    lstm_eval_ref_s, probs_ref = timer.timed(
+        "lstm_eval_reference",
         lambda: lstm.predict_proba_reference(seq_test.x)
     )
     assert np.allclose(probs, probs_ref, atol=1e-9)
 
     # --- Prognos streaming replay (Fig. 18 path) ---
     configs = configs_for_log(OPX, (BandClass.MMWAVE,))
-    prognos_s, run = _timed(lambda: run_prognos_over_logs(logs, configs, stride=2))
+    prognos_s, run = timer.timed(
+        "prognos", lambda: run_prognos_over_logs(logs, configs, stride=2)
+    )
     prognos_steps = len(run.predictions)
 
     # --- cold vs reference totals over the Table 3 offline path ---
@@ -144,7 +152,8 @@ def test_prediction_throughput(corpus):
         params,
         cache=cache,
     )
-    warm_s, _ = _timed(
+    warm_s, _ = timer.timed(
+        "warm_model_cache",
         lambda: fit_cached(
             "lstm",
             lambda: StackedLstmClassifier(hidden_dim=24, epochs=epochs),

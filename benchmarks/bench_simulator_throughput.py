@@ -16,11 +16,11 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.perf import Timer
 from repro.radio.bands import BandClass
 from repro.ran import OPX
 from repro.simulate.cache import DriveCache
@@ -40,9 +40,8 @@ def _drive(scenario, *, vectorized: bool) -> tuple[float, int]:
     config = dataclasses.replace(scenario.config, vectorized_radio=vectorized)
     rng = np.random.default_rng(scenario.seed + 0x5EED)
     sim = DriveSimulator(scenario.deployment, scenario.trajectory, rng, config)
-    start = time.perf_counter()
-    log = sim.run()
-    return time.perf_counter() - start, len(log.ticks)
+    elapsed, log = Timer().timed("drive", sim.run)
+    return elapsed, len(log.ticks)
 
 
 def _mean_audible_cells(scenario) -> float:
@@ -57,6 +56,7 @@ def _mean_audible_cells(scenario) -> float:
 
 def test_simulator_throughput(corpus):
     scenario = freeway_scenario(OPX, BandClass.LOW, length_km=LENGTH_KM, seed=211)
+    timer = Timer()
 
     scalar_s, ticks = _drive(scenario, vectorized=False)
     vector_s = min(_drive(scenario, vectorized=True)[0] for _ in range(3))
@@ -68,21 +68,21 @@ def test_simulator_throughput(corpus):
         freeway_scenario(OPX, BandClass.LOW, length_km=LENGTH_KM / 4, seed=400 + i)
         for i in range(4)
     ]
-    start = time.perf_counter()
-    serial_logs = run_drives(fleet, workers=1, use_cache=False)
-    serial_s = time.perf_counter() - start
+    serial_s, serial_logs = timer.timed(
+        "fleet_serial", lambda: run_drives(fleet, workers=1, use_cache=False)
+    )
     workers = min(4, os.cpu_count() or 1)
-    start = time.perf_counter()
-    parallel_logs = run_drives(fleet, workers=workers, use_cache=False)
-    parallel_s = time.perf_counter() - start
+    parallel_s, parallel_logs = timer.timed(
+        "fleet_parallel", lambda: run_drives(fleet, workers=workers, use_cache=False)
+    )
     assert [len(l.ticks) for l in serial_logs] == [len(l.ticks) for l in parallel_logs]
 
     # --- warm-cache pass: the second resolution simulates nothing ---
     cache = DriveCache()
     run_drives([scenario], workers=1, cache=cache)
-    start = time.perf_counter()
-    run_drives([scenario], workers=1, cache=cache)
-    warm_s = time.perf_counter() - start
+    warm_s, _ = timer.timed(
+        "warm_cache", lambda: run_drives([scenario], workers=1, cache=cache)
+    )
     assert cache.enabled is False or cache.stats["hits"] >= 1
 
     result = {

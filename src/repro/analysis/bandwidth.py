@@ -61,24 +61,35 @@ def phase_throughput(
     post_all: list[float] = []
     ratios: list[float] = []
     for log in logs:
-        times = np.array([t.time_s for t in log.ticks])
-        caps = np.array([t.total_capacity_mbps for t in log.ticks])
+        # Shared memoized arrays; each phase window [a, b) over the
+        # sorted tick times is the contiguous index range given by one
+        # searchsorted — means over the slices match the boolean-mask
+        # formulation bit for bit (same elements, same reduction).
+        times, caps = log.capacity_series()
         for record in log.handovers_of(ho_type):
-            pre_mask = (times >= record.decision_time_s - window_s) & (
-                times < record.decision_time_s
+            bounds = np.searchsorted(
+                times,
+                [
+                    record.decision_time_s - window_s,
+                    record.decision_time_s,
+                    record.exec_start_s,
+                    record.complete_s,
+                    record.complete_s,
+                    record.complete_s + window_s,
+                ],
+                side="left",
             )
-            exec_mask = (times >= record.exec_start_s) & (times < record.complete_s)
-            post_mask = (times >= record.complete_s) & (
-                times < record.complete_s + window_s
+            pre_lo, pre_hi, exec_lo, exec_hi, post_lo, post_hi = (
+                int(b) for b in bounds
             )
-            if not (np.any(pre_mask) and np.any(post_mask)):
+            if pre_hi <= pre_lo or post_hi <= post_lo:
                 continue
-            pre = float(np.mean(caps[pre_mask]))
-            post = float(np.mean(caps[post_mask]))
+            pre = float(np.mean(caps[pre_lo:pre_hi]))
+            post = float(np.mean(caps[post_lo:post_hi]))
             pre_all.append(pre)
             post_all.append(post)
-            if np.any(exec_mask):
-                exec_all.append(float(np.mean(caps[exec_mask])))
+            if exec_hi > exec_lo:
+                exec_all.append(float(np.mean(caps[exec_lo:exec_hi])))
             if pre > 1e-6:
                 ratios.append(post / pre)
     if not pre_all:

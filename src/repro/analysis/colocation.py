@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.analysis.stats import SeriesSummary, summarize
 from repro.geo.hull import convex_hull, hulls_overlap
 from repro.geo.point import Point
@@ -47,11 +49,10 @@ def colocated_tick_fraction(logs: list[DriveLog]) -> float:
     attached = 0
     same = 0
     for log in logs:
-        for tick in log.ticks:
-            if tick.lte_serving_pci is not None and tick.nr_serving_pci is not None:
-                attached += 1
-                if tick.lte_serving_pci == tick.nr_serving_pci:
-                    same += 1
+        lte_pci, nr_pci = log.serving_pci_series()
+        both = (lte_pci >= 0) & (nr_pci >= 0)
+        attached += int(np.count_nonzero(both))
+        same += int(np.count_nonzero(both & (lte_pci == nr_pci)))
     if attached == 0:
         raise ValueError("no NSA-attached ticks in the logs")
     return same / attached

@@ -16,7 +16,13 @@ from repro.apps.volumetric import (
     VolumetricResult,
     VOLUMETRIC_LEVELS_MBPS,
 )
-from repro.apps.abr.player import VodPlayer, VodResult, VIDEO_LEVELS_MBPS
+from repro.apps.abr.player import (
+    PlayJob,
+    VodPlayer,
+    VodResult,
+    VIDEO_LEVELS_MBPS,
+    play_many,
+)
 from repro.apps.abr.algorithms import (
     RateBased,
     FastMpc,
@@ -40,6 +46,7 @@ __all__ = [
     "GamingResult",
     "HarmonicMeanPredictor",
     "HoAwareCorrector",
+    "PlayJob",
     "PredictionFeed",
     "RateBased",
     "RobustMpc",
@@ -51,4 +58,5 @@ __all__ = [
     "VolumetricStream",
     "WindowComparison",
     "compare_ho_windows",
+    "play_many",
 ]

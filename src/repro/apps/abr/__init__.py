@@ -18,7 +18,13 @@ from repro.apps.abr.algorithms import (
     RobustMpc,
     Festive,
 )
-from repro.apps.abr.player import VodPlayer, VodResult, VIDEO_LEVELS_MBPS
+from repro.apps.abr.player import (
+    PlayJob,
+    VodPlayer,
+    VodResult,
+    VIDEO_LEVELS_MBPS,
+    play_many,
+)
 
 __all__ = [
     "AbrAlgorithm",
@@ -26,10 +32,12 @@ __all__ = [
     "Festive",
     "HarmonicMeanPredictor",
     "HoAwareCorrector",
+    "PlayJob",
     "PredictionFeed",
     "RateBased",
     "RobustMpc",
     "VIDEO_LEVELS_MBPS",
     "VodPlayer",
     "VodResult",
+    "play_many",
 ]

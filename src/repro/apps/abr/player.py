@@ -11,7 +11,9 @@ Fig. 14b throughput-prediction errors split by handover proximity.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -146,3 +148,43 @@ class VodPlayer:
             mean_bitrate_mbps=mean_bitrate,
             prediction_errors=errors,
         )
+
+
+#: One playback session: (algorithm_factory, trace, feed, events). The
+#: factory is called in the worker so every session gets a fresh
+#: algorithm instance and the job tuple stays picklable.
+PlayJob = tuple[
+    Callable[[], AbrAlgorithm],
+    BandwidthTrace,
+    "PredictionFeed | None",
+    "list[tuple[float, object]] | None",
+]
+
+
+def _play_job(job: PlayJob) -> VodResult:
+    # Module-level so ProcessPoolExecutor can pickle it by reference.
+    factory, trace, feed, events = job
+    return VodPlayer(factory(), feed=feed).play(trace, events)
+
+
+def play_many(jobs: Iterable[PlayJob], *, workers: int | None = None) -> list[VodResult]:
+    """Play many independent sessions, fanned out over processes.
+
+    Sessions are independent (each builds its own link/predictor), so
+    they fan out exactly like :func:`repro.simulate.runner.run_drives`.
+    Results come back in job order regardless of worker count.
+
+    Args:
+        jobs: ``(algorithm_factory, trace, feed, events)`` tuples.
+        workers: process count. None reads ``REPRO_BENCH_WORKERS``
+            (default 1 = serial in-process).
+    """
+    from repro.simulate.runner import default_workers
+
+    jobs = list(jobs)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(jobs) <= 1:
+        return [_play_job(job) for job in jobs]
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        return list(pool.map(_play_job, jobs))

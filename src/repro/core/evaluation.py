@@ -26,6 +26,8 @@ import numpy as np
 from repro.core.bootstrap import frequent_patterns_from_logs
 from repro.core.patterns import Pattern
 from repro.core.prognos import Prognos, PrognosConfig
+from repro.core.report_predictor import ReportPredictor
+from repro.core.rrs_predictor import RRSPredictor
 from repro.ml.features import (
     LabeledDataset,
     build_location_sequence_dataset,
@@ -37,6 +39,7 @@ from repro.ml.features import (
     train_test_split_by_time,
     upsample_positives,
 )
+from repro.ml.dataset_cache import DatasetCache, build_cached
 from repro.ml.gbc import GradientBoostingClassifier
 from repro.ml.lstm import StackedLstmClassifier
 from repro.ml.model_cache import ModelCache, fit_cached
@@ -213,6 +216,56 @@ def _replay_plan_star(args: tuple) -> _ReplayPlan:
     return _replay_plan(*args)
 
 
+def _forecast_steps(
+    plan: _ReplayPlan,
+    event_configs: list[EventConfig],
+    config: PrognosConfig | None,
+) -> list[list[tuple[str, float]]]:
+    """Per-step predicted reports for one log's replay plan.
+
+    The report-predictor stage of :meth:`Prognos.step` is a pure
+    function of the log's RSRP stream (the learner never feeds back
+    into it), so it can run per log, batched, and in parallel across
+    logs. A fresh RRS/report predictor per log reproduces exactly what
+    the streaming instance holds after its per-log :meth:`start_log`
+    reset.
+    """
+    config = config or PrognosConfig()
+    if not config.use_report_predictor:
+        return [[] for _ in plan.step_inputs]
+    rrs = RRSPredictor(
+        history_window_ticks=config.history_window_ticks,
+        smoother_window=config.smoother_window,
+    )
+    predictor = ReportPredictor(
+        event_configs,
+        rrs,
+        prediction_window_s=config.prediction_window_s,
+    )
+    forecasts: list[list[tuple[str, float]]] = []
+    for now, inputs in zip(plan.step_times, plan.step_inputs):
+        rsrp, serving, neighbours, scoped = inputs
+        predictor.observe(now, rsrp)
+        forecasts.append(
+            [
+                (report.label, report.fire_in_s)
+                for report in predictor.predict_reports_batched(
+                    serving, neighbours, scoped
+                )
+            ]
+        )
+    return forecasts
+
+
+def _plan_and_forecast_star(
+    args: tuple,
+) -> tuple[_ReplayPlan, list[list[tuple[str, float]]]]:
+    # Module-level so ProcessPoolExecutor can pickle it by reference.
+    log, window_s, stride, event_configs, config = args
+    plan = _replay_plan(log, window_s, stride)
+    return plan, _forecast_steps(plan, event_configs, config)
+
+
 def run_prognos_over_logs(
     logs: list[DriveLog],
     event_configs: list[EventConfig],
@@ -229,21 +282,114 @@ def run_prognos_over_logs(
 
     Time is re-based so consecutive logs form one continuous session
     (the learner persists across traces of the same dataset, exactly as
-    a phone replaying the same walk would accumulate patterns). The
-    learner's continuity is why the *stream* stage stays sequential;
-    the per-log *plan* stage carries no learner state, so ``workers``
-    > 1 fans it out over a process pool (results are identical for any
-    worker count).
+    a phone replaying the same walk would accumulate patterns); the
+    radio-layer RRS history resets at each log boundary
+    (:meth:`Prognos.start_log`) since consecutive logs are unrelated
+    drives. The learner's continuity is why the *stream* stage stays
+    sequential; the per-log *plan + report-forecast* stages carry no
+    learner state, so ``workers`` > 1 fans them out over a process pool
+    (results are identical for any worker count, and bit-identical to
+    :func:`run_prognos_over_logs_reference`).
     """
     if workers is None:
         workers = 1
+    tasks = [(log, window_s, stride, event_configs, config) for log in logs]
     if workers > 1 and len(logs) > 1:
         with ProcessPoolExecutor(max_workers=min(workers, len(logs))) as pool:
-            plans = list(
-                pool.map(_replay_plan_star, [(log, window_s, stride) for log in logs])
-            )
+            staged = list(pool.map(_plan_and_forecast_star, tasks))
     else:
-        plans = [_replay_plan(log, window_s, stride) for log in logs]
+        staged = [_plan_and_forecast_star(task) for task in tasks]
+
+    prognos = Prognos(event_configs, config, ho_scores)
+    if bootstrap:
+        prognos.bootstrap(bootstrap)
+
+    times: list[float] = []
+    predictions: list[HandoverType] = []
+    truths: list[HandoverType] = []
+    lead_times: list[float] = []
+    offset = 0.0
+
+    for plan, forecasts in staged:
+        prognos.start_log()
+        e_idx = 0
+        events = plan.events
+        # Track, per upcoming handover, when a correct-type prediction
+        # run started (for Fig. 18 lead times).
+        run_start: float | None = None
+        run_type: HandoverType | None = None
+        for pos, now in enumerate(plan.step_times):
+            tick_index = pos * stride
+            while e_idx < len(events) and events[e_idx][0] <= tick_index:
+                _, kind, payload, event_time = events[e_idx]
+                if kind == 0:
+                    prognos.observe_report(payload, event_time)
+                else:
+                    if run_type is payload and run_start is not None:
+                        lead_times.append(event_time - run_start)
+                    run_start = None
+                    run_type = None
+                    prognos.observe_command(payload, event_time)
+                e_idx += 1
+            _, serving, _, _ = plan.step_inputs[pos]
+            prediction = prognos.step_with_forecast(
+                now,
+                serving,
+                forecasts[pos],
+                standalone=standalone,
+            )
+            if prediction.predicts_handover:
+                if run_type is not prediction.ho_type:
+                    run_type = prediction.ho_type
+                    run_start = now
+            else:
+                run_type = None
+                run_start = None
+            times.append(now + offset)
+            predictions.append(prediction.ho_type)
+        # Events due after the final strided step still reach the
+        # learner (the tick-by-tick reference visited every raw tick).
+        while e_idx < len(events):
+            _, kind, payload, event_time = events[e_idx]
+            if kind == 0:
+                prognos.observe_report(payload, event_time)
+            else:
+                if run_type is payload and run_start is not None:
+                    lead_times.append(event_time - run_start)
+                run_start = None
+                run_type = None
+                prognos.observe_command(payload, event_time)
+            e_idx += 1
+        truths.extend(plan.step_labels)
+        offset += plan.duration_s + 1.0
+    return PrognosRunResult(
+        times_s=np.array(times),
+        predictions=predictions,
+        truths=truths,
+        events=handover_events(logs),
+        lead_times_s=lead_times,
+        learner_stats=prognos.stats(),
+    )
+
+
+def run_prognos_over_logs_reference(
+    logs: list[DriveLog],
+    event_configs: list[EventConfig],
+    *,
+    config: PrognosConfig | None = None,
+    bootstrap: dict[Pattern, int] | None = None,
+    window_s: float = 1.0,
+    stride: int = 1,
+    standalone: bool = False,
+    ho_scores: dict[HandoverType, float] | None = None,
+) -> PrognosRunResult:
+    """Tick-at-a-time reference for :func:`run_prognos_over_logs`.
+
+    Drives :meth:`Prognos.step` per step, recomputing the report
+    forecast inline; the staged runner must reproduce it bit for bit
+    (tests/test_dataplane_equivalence.py pins that).
+    """
+    plans = [_replay_plan(log, window_s, stride) for log in logs]
 
     prognos = Prognos(event_configs, config, ho_scores)
     if bootstrap:
@@ -256,10 +402,9 @@ def run_prognos_over_logs(
     offset = 0.0
 
     for plan in plans:
+        prognos.start_log()
         e_idx = 0
         events = plan.events
-        # Track, per upcoming handover, when a correct-type prediction
-        # run started (for Fig. 18 lead times).
         run_start: float | None = None
         run_type: HandoverType | None = None
         for pos, now in enumerate(plan.step_times):
@@ -293,8 +438,6 @@ def run_prognos_over_logs(
                 run_start = None
             times.append(now + offset)
             predictions.append(prediction.ho_type)
-        # Events due after the final strided step still reach the
-        # learner (the tick-by-tick reference visited every raw tick).
         while e_idx < len(events):
             _, kind, payload, event_time = events[e_idx]
             if kind == 0:
@@ -336,13 +479,21 @@ def evaluate_gbc(
     train_fraction: float = 0.6,
     stride: int = 5,
     model_cache: ModelCache | None = None,
+    dataset_cache: DatasetCache | None = None,
 ) -> ClassificationReport:
     """Offline-trained GBC baseline (Mei et al.), 60/40 split.
 
-    The fitted booster is resolved through the trained-model cache —
-    repeated bench runs over an unchanged corpus skip retraining.
+    The feature matrix resolves through the derived-dataset cache and
+    the fitted booster through the trained-model cache — repeated bench
+    runs over an unchanged corpus skip both extraction and retraining.
     """
-    dataset = build_radio_feature_dataset(logs, stride=stride)
+    dataset = build_cached(
+        "radio",
+        lambda: build_radio_feature_dataset(logs, stride=stride),
+        logs,
+        {"stride": stride},
+        cache=dataset_cache,
+    )
     train, test = train_test_split_by_time(dataset, train_fraction)
     # Handovers are ~0.4% of ticks; without upsampling the booster
     # collapses to the majority class (exactly the "blind ML" failure
@@ -375,9 +526,16 @@ def evaluate_lstm(
     epochs: int = 4,
     max_train_sequences: int = 4000,
     model_cache: ModelCache | None = None,
+    dataset_cache: DatasetCache | None = None,
 ) -> ClassificationReport:
     """Offline-trained stacked-LSTM baseline (Ozturk et al.)."""
-    dataset = build_location_sequence_dataset(logs, stride=stride)
+    dataset = build_cached(
+        "location-seq",
+        lambda: build_location_sequence_dataset(logs, stride=stride),
+        logs,
+        {"stride": stride},
+        cache=dataset_cache,
+    )
     train, test = train_test_split_by_time(dataset, train_fraction)
     x_train, y_train = train.x, train.labels
     if x_train.shape[0] > max_train_sequences:

@@ -102,6 +102,19 @@ class Prognos:
         """Warm-start the learner with offline-mined frequent patterns."""
         self.learner.bootstrap(patterns)
 
+    def start_log(self) -> None:
+        """Reset the radio-layer state at a log boundary.
+
+        The evaluator streams unrelated drive logs back to back with
+        log-local clocks, so without this the first ticks of a new log
+        would extrapolate RRS from the previous log's cells (the
+        stale-eviction clock restarts with the log, so it never fires
+        across the seam). The learner deliberately persists — pattern
+        knowledge transfers across drives; radio history does not.
+        """
+        self.report_predictor.rrs.reset()
+        self._phase_reports = []
+
     def set_ho_scores(self, scores: dict[HandoverType, float]) -> None:
         self.handover_predictor.set_ho_scores(scores)
 
@@ -139,6 +152,36 @@ class Prognos:
                     serving, neighbours, scoped_neighbours
                 )
             ]
+        nr_serving = serving.get(MeasurementObject.NR)
+        lte_serving = serving.get(MeasurementObject.LTE)
+        if self.config.use_sanity_checks:
+            context = RadioContext(
+                standalone=standalone,
+                nr_attached=nr_serving is not None,
+                lte_attached=lte_serving is not None,
+            )
+        else:
+            context = _PERMISSIVE_CONTEXT
+        observed = [(label, time_s - t) for label, t in self._phase_reports]
+        return self.handover_predictor.predict(observed, predicted, context)
+
+    def step_with_forecast(
+        self,
+        time_s: float,
+        serving: dict[MeasurementObject, object | None],
+        predicted: list[tuple[str, float]],
+        *,
+        standalone: bool = False,
+    ) -> HandoverPrediction:
+        """:meth:`step` with the report forecast precomputed.
+
+        The report-predictor stage of :meth:`step` is a pure function of
+        the RSRP stream, so the staged evaluator computes it per log in
+        a batched (and parallelisable) pass and feeds the result here;
+        only the learner-coupled tail runs in stream order. ``predicted``
+        must be what :meth:`step` would have computed this tick (the
+        empty list when ``use_report_predictor`` is off).
+        """
         nr_serving = serving.get(MeasurementObject.NR)
         lte_serving = serving.get(MeasurementObject.LTE)
         if self.config.use_sanity_checks:

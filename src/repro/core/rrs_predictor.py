@@ -19,6 +19,21 @@ import numpy as np
 
 from repro.core.smoothing import TriangularKernelSmoother
 
+#: Shared (horizon_s, steps) -> linspace grid cache: the future-time
+#: grid is a pure function of its arguments, and the streaming loop
+#: asks for the same one thousands of times.
+_FUTURE_GRIDS: dict[tuple[float, int], np.ndarray] = {}
+
+
+def _future_grid(horizon_s: float, steps: int) -> np.ndarray:
+    key = (horizon_s, steps)
+    grid = _FUTURE_GRIDS.get(key)
+    if grid is None:
+        grid = np.linspace(horizon_s / steps, horizon_s, steps)
+        grid.setflags(write=False)
+        _FUTURE_GRIDS[key] = grid
+    return grid
+
 
 @dataclass
 class CellHistory:
@@ -116,3 +131,50 @@ class RRSPredictor:
         slope *= self._slope_shrinkage
         future = np.linspace(horizon_s / steps, horizon_s, steps)
         return intercept + slope * future
+
+    def reset(self) -> None:
+        """Drop all per-cell history (start of a new, unrelated log).
+
+        The streaming evaluator replays logs back to back with
+        log-local clocks; without an explicit reset the first ticks of
+        a log would extrapolate from the previous log's cells (the
+        stale-eviction clock restarts too, so it never fires).
+        """
+        self._cells.clear()
+
+    def predict_many(
+        self, cells: list[object], horizon_s: float, steps: int = 4
+    ) -> dict[object, np.ndarray | None]:
+        """Batched :meth:`predict` over ``cells`` (same floats per cell).
+
+        Uses the smoother's precomputed-tail path and a shared
+        future-time grid; every per-cell fit keeps the exact op order
+        of :meth:`predict`, so results are bitwise-identical.
+        """
+        future = _future_grid(horizon_s, steps)
+        out: dict[object, np.ndarray | None] = {}
+        smooth = self._smoother.smooth_series_fast
+        shrink = self._slope_shrinkage
+        for cell in cells:
+            history = self._cells.get(cell)
+            if history is None or len(history.values_dbm) < 4:
+                out[cell] = None
+                continue
+            times = np.array(history.times_s, dtype=float)
+            values = smooth(np.array(history.values_dbm, dtype=float))
+            t_rel = times - times[-1]
+            n = t_rel.size
+            sum_t = t_rel.sum()
+            sum_tt = float(np.dot(t_rel, t_rel))
+            sum_v = values.sum()
+            sum_tv = float(np.dot(t_rel, values))
+            denom = n * sum_tt - sum_t * sum_t
+            if abs(denom) < 1e-12:
+                slope = 0.0
+                intercept = float(values.mean())
+            else:
+                slope = (n * sum_tv - sum_t * sum_v) / denom
+                intercept = (sum_v - slope * sum_t) / n
+            slope *= shrink
+            out[cell] = intercept + slope * future
+        return out

@@ -1,0 +1,166 @@
+"""On-disk derived-dataset cache: content-addressed feature matrices.
+
+Feature extraction over a 35-minute 20 Hz corpus costs seconds per
+Table 3 cell, and the §7.3 benches rebuild the exact same matrices
+every session. This module caches :class:`LabeledDataset` artefacts on
+disk, keyed by a sha256 over everything that determines the build
+bit-for-bit:
+
+* the builder kind and its parameters (stride, window, ...),
+* a content digest of every input drive log (ticks, reports,
+  handovers — not the object identity), and
+* the same code-version token the drive/model caches use — a hash over
+  the ``repro`` package sources — so editing a feature-extraction
+  constant silently invalidates stale entries instead of serving
+  matrices produced by old code.
+
+It shares the :mod:`repro.simulate.cache` knobs: ``REPRO_CACHE_DIR``
+relocates the root (datasets live under a ``datasets/`` subdirectory
+next to drive logs and models), ``REPRO_NO_CACHE=1`` disables caching
+entirely. Entries are ``.npz`` archives — arrays round-trip losslessly
+and labels are stored by enum name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ml.features import LabeledDataset
+from repro.rrc.taxonomy import HandoverType
+from repro.simulate.cache import code_version_token
+from repro.simulate.records import DriveLog
+
+_DEFAULT_ROOT = ".repro-cache"
+
+
+def log_content_digest(log: DriveLog) -> str:
+    """sha256 over everything in the log a feature builder can read.
+
+    Memoized on the log instance: the Table 3 drivers digest the same
+    logs once per (kind, params) combination, and one pickle pass over
+    a long 20 Hz log is the expensive part.
+    """
+    cached = log.__dict__.get("_content_digest")
+    if cached is not None:
+        return cached
+    payload = (
+        log.carrier,
+        log.bearer,
+        log.scenario,
+        log.ticks,
+        log.reports,
+        log.handovers,
+    )
+    token = hashlib.sha256(
+        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    ).hexdigest()
+    log.__dict__["_content_digest"] = token
+    return token
+
+
+class DatasetCache:
+    """Content-addressed store of derived feature datasets.
+
+    Entries live under ``root/datasets`` as ``<kind>-<key>.npz``.
+    Lookups on a disabled cache always miss; stores become no-ops.
+    """
+
+    def __init__(self, root: str | Path | None = None, *, enabled: bool | None = None):
+        if enabled is None:
+            enabled = os.environ.get("REPRO_NO_CACHE", "") != "1"
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_ROOT
+        self.root = Path(root) / "datasets"
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @staticmethod
+    def key_for(kind: str, logs: Sequence[DriveLog], params: dict) -> str:
+        payload = json.dumps(
+            {
+                "kind": kind,
+                "logs": [log_content_digest(log) for log in logs],
+                "params": {k: params[k] for k in sorted(params)},
+                "code_version": code_version_token(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / f"{kind}-{key}.npz"
+
+    def get(self, kind: str, key: str) -> LabeledDataset | None:
+        """The cached dataset, or None on a miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self._path(kind, key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                x = archive["x"]
+                times_s = archive["times_s"]
+                labels = [HandoverType[name] for name in archive["labels"].tolist()]
+        except (OSError, EOFError, KeyError, ValueError):
+            # A truncated or stale-format entry is a miss, not an error.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return LabeledDataset(x, labels, times_s)
+
+    def put(self, kind: str, key: str, dataset: LabeledDataset) -> None:
+        if not self.enabled:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(kind, key)
+        tmp = path.with_name(f".{path.name}.tmp")
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                x=dataset.x,
+                times_s=dataset.times_s,
+                labels=np.array([label.name for label in dataset.labels]),
+            )
+        tmp.replace(path)
+        self.stores += 1
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+def build_cached(
+    kind: str,
+    builder: Callable[[], LabeledDataset],
+    logs: Sequence[DriveLog],
+    params: dict,
+    *,
+    cache: DatasetCache | None = None,
+) -> LabeledDataset:
+    """Build a dataset through the cache.
+
+    ``params`` must capture every knob the builder closes over — it is
+    part of the content key alongside the log digests.
+    """
+    if cache is None:
+        cache = DatasetCache()
+    key = cache.key_for(kind, logs, params)
+    dataset = cache.get(kind, key)
+    if dataset is not None:
+        return dataset
+    dataset = builder()
+    cache.put(kind, key, dataset)
+    return dataset

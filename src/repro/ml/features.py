@@ -126,7 +126,13 @@ def _tick_primitives(log: DriveLog) -> np.ndarray:
 
     Columns: lte rsrp/rsrq/sinr, nr rsrp/rsrq/sinr, lte top-2 neighbour
     rsrp, nr top-2 neighbour rsrp, nr-attached flag.
+
+    Memoized per log (read-only array): the dataset builders and any
+    analysis consuming radio primitives share one extraction pass.
     """
+    cached = log.__dict__.get("_tick_primitives")
+    if cached is not None:
+        return cached
 
     def triple(sample):
         if sample is None:
@@ -140,7 +146,7 @@ def _tick_primitives(log: DriveLog) -> np.ndarray:
             return (neighbours[0].rrs.rsrp_dbm, _ABSENT_RSRP)
         return (neighbours[0].rrs.rsrp_dbm, neighbours[1].rrs.rsrp_dbm)
 
-    return np.array(
+    primitives = np.array(
         [
             (
                 *triple(t.lte_rrs),
@@ -153,6 +159,9 @@ def _tick_primitives(log: DriveLog) -> np.ndarray:
         ],
         dtype=float,
     )
+    primitives.setflags(write=False)
+    log.__dict__["_tick_primitives"] = primitives
+    return primitives
 
 
 def _assemble_radio_rows(

@@ -10,7 +10,16 @@ Mahimahi-style trace-driven link used by the application studies (§7.4).
 from repro.net.capacity import CapacityModel, LinkCapacity
 from repro.net.bearer import BearerMode
 from repro.net.latency import LatencyModel
-from repro.net.tcp import TcpCubic, TcpBbr, TcpConnection, TcpSample
+from repro.net.segments import TraceSegment, segment_capacity
+from repro.net.tcp import (
+    TcpBbr,
+    TcpConnection,
+    TcpCubic,
+    TcpSample,
+    TcpTrace,
+    simulate_tcp,
+    simulate_tcp_reference,
+)
 from repro.net.emulation import TraceDrivenLink, BandwidthTrace
 
 __all__ = [
@@ -23,5 +32,10 @@ __all__ = [
     "TcpConnection",
     "TcpCubic",
     "TcpSample",
+    "TcpTrace",
     "TraceDrivenLink",
+    "TraceSegment",
+    "segment_capacity",
+    "simulate_tcp",
+    "simulate_tcp_reference",
 ]

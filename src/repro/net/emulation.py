@@ -96,8 +96,10 @@ class TraceDrivenLink:
             time_s = time_s % duration
         return self._trace.capacity_at(time_s)
 
-    def download_time_s(self, size_bytes: float, start_s: float, max_s: float = 600.0) -> float:
-        """Seconds needed to download ``size_bytes`` starting at ``start_s``.
+    def download_time_reference_s(
+        self, size_bytes: float, start_s: float, max_s: float = 600.0
+    ) -> float:
+        """Tick-at-a-time reference for :meth:`download_time_s`.
 
         Integrates capacity tick by tick (previous-sample hold), exactly
         like a record-and-replay shell delivering packets.
@@ -121,3 +123,71 @@ class TraceDrivenLink:
                 remaining_bits -= step_bits
                 elapsed += tick
         return elapsed
+
+    def download_time_s(self, size_bytes: float, start_s: float, max_s: float = 600.0) -> float:
+        """Seconds needed to download ``size_bytes`` starting at ``start_s``.
+
+        Vectorized integration over the capacity trace: the tick grid is
+        accumulated exactly as the reference loop accumulates
+        ``elapsed``, capacities resolve through one ``searchsorted``,
+        and the exit tick (where the tick's bits cover the remainder)
+        comes from the sequentially-accumulated remaining-bits series —
+        so the result is bit-identical to
+        :meth:`download_time_reference_s`, including the stall error.
+        """
+        if size_bytes <= 0:
+            return 0.0
+        trace = self._trace
+        tick = trace.tick_s
+        remaining0 = size_bytes * 8.0
+        duration = trace.duration_s
+        times = trace.times_s
+        caps = trace.capacity_mbps
+        last_index = caps.shape[0] - 1
+        # Grid capacity: enough ticks to reach max_s plus one overshoot.
+        n_cap = int(max_s / tick) + 8
+        # First guess from the trace's mean capacity; grow if short.
+        mean_bps = float(np.mean(caps)) * 1e6
+        if mean_bps > 0:
+            n = int(remaining0 / (mean_bps * tick) * 1.5) + 16
+            n = min(max(n, 32), n_cap)
+        else:
+            n = n_cap
+        while True:
+            steps = np.full(n, tick)
+            steps[0] = 0.0
+            elapsed = np.add.accumulate(steps)
+            query = start_s + elapsed
+            if self._loop:
+                over = query > duration
+                if over.any():
+                    query = np.where(over, np.mod(query, duration), query)
+            index = np.searchsorted(times, query, side="right") - 1
+            np.clip(index, 0, last_index, out=index)
+            rate_bps = caps[index] * 1e6
+            step_bits = rate_bps * tick
+            # remaining_before[j]: bits left entering tick j, accumulated
+            # with the same op sequence as the reference's subtraction.
+            seq = np.empty(n)
+            seq[0] = remaining0
+            seq[1:] = step_bits[:-1]
+            remaining_before = np.subtract.accumulate(seq)
+            finishes = (step_bits >= remaining_before) & (rate_bps > 0)
+            stalls = elapsed >= max_s
+            exit_hit = finishes.any()
+            exit_at = int(np.argmax(finishes)) if exit_hit else n
+            stall_at = int(np.argmax(stalls)) if stalls.any() else n
+            if stall_at <= exit_at and stall_at < n:
+                raise RuntimeError(
+                    f"download of {size_bytes:.0f} B stalled beyond {max_s:.0f} s"
+                )
+            if exit_hit:
+                return float(
+                    elapsed[exit_at] + remaining_before[exit_at] / rate_bps[exit_at]
+                )
+            if n >= n_cap:
+                # Unreachable: a grid reaching max_s always stalls first.
+                raise RuntimeError(
+                    f"download of {size_bytes:.0f} B stalled beyond {max_s:.0f} s"
+                )
+            n = min(n * 4, n_cap)

@@ -1,0 +1,60 @@
+"""Event segmentation of capacity traces.
+
+A drive's capacity trace is piecewise-smooth between events: handover
+interruptions force capacity to zero for their whole duration, and the
+congestion state between loss/drain events evolves under closed-form
+dynamics. Splitting the tick series at zero/non-zero boundaries yields
+segments over which the fluid TCP engines (:mod:`repro.net.tcp`) can
+advance state with array updates instead of one tick at a time, and
+over which byte accounting can be checked segment by segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSegment:
+    """A maximal run of ticks that are all-outage or all-serving.
+
+    Attributes:
+        start: first tick index (inclusive).
+        stop: one past the last tick index (exclusive).
+        outage: True when capacity is zero throughout the segment
+            (a handover interruption or coverage hole).
+    """
+
+    start: int
+    stop: int
+    outage: bool
+
+    @property
+    def ticks(self) -> int:
+        return self.stop - self.start
+
+
+def segment_capacity(capacity_mbps: np.ndarray) -> list[TraceSegment]:
+    """Split a capacity tick series at zero/non-zero boundaries.
+
+    Returns segments in order; they tile ``[0, len(capacity_mbps))``.
+    """
+    caps = np.asarray(capacity_mbps, dtype=float)
+    if caps.ndim != 1:
+        raise ValueError("capacity series must be one-dimensional")
+    if caps.size == 0:
+        return []
+    zero = caps <= 0.0
+    changes = np.flatnonzero(zero[1:] != zero[:-1]) + 1
+    bounds = np.concatenate(([0], changes, [caps.size]))
+    return [
+        TraceSegment(int(a), int(b), bool(zero[a]))
+        for a, b in zip(bounds[:-1], bounds[1:])
+    ]
+
+
+def segment_bounds(capacity_mbps: np.ndarray) -> list[tuple[int, int]]:
+    """(start, stop) index pairs of :func:`segment_capacity` segments."""
+    return [(s.start, s.stop) for s in segment_capacity(capacity_mbps)]

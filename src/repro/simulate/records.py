@@ -175,10 +175,45 @@ class DriveLog:
         return seen
 
     def capacity_series(self) -> tuple[np.ndarray, np.ndarray]:
-        """(times, total capacity in Mbps) arrays for trace building."""
-        times = np.array([t.time_s for t in self.ticks])
-        caps = np.array([t.total_capacity_mbps for t in self.ticks])
-        return times, caps
+        """(times, total capacity in Mbps) arrays for trace building.
+
+        Memoized: the analyses, trace builders, and benches ask for the
+        same arrays repeatedly, and rebuilding them per call dominated
+        their runtime. The arrays are returned read-only so every
+        consumer can safely share them.
+        """
+        cached = self.__dict__.get("_capacity_series")
+        if cached is None:
+            times = np.array([t.time_s for t in self.ticks])
+            caps = np.array([t.total_capacity_mbps for t in self.ticks])
+            times.setflags(write=False)
+            caps.setflags(write=False)
+            cached = (times, caps)
+            self.__dict__["_capacity_series"] = cached
+        return cached
+
+    def serving_pci_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(LTE, NR) serving-PCI arrays per tick, -1 where detached.
+
+        Memoized and read-only, like :meth:`capacity_series`; lets the
+        colocation analyses count attachment conditions with array
+        comparisons instead of per-tick attribute scans.
+        """
+        cached = self.__dict__.get("_serving_pci_series")
+        if cached is None:
+            lte = np.array(
+                [-1 if t.lte_serving_pci is None else t.lte_serving_pci for t in self.ticks],
+                dtype=np.int64,
+            )
+            nr = np.array(
+                [-1 if t.nr_serving_pci is None else t.nr_serving_pci for t in self.ticks],
+                dtype=np.int64,
+            )
+            lte.setflags(write=False)
+            nr.setflags(write=False)
+            cached = (lte, nr)
+            self.__dict__["_serving_pci_series"] = cached
+        return cached
 
     def total_energy_j(self) -> float:
         return sum(h.energy_j for h in self.handovers)
