@@ -108,10 +108,9 @@ def test_dataplane_throughput(corpus):
     assert [r.levels for r in serial_results] == [r.levels for r in fanned_results]
 
     # --- Prognos streaming replay: staged forecasts vs tick-by-tick ---
-    # Serial on both sides: fanning the per-log forecast stage out is
-    # correct (see test_dataplane_equivalence) but shipping whole 20 Hz
-    # logs to worker processes costs more than the stage saves at this
-    # corpus size, so the bench measures the batched math alone.
+    # Serial on both sides so the comparison isolates the batched math;
+    # the fork-inherited fan-out path (workers ship only an index, never
+    # the 20 Hz logs) is measured in bench_corpus_fanout.py.
     configs = configs_for_log(OPX, (BandClass.MMWAVE,))
     timer.timed(
         "prognos_reference",

@@ -11,7 +11,6 @@ Fig. 14b throughput-prediction errors split by handover proximity.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -24,6 +23,7 @@ from repro.apps.abr.prediction import (
     effective_score,
 )
 from repro.net.emulation import BandwidthTrace, TraceDrivenLink
+from repro.simulate import fanout
 
 #: 16K panoramic ladder (Mbps): 720p, 1080p, 2K, 4K, 8K, 16K.
 VIDEO_LEVELS_MBPS = [6.0, 12.0, 24.0, 50.0, 105.0, 210.0]
@@ -167,12 +167,22 @@ def _play_job(job: PlayJob) -> VodResult:
     return VodPlayer(factory(), feed=feed).play(trace, events)
 
 
+def _play_job_indexed(job: tuple[int, int]) -> VodResult:
+    # Fork-inherited fan-out worker: resolve the session by index so
+    # traces/feeds are never pickled per job.
+    token, index = job
+    return _play_job(fanout.payload(token)[index])
+
+
 def play_many(jobs: Iterable[PlayJob], *, workers: int | None = None) -> list[VodResult]:
     """Play many independent sessions, fanned out over processes.
 
     Sessions are independent (each builds its own link/predictor), so
-    they fan out exactly like :func:`repro.simulate.runner.run_drives`.
-    Results come back in job order regardless of worker count.
+    they fan out exactly like :func:`repro.simulate.runner.run_drives`,
+    and like it they ship no payload: the job list (traces included) is
+    fork-inherited via :mod:`repro.simulate.fanout`, each worker job is
+    just an index. Results come back in job order regardless of worker
+    count.
 
     Args:
         jobs: ``(algorithm_factory, trace, feed, events)`` tuples.
@@ -186,5 +196,11 @@ def play_many(jobs: Iterable[PlayJob], *, workers: int | None = None) -> list[Vo
         workers = default_workers()
     if workers <= 1 or len(jobs) <= 1:
         return [_play_job(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
-        return list(pool.map(_play_job, jobs))
+    return fanout.fanout_map(
+        _play_job_indexed,
+        jobs,
+        len(jobs),
+        workers,
+        fallback_fn=_play_job,
+        fallback_jobs=jobs,
+    )

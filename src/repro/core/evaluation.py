@@ -18,7 +18,6 @@ independent (dataset, method) cells of Table 3 evaluate in parallel.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,6 +51,7 @@ from repro.radio.bands import BandClass
 from repro.ran.carrier import CarrierProfile
 from repro.rrc.events import EventConfig, MeasurementObject
 from repro.rrc.taxonomy import HandoverType
+from repro.simulate import fanout
 from repro.simulate.records import DriveLog, TickRecord
 from repro.simulate.runner import default_workers
 
@@ -266,6 +266,17 @@ def _plan_and_forecast_star(
     return plan, _forecast_steps(plan, event_configs, config)
 
 
+def _plan_and_forecast_indexed(
+    job: tuple[int, int],
+) -> tuple[_ReplayPlan, list[list[tuple[str, float]]]]:
+    # Fork-inherited fan-out worker: the corpus and replay parameters
+    # arrive via shared memory, only (token, index) is shipped.
+    token, index = job
+    logs, window_s, stride, event_configs, config = fanout.payload(token)
+    plan = _replay_plan(logs[index], window_s, stride)
+    return plan, _forecast_steps(plan, event_configs, config)
+
+
 def run_prognos_over_logs(
     logs: list[DriveLog],
     event_configs: list[EventConfig],
@@ -289,14 +300,22 @@ def run_prognos_over_logs(
     sequential; the per-log *plan + report-forecast* stages carry no
     learner state, so ``workers`` > 1 fans them out over a process pool
     (results are identical for any worker count, and bit-identical to
-    :func:`run_prognos_over_logs_reference`).
+    :func:`run_prognos_over_logs_reference`). The pool ships no logs:
+    the corpus is fork-inherited via :mod:`repro.simulate.fanout` and
+    each job carries only an index.
     """
     if workers is None:
         workers = 1
     tasks = [(log, window_s, stride, event_configs, config) for log in logs]
     if workers > 1 and len(logs) > 1:
-        with ProcessPoolExecutor(max_workers=min(workers, len(logs))) as pool:
-            staged = list(pool.map(_plan_and_forecast_star, tasks))
+        staged = fanout.fanout_map(
+            _plan_and_forecast_indexed,
+            (logs, window_s, stride, event_configs, config),
+            len(logs),
+            workers,
+            fallback_fn=_plan_and_forecast_star,
+            fallback_jobs=tasks,
+        )
     else:
         staged = [_plan_and_forecast_star(task) for task in tasks]
 
@@ -598,6 +617,13 @@ def _table3_cell(spec: tuple) -> Table3Row:
     )
 
 
+def _table3_cell_indexed(job: tuple[int, int]) -> Table3Row:
+    # Fork-inherited fan-out worker: resolve the cell spec by index so
+    # the dataset corpora are never pickled per cell.
+    token, index = job
+    return _table3_cell(fanout.payload(token)[index])
+
+
 def table3(
     datasets: dict[str, list[DriveLog]],
     carrier: CarrierProfile,
@@ -621,5 +647,11 @@ def table3(
     ]
     if workers <= 1 or len(specs) == 1:
         return [_table3_cell(spec) for spec in specs]
-    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
-        return list(pool.map(_table3_cell, specs))
+    return fanout.fanout_map(
+        _table3_cell_indexed,
+        specs,
+        len(specs),
+        workers,
+        fallback_fn=_table3_cell,
+        fallback_jobs=specs,
+    )

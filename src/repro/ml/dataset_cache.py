@@ -26,7 +26,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import pickle
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -34,7 +33,7 @@ import numpy as np
 
 from repro.ml.features import LabeledDataset
 from repro.rrc.taxonomy import HandoverType
-from repro.simulate.cache import code_version_token
+from repro.simulate.cache import atomic_publish, code_version_token
 from repro.simulate.records import DriveLog
 
 _DEFAULT_ROOT = ".repro-cache"
@@ -43,24 +42,18 @@ _DEFAULT_ROOT = ".repro-cache"
 def log_content_digest(log: DriveLog) -> str:
     """sha256 over everything in the log a feature builder can read.
 
-    Memoized on the log instance: the Table 3 drivers digest the same
-    logs once per (kind, params) combination, and one pickle pass over
-    a long 20 Hz log is the expensive part.
+    Hashes the log's packed columnar arrays
+    (:meth:`DriveLog.columnar`) rather than pickling tick tuples: logs
+    served by the drive cache are already columnar-backed, so their
+    digest is a straight pass over the loaded arrays, and fresh logs
+    pack once into a form the cache store reuses. Memoized on the log
+    instance, as the Table 3 drivers digest the same logs once per
+    (kind, params) combination.
     """
     cached = log.__dict__.get("_content_digest")
     if cached is not None:
         return cached
-    payload = (
-        log.carrier,
-        log.bearer,
-        log.scenario,
-        log.ticks,
-        log.reports,
-        log.handovers,
-    )
-    token = hashlib.sha256(
-        pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    ).hexdigest()
+    token = log.columnar().content_digest()
     log.__dict__["_content_digest"] = token
     return token
 
@@ -126,15 +119,14 @@ class DatasetCache:
             return
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(kind, key)
-        tmp = path.with_name(f".{path.name}.tmp")
-        with open(tmp, "wb") as fh:
-            np.savez_compressed(
-                fh,
-                x=dataset.x,
-                times_s=dataset.times_s,
-                labels=np.array([label.name for label in dataset.labels]),
-            )
-        tmp.replace(path)
+        with atomic_publish(path) as tmp:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    x=dataset.x,
+                    times_s=dataset.times_s,
+                    labels=np.array([label.name for label in dataset.labels]),
+                )
         self.stores += 1
 
     @property

@@ -30,7 +30,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.simulate.cache import code_version_token
+from repro.simulate.cache import atomic_publish, code_version_token
 
 _DEFAULT_ROOT = ".repro-cache"
 
@@ -106,10 +106,9 @@ class ModelCache:
             return
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(kind, key)
-        tmp = path.with_name(f".{path.name}.tmp")
-        with gzip.open(tmp, "wb", compresslevel=6) as fh:
-            pickle.dump(model, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
+        with atomic_publish(path) as tmp:
+            with gzip.open(tmp, "wb", compresslevel=6) as fh:
+                pickle.dump(model, fh, protocol=pickle.HIGHEST_PROTOCOL)
         self.stores += 1
 
     @property

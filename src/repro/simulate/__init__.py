@@ -33,9 +33,11 @@ from repro.simulate.dataset import (
     DatasetSummary,
 )
 from repro.simulate.cache import DriveCache
+from repro.simulate.columnar import ColumnarLog, load_columnar, save_columnar
 from repro.simulate.runner import run_drives
 
 __all__ = [
+    "ColumnarLog",
     "DatasetSummary",
     "DriveCache",
     "DriveLog",
@@ -52,5 +54,7 @@ __all__ = [
     "coverage_scenario",
     "energy_loop_scenario",
     "freeway_scenario",
+    "load_columnar",
     "run_drives",
+    "save_columnar",
 ]

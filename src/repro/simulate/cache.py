@@ -30,17 +30,42 @@ import enum
 import hashlib
 import json
 import os
+import secrets
+import zipfile
+from contextlib import contextmanager
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
 import repro
+from repro.simulate.columnar import load_columnar, save_columnar
 from repro.simulate.records import DriveLog
 from repro.simulate.scenarios import Scenario
-from repro.simulate.serialization import load_log, save_log
 
 _DEFAULT_ROOT = ".repro-cache"
 _code_version_token: str | None = None
+
+
+@contextmanager
+def atomic_publish(path: Path) -> Iterator[Path]:
+    """Yield a writer-unique temp path, atomically published to ``path``.
+
+    The temp name embeds the pid plus a random suffix so two processes
+    storing the same key never interleave writes into one file (a
+    deterministic temp name let parallel pytest runs or two benches
+    sharing ``REPRO_CACHE_DIR`` publish corrupt entries). The loser of
+    the final ``replace`` race simply overwrites the winner's identical
+    content. On failure the temp file is removed and nothing is
+    published.
+    """
+    tmp = path.with_name(f".{path.name}.{os.getpid()}-{secrets.token_hex(4)}.tmp")
+    try:
+        yield tmp
+        tmp.replace(path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def code_version_token() -> str:
@@ -115,9 +140,12 @@ def scenario_fingerprint(scenario: Scenario) -> dict:
 class DriveCache:
     """Content-addressed store of simulated drive logs.
 
-    Entries live under ``root`` as ``<key>.json.gz`` where ``key`` is
-    :meth:`key_for` of the scenario. Lookups on a disabled cache always
-    miss; stores become no-ops.
+    Entries live under ``root`` as ``<key>.npz`` — the packed columnar
+    codec of :mod:`repro.simulate.columnar` — where ``key`` is
+    :meth:`key_for` of the scenario. Hits materialise columnar-backed
+    logs, so their memoized per-log series are views over the loaded
+    arrays and re-packing (for digests or further stores) is free.
+    Lookups on a disabled cache always miss; stores become no-ops.
     """
 
     def __init__(self, root: str | Path | None = None, *, enabled: bool | None = None):
@@ -139,7 +167,7 @@ class DriveCache:
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def _path(self, key: str) -> Path:
-        return self.root / f"{key}.json.gz"
+        return self.root / f"{key}.npz"
 
     def get(self, scenario: Scenario) -> DriveLog | None:
         """The cached log for ``scenario``, or None on a miss."""
@@ -151,8 +179,8 @@ class DriveCache:
             self.misses += 1
             return None
         try:
-            log = load_log(path)
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            log = load_columnar(path).to_drive_log()
+        except (OSError, EOFError, ValueError, KeyError, zipfile.BadZipFile):
             # A truncated or stale-format entry is a miss, not an error.
             self.misses += 1
             return None
@@ -165,10 +193,9 @@ class DriveCache:
             return
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(self.key_for(scenario))
-        # The temp name keeps the .gz suffix so save_log compresses it.
-        tmp = path.with_name(f".{path.name}.tmp.gz")
-        save_log(log, tmp)
-        tmp.replace(path)
+        with atomic_publish(path) as tmp:
+            with open(tmp, "wb") as handle:
+                save_columnar(log.columnar(), handle)
         self.stores += 1
 
     @property

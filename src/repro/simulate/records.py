@@ -215,6 +215,23 @@ class DriveLog:
             self.__dict__["_serving_pci_series"] = cached
         return cached
 
+    def columnar(self):
+        """The packed struct-of-arrays form of this log, memoized.
+
+        Logs materialised from a :class:`ColumnarLog` (cache hits,
+        ``.npz`` loads) carry their backing store and return it without
+        repacking; fresh simulator output packs once on first use. The
+        packed arrays feed the ``.npz`` codec, the worker fan-out, and
+        the content digests, so sharing one instance matters.
+        """
+        cached = self.__dict__.get("_columnar")
+        if cached is None:
+            from repro.simulate.columnar import ColumnarLog
+
+            cached = ColumnarLog.from_drive_log(self)
+            self.__dict__["_columnar"] = cached
+        return cached
+
     def total_energy_j(self) -> float:
         return sum(h.energy_j for h in self.handovers)
 

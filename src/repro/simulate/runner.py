@@ -11,15 +11,20 @@ Determinism is inherent rather than arranged: each
 scenario seed, so a drive's log is a pure function of the scenario and
 identical no matter which worker (or how many workers) produced it.
 
+The pool ships no scenario graphs: misses fan out through
+:mod:`repro.simulate.fanout`, which parks the scenario list for fork
+inheritance and sends each worker only an index (falling back to
+pickling where ``fork`` is unavailable).
+
 ``REPRO_BENCH_WORKERS`` sets the default worker count (1 = serial).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
+from repro.simulate import fanout
 from repro.simulate.cache import DriveCache
 from repro.simulate.records import DriveLog
 from repro.simulate.scenarios import Scenario
@@ -36,6 +41,12 @@ def default_workers() -> int:
 def _run_one(scenario: Scenario) -> DriveLog:
     # Module-level so ProcessPoolExecutor can pickle it by reference.
     return scenario.run()
+
+
+def _run_one_indexed(job: tuple[int, int]) -> DriveLog:
+    # Fork-inherited fan-out worker: resolve the scenario by index.
+    token, index = job
+    return fanout.payload(token)[index].run()
 
 
 def run_drives(
@@ -74,8 +85,15 @@ def run_drives(
         if workers <= 1 or len(misses) == 1:
             fresh = [_run_one(scenarios[i]) for i in misses]
         else:
-            with ProcessPoolExecutor(max_workers=min(workers, len(misses))) as pool:
-                fresh = list(pool.map(_run_one, (scenarios[i] for i in misses)))
+            miss_scenarios = [scenarios[i] for i in misses]
+            fresh = fanout.fanout_map(
+                _run_one_indexed,
+                miss_scenarios,
+                len(miss_scenarios),
+                workers,
+                fallback_fn=_run_one,
+                fallback_jobs=miss_scenarios,
+            )
         for i, log in zip(misses, fresh):
             logs[i] = log
             if use_cache and cache:

@@ -5,6 +5,13 @@ reproduction the same workflow: dump a :class:`DriveLog` to a compact
 JSON document (optionally gzipped by file suffix) and load it back,
 bit-identical in every field the analyses consume. Useful for caching
 expensive simulations and for shipping generated datasets.
+
+``FORMAT_VERSION`` gates every on-disk drive-log codec — this JSON
+artifact format and the packed ``.npz`` columnar codec in
+:mod:`repro.simulate.columnar`. Version 2 fixed optional-enum decoding
+(``is not None`` instead of truthiness, so falsy enum values survive
+round-trips) and added the columnar sibling; version-1 files are
+rejected rather than risk decoding differently.
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ from repro.simulate.records import (
 )
 from repro.ue.state import RadioMode
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 def _rrs_to_list(sample: RRSSample | None) -> list[float] | None:
@@ -76,7 +83,7 @@ def log_to_dict(log: DriveLog) -> dict:
                 t.lte_serving_pci,
                 t.nr_serving_gci,
                 t.nr_serving_pci,
-                t.nr_band_class.value if t.nr_band_class else None,
+                t.nr_band_class.value if t.nr_band_class is not None else None,
                 _rrs_to_list(t.lte_rrs),
                 _rrs_to_list(t.nr_rrs),
                 _neighbours_to_list(t.lte_neighbours),
@@ -114,7 +121,7 @@ def log_to_dict(log: DriveLog) -> dict:
                 "target_gci": h.target_gci,
                 "source_pci": h.source_pci,
                 "target_pci": h.target_pci,
-                "band_class": h.band_class.value if h.band_class else None,
+                "band_class": h.band_class.value if h.band_class is not None else None,
                 "arc_m": h.arc_m,
                 "colocated": h.colocated,
                 "same_pci_legs": h.same_pci_legs,
@@ -152,7 +159,7 @@ def log_from_dict(payload: dict) -> DriveLog:
             lte_serving_pci=row[7],
             nr_serving_gci=row[8],
             nr_serving_pci=row[9],
-            nr_band_class=band_by_value[row[10]] if row[10] else None,
+            nr_band_class=band_by_value[row[10]] if row[10] is not None else None,
             lte_rrs=_rrs_from_list(row[11]),
             nr_rrs=_rrs_from_list(row[12]),
             lte_neighbours=_neighbours_from_list(row[13]),
@@ -190,7 +197,9 @@ def log_from_dict(payload: dict) -> DriveLog:
             target_gci=h["target_gci"],
             source_pci=h["source_pci"],
             target_pci=h["target_pci"],
-            band_class=band_by_value[h["band_class"]] if h["band_class"] else None,
+            band_class=band_by_value[h["band_class"]]
+            if h["band_class"] is not None
+            else None,
             arc_m=h["arc_m"],
             colocated=h["colocated"],
             same_pci_legs=h["same_pci_legs"],
@@ -200,7 +209,7 @@ def log_from_dict(payload: dict) -> DriveLog:
         )
         for h in payload["handovers"]
     ]
-    bearer = BearerMode(payload["bearer"]) if payload["bearer"] else None
+    bearer = BearerMode(payload["bearer"]) if payload["bearer"] is not None else None
     return DriveLog(
         payload["carrier"],
         bearer,

@@ -48,3 +48,141 @@ def sa_freeway_log():
 def coverage_log():
     """A 12 km rural low-band coverage drive on OpX."""
     return coverage_scenario(OPX, BandClass.LOW, length_km=12.0, seed=104).run()
+
+
+def make_optional_field_log(bearer=None, band=None):
+    """A tiny hand-built DriveLog covering every optional-field shape.
+
+    Exercises None *and* present values for each optional enum/id slot
+    (including falsy-but-present identifiers like ``gci=0``), so codec
+    tests can pin that truthiness is never used where ``is not None``
+    is meant.
+    """
+    from repro.net.bearer import BearerMode  # noqa: F401 (symmetry)
+    from repro.radio.rrs import RRSSample
+    from repro.rrc.signaling import SignalingTally
+    from repro.rrc.taxonomy import HandoverType
+    from repro.simulate.records import (
+        DriveLog,
+        HandoverRecord,
+        NeighbourObservation,
+        ReportRecord,
+        TickRecord,
+    )
+    from repro.ue.state import RadioMode
+
+    rrs = RRSSample(rsrp_dbm=-81.5, rsrq_db=-10.25, sinr_db=12.125)
+    ticks = [
+        TickRecord(
+            time_s=0.0,
+            arc_m=0.0,
+            x_m=1.0,
+            y_m=2.0,
+            speed_mps=3.0,
+            mode=RadioMode.NSA,
+            lte_serving_gci=0,
+            lte_serving_pci=0,
+            nr_serving_gci=7,
+            nr_serving_pci=3,
+            nr_band_class=band,
+            lte_rrs=rrs,
+            nr_rrs=None,
+            lte_neighbours=(
+                NeighbourObservation(gci=5, pci=2, rrs=rrs, in_a3_scope=True),
+                NeighbourObservation(gci=0, pci=0, rrs=rrs, in_a3_scope=False),
+            ),
+            nr_neighbours=(),
+            lte_capacity_mbps=10.0,
+            nr_capacity_mbps=0.0,
+            total_capacity_mbps=10.0,
+            lte_interrupted=False,
+            nr_interrupted=True,
+        ),
+        TickRecord(
+            time_s=0.05,
+            arc_m=1.0,
+            x_m=1.5,
+            y_m=2.5,
+            speed_mps=3.0,
+            mode=RadioMode.LTE,
+            lte_serving_gci=None,
+            lte_serving_pci=None,
+            nr_serving_gci=None,
+            nr_serving_pci=None,
+            nr_band_class=None,
+            lte_rrs=None,
+            nr_rrs=rrs,
+            lte_neighbours=(),
+            nr_neighbours=(
+                NeighbourObservation(gci=9, pci=4, rrs=rrs, in_a3_scope=False),
+            ),
+            lte_capacity_mbps=0.0,
+            nr_capacity_mbps=0.0,
+            total_capacity_mbps=0.0,
+            lte_interrupted=True,
+            nr_interrupted=False,
+        ),
+    ]
+    reports = [
+        ReportRecord(
+            time_s=0.02,
+            label="A3",
+            serving_gci=None,
+            neighbour_gci=0,
+            serving_rrs=None,
+            neighbour_rrs=rrs,
+        ),
+        ReportRecord(
+            time_s=0.04,
+            label="B1-NR",
+            serving_gci=7,
+            neighbour_gci=None,
+            serving_rrs=rrs,
+            neighbour_rrs=None,
+        ),
+    ]
+    handovers = [
+        HandoverRecord(
+            ho_type=HandoverType.SCGA,
+            decision_time_s=0.02,
+            exec_start_s=0.03,
+            complete_s=0.04,
+            t1_ms=10.0,
+            t2_ms=20.0,
+            mode_before=RadioMode.LTE,
+            mode_after=RadioMode.NSA,
+            source_gci=0,
+            target_gci=7,
+            source_pci=None,
+            target_pci=3,
+            band_class=band,
+            arc_m=0.5,
+            colocated=True,
+            same_pci_legs=None,
+            trigger_labels=("A3", "B1-NR"),
+            signaling=SignalingTally(1, 2, 3, 4, 5),
+            energy_j=0.5,
+        ),
+        HandoverRecord(
+            ho_type=HandoverType.SCGR,
+            decision_time_s=0.04,
+            exec_start_s=0.045,
+            complete_s=0.05,
+            t1_ms=5.0,
+            t2_ms=7.5,
+            mode_before=RadioMode.NSA,
+            mode_after=RadioMode.LTE,
+            source_gci=7,
+            target_gci=None,
+            source_pci=3,
+            target_pci=None,
+            band_class=None,
+            arc_m=0.9,
+            colocated=False,
+            same_pci_legs=True,
+            trigger_labels=(),
+            signaling=SignalingTally(),
+            energy_j=0.25,
+        ),
+    ]
+    return DriveLog("OpX", bearer, ticks, reports, handovers, scenario="synthetic")

@@ -1,0 +1,161 @@
+"""ColumnarLog: lossless packing, the .npz codec, views, and digests."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.net.bearer import BearerMode
+from repro.radio.bands import BandClass
+from repro.simulate.columnar import (
+    ARRAY_KEYS,
+    ColumnarLog,
+    load_columnar,
+    save_columnar,
+)
+from repro.simulate.serialization import log_to_dict
+from tests.conftest import make_optional_field_log
+
+
+def _assert_identical(rebuilt, original):
+    assert rebuilt.carrier == original.carrier
+    assert rebuilt.bearer == original.bearer
+    assert rebuilt.scenario == original.scenario
+    assert rebuilt.ticks == original.ticks
+    assert rebuilt.reports == original.reports
+    assert rebuilt.handovers == original.handovers
+    # Byte-for-byte on the artifact format too, and JSON-compatible
+    # (native Python scalars, not numpy types).
+    payload = log_to_dict(rebuilt)
+    assert payload == log_to_dict(original)
+    json.dumps(payload)
+
+
+class TestRoundTrip:
+    def test_simulated_log_bit_identical(self, freeway_low_log):
+        rebuilt = ColumnarLog.from_drive_log(freeway_low_log).to_drive_log()
+        _assert_identical(rebuilt, freeway_low_log)
+
+    @pytest.mark.parametrize("bearer", [None, *BearerMode])
+    @pytest.mark.parametrize("band", [None, *BandClass])
+    def test_optional_fields_none_vs_present(self, bearer, band):
+        log = make_optional_field_log(bearer=bearer, band=band)
+        rebuilt = ColumnarLog.from_drive_log(log).to_drive_log()
+        _assert_identical(rebuilt, log)
+        # The specific optional enums survive exactly.
+        assert rebuilt.ticks[0].nr_band_class is band
+        assert rebuilt.ticks[1].nr_band_class is None
+        assert rebuilt.handovers[0].band_class is band
+        assert rebuilt.handovers[1].band_class is None
+        assert rebuilt.bearer is bearer
+
+    def test_npz_roundtrip(self, freeway_low_log, tmp_path):
+        clog = freeway_low_log.columnar()
+        path = tmp_path / "drive.npz"
+        with open(path, "wb") as fh:
+            save_columnar(clog, fh)
+        loaded = load_columnar(path)
+        _assert_identical(loaded.to_drive_log(), freeway_low_log)
+
+    def test_npz_smaller_than_json(self, freeway_low_log, tmp_path):
+        from repro.simulate.serialization import save_log
+
+        npz = tmp_path / "drive.npz"
+        with open(npz, "wb") as fh:
+            save_columnar(freeway_low_log.columnar(), fh)
+        plain = save_log(freeway_low_log, tmp_path / "drive.json")
+        assert npz.stat().st_size < plain.stat().st_size / 2
+
+    def test_negative_identifier_rejected(self):
+        log = make_optional_field_log()
+        bad = log.ticks[0].__class__(
+            **{
+                **{
+                    name: getattr(log.ticks[0], name)
+                    for name in log.ticks[0].__dataclass_fields__
+                },
+                "lte_serving_gci": -5,
+            }
+        )
+        log.ticks[0] = bad  # type: ignore[index]
+        log.ticks = [bad, log.ticks[1]]
+        with pytest.raises(ValueError, match="sentinel"):
+            ColumnarLog.from_drive_log(log)
+
+
+class TestBacking:
+    def test_memoized_series_are_views(self, freeway_low_log):
+        clog = ColumnarLog.from_drive_log(freeway_low_log)
+        rebuilt = clog.to_drive_log()
+        times, caps = rebuilt.capacity_series()
+        assert np.shares_memory(times, clog.arrays["tick_time_s"])
+        assert np.shares_memory(caps, clog.arrays["tick_total_capacity_mbps"])
+        assert not times.flags.writeable and not caps.flags.writeable
+        lte, nr = rebuilt.serving_pci_series()
+        assert np.shares_memory(lte, clog.arrays["tick_lte_pci"])
+        assert np.shares_memory(nr, clog.arrays["tick_nr_pci"])
+        # And the views match what a fresh (unbacked) log computes.
+        fresh_lte, fresh_nr = freeway_low_log.serving_pci_series()
+        np.testing.assert_array_equal(lte, fresh_lte)
+        np.testing.assert_array_equal(nr, fresh_nr)
+        np.testing.assert_array_equal(times, freeway_low_log.capacity_series()[0])
+
+    def test_columnar_accessor_memoizes(self, freeway_low_log):
+        clog = freeway_low_log.columnar()
+        assert freeway_low_log.columnar() is clog
+        rebuilt = clog.to_drive_log()
+        # Cache hits carry their backing store: no repack.
+        assert rebuilt.columnar() is clog
+
+
+class TestDigest:
+    def test_digest_stable_across_codec(self, freeway_low_log):
+        clog = freeway_low_log.columnar()
+        buffer = io.BytesIO()
+        save_columnar(clog, buffer)
+        buffer.seek(0)
+        assert load_columnar(buffer).content_digest() == clog.content_digest()
+
+    def test_digest_tracks_content(self):
+        a = make_optional_field_log(band=BandClass.LOW)
+        b = make_optional_field_log(band=BandClass.MID)
+        same = make_optional_field_log(band=BandClass.LOW)
+        assert a.columnar().content_digest() != b.columnar().content_digest()
+        assert a.columnar().content_digest() == same.columnar().content_digest()
+
+    def test_dataset_cache_digest_uses_packed_arrays(self, freeway_low_log):
+        from repro.ml.dataset_cache import log_content_digest
+
+        token = log_content_digest(freeway_low_log)
+        assert token == freeway_low_log.columnar().content_digest()
+        # Memoized on the instance.
+        assert log_content_digest(freeway_low_log) == token
+
+
+class TestFormat:
+    def test_version_gate(self, tmp_path, monkeypatch):
+        log = make_optional_field_log()
+        path = tmp_path / "drive.npz"
+        monkeypatch.setattr("repro.simulate.columnar.FORMAT_VERSION", 999)
+        with open(path, "wb") as fh:
+            save_columnar(log.columnar(), fh)
+        monkeypatch.undo()
+        with pytest.raises(ValueError, match="format version"):
+            load_columnar(path)
+
+    def test_archive_holds_exactly_the_canonical_arrays(self, tmp_path):
+        log = make_optional_field_log(bearer=BearerMode.FIVE_G_ONLY)
+        path = tmp_path / "drive.npz"
+        with open(path, "wb") as fh:
+            save_columnar(log.columnar(), fh)
+        with np.load(path, allow_pickle=False) as archive:
+            names = set(archive.files)
+        assert names == set(ARRAY_KEYS) | {
+            "format_version",
+            "carrier",
+            "bearer",
+            "scenario",
+        }

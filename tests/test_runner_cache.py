@@ -8,7 +8,8 @@ import pytest
 from repro.radio.bands import BandClass
 from repro.radio.rrs import RadioEnvironment
 from repro.ran import OPX
-from repro.simulate.cache import DriveCache, scenario_fingerprint
+from repro.simulate import fanout
+from repro.simulate.cache import DriveCache, atomic_publish, scenario_fingerprint
 from repro.simulate.runner import run_drives
 from repro.simulate.scenarios import freeway_scenario
 from repro.simulate.serialization import log_to_dict
@@ -39,7 +40,7 @@ def test_cache_round_trip(tmp_path, serial_logs):
     first = run_drives(scenarios, workers=1, cache=cache)
     assert cache.stats == {"hits": 0, "misses": 2, "stores": 2}
     assert sorted(p.name for p in tmp_path.iterdir()) == sorted(
-        f"{DriveCache.key_for(s)}.json.gz" for s in scenarios
+        f"{DriveCache.key_for(s)}.npz" for s in scenarios
     )
 
     warm = DriveCache(tmp_path)
@@ -66,6 +67,61 @@ def test_no_cache_env(tmp_path, monkeypatch, serial_logs):
     assert not tmp_path.exists() or not list(tmp_path.iterdir())
     assert cache.get(scenario) is None
     assert cache.stats["misses"] == 1
+
+
+def _hammer_put(root, repeats):
+    # Child-process body for the concurrent-writer stress test. Rebuilds
+    # the scenario/log locally so nothing large crosses the fork.
+    scenario = _scenarios()[0]
+    log = scenario.run()
+    cache = DriveCache(root)
+    for _ in range(repeats):
+        cache.put(scenario, log)
+
+
+def test_concurrent_writers_same_key(tmp_path, serial_logs):
+    """Two processes hammer ``put`` on one key; the loser's entry loads."""
+    ctx = fanout.fork_context()
+    if ctx is None:
+        pytest.skip("fork start method unavailable")
+    children = [
+        ctx.Process(target=_hammer_put, args=(tmp_path, 5)) for _ in range(2)
+    ]
+    for child in children:
+        child.start()
+    for child in children:
+        child.join(timeout=120)
+        assert child.exitcode == 0
+    scenario = _scenarios()[0]
+    leftovers = [p.name for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+    assert leftovers == []
+    assert [p.name for p in tmp_path.iterdir()] == [
+        f"{DriveCache.key_for(scenario)}.npz"
+    ]
+    survivor = DriveCache(tmp_path).get(scenario)
+    assert survivor is not None
+    assert log_to_dict(survivor) == log_to_dict(serial_logs[0])
+
+
+def test_atomic_publish_cleans_up_on_failure(tmp_path):
+    target = tmp_path / "entry.npz"
+    with pytest.raises(RuntimeError):
+        with atomic_publish(target) as tmp:
+            tmp.write_bytes(b"partial")
+            raise RuntimeError("writer died")
+    assert not target.exists()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_atomic_publish_temp_names_unique(tmp_path):
+    target = tmp_path / "entry.npz"
+    seen = set()
+    for _ in range(8):
+        with atomic_publish(target) as tmp:
+            seen.add(tmp.name)
+            tmp.write_bytes(b"payload")
+    assert len(seen) == 8
+    assert target.read_bytes() == b"payload"
 
 
 def test_fingerprint_tracks_inputs():

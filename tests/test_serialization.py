@@ -4,6 +4,8 @@ import json
 
 import pytest
 
+from repro.net.bearer import BearerMode
+from repro.radio.bands import BandClass
 from repro.simulate.serialization import (
     FORMAT_VERSION,
     load_log,
@@ -11,6 +13,7 @@ from repro.simulate.serialization import (
     log_to_dict,
     save_log,
 )
+from tests.conftest import make_optional_field_log
 
 
 class TestRoundTrip:
@@ -51,3 +54,48 @@ class TestRoundTrip:
 
     def test_payload_is_json_serialisable(self, freeway_low_log):
         json.dumps(log_to_dict(freeway_low_log))
+
+
+class TestOptionalEnums:
+    """None vs. present must survive for every optional enum field.
+
+    Regression tests for the truthiness bugs: the encoder/decoder used
+    ``if value`` on optional enums, so a falsy-but-present value (or a
+    falsy raw value in the payload) silently decoded as ``None``.
+    """
+
+    @pytest.mark.parametrize("bearer", [None, *BearerMode])
+    @pytest.mark.parametrize("band", [None, *BandClass])
+    def test_every_record_type_roundtrips(self, bearer, band):
+        log = make_optional_field_log(bearer=bearer, band=band)
+        rebuilt = log_from_dict(log_to_dict(log))
+        assert rebuilt.bearer is bearer
+        # TickRecord: nr_band_class present on tick 0, None on tick 1.
+        assert rebuilt.ticks[0].nr_band_class is band
+        assert rebuilt.ticks[1].nr_band_class is None
+        # HandoverRecord: band_class present on HO 0, None on HO 1.
+        assert rebuilt.handovers[0].band_class is band
+        assert rebuilt.handovers[1].band_class is None
+        # Full structural equality across every record type.
+        assert rebuilt.ticks == log.ticks
+        assert rebuilt.reports == log.reports
+        assert rebuilt.handovers == log.handovers
+
+    def test_falsy_but_present_scalars_survive(self):
+        log = make_optional_field_log(bearer=BearerMode.DUAL)
+        rebuilt = log_from_dict(log_to_dict(log))
+        # gci=0 / pci=0 are real identifiers, not "absent".
+        assert rebuilt.ticks[0].lte_serving_gci == log.ticks[0].lte_serving_gci
+        assert rebuilt.ticks[0].lte_serving_pci == log.ticks[0].lte_serving_pci
+        # rrs triples: present in one slot, None in the other.
+        assert rebuilt.ticks[0].lte_rrs == log.ticks[0].lte_rrs
+        assert rebuilt.ticks[0].nr_rrs == log.ticks[0].nr_rrs
+        assert rebuilt.ticks[1].nr_rrs == log.ticks[1].nr_rrs
+
+    def test_json_payload_roundtrip_through_disk(self, tmp_path):
+        log = make_optional_field_log(bearer=None, band=BandClass.MMWAVE)
+        path = save_log(log, tmp_path / "optional.json.gz")
+        rebuilt = load_log(path)
+        assert rebuilt.bearer is None
+        assert rebuilt.handovers[0].band_class is BandClass.MMWAVE
+        assert log_to_dict(rebuilt) == log_to_dict(log)
