@@ -11,9 +11,13 @@ This bench quantifies both halves of that change: the bytes a job would
 have shipped under pickle-per-job vs. what the indexed jobs ship now
 (deterministic — asserted >= 10x smaller), and the wall-clock of the
 fanned stages at 1 vs. 4 workers (asserted only on multi-core hosts,
-since a single-CPU container cannot win from parallelism). Results land
-in ``BENCH_corpus_fanout.json`` at the repo root, including the host's
-CPU count so the timing numbers can be read in context.
+since a single-CPU container cannot win from parallelism). It also
+prices the supervision layer (:mod:`repro.robust`): the same play jobs
+through the supervised ``fanout_map`` vs the retained pre-supervision
+``fanout_map_unsupervised``, best of 2, asserted <= 1.05x on the warm
+no-fault path. Results land in ``BENCH_corpus_fanout.json`` at the repo
+root, including the host's CPU count so the timing numbers can be read
+in context.
 
 ``REPRO_BENCH_SMOKE=1`` shrinks the corpus to a CI smoke budget.
 """
@@ -26,8 +30,9 @@ import pickle
 from pathlib import Path
 
 from repro.apps.abr.algorithms import FastMpc, Festive, RateBased, RobustMpc
-from repro.apps.abr.player import play_many
+from repro.apps.abr.player import _play_job, _play_job_indexed, play_many
 from repro.core.evaluation import configs_for_log, run_prognos_over_logs
+from repro.simulate import fanout
 from repro.net.emulation import BandwidthTrace
 from repro.perf import Timer
 from repro.radio.bands import BandClass
@@ -117,6 +122,38 @@ def test_corpus_fanout(corpus):
     assert fanned_run.times_s.tolist() == serial_run.times_s.tolist()
     assert fanned_run.truths == serial_run.truths
 
+    # --- supervision overhead: supervised pool pass vs the retained
+    # pre-supervision reference, same jobs, same workers. Best-of-2 each
+    # so a cold first pool (fork, page faults) doesn't bill supervision.
+    def supervised():
+        return fanout.fanout_map(
+            _play_job_indexed,
+            play_jobs,
+            len(play_jobs),
+            FAN_WORKERS,
+            fallback_fn=_play_job,
+            fallback_jobs=play_jobs,
+        )
+
+    def unsupervised():
+        return fanout.fanout_map_unsupervised(
+            _play_job_indexed,
+            play_jobs,
+            len(play_jobs),
+            FAN_WORKERS,
+            fallback_fn=_play_job,
+            fallback_jobs=play_jobs,
+        )
+
+    sup_results = supervised()
+    unsup_results = unsupervised()
+    assert [r.levels for r in sup_results] == [r.levels for r in unsup_results]
+    supervised_s = min(timer.timed(f"supervised_{i}", supervised)[0] for i in (1, 2))
+    unsupervised_s = min(
+        timer.timed(f"unsupervised_{i}", unsupervised)[0] for i in (1, 2)
+    )
+    supervision_overhead = supervised_s / unsupervised_s
+
     cpus = os.cpu_count() or 1
     serial_s = timer["player_serial"] + timer["prognos_serial"]
     fanned_s = timer["player_fanout"] + timer["prognos_fanout"]
@@ -134,6 +171,9 @@ def test_corpus_fanout(corpus):
         "serial_total_s": round(serial_s, 3),
         "fanout_total_s": round(fanned_s, 3),
         "fanout_speedup": round(serial_s / fanned_s, 2),
+        "supervised_s": round(supervised_s, 3),
+        "unsupervised_s": round(unsupervised_s, 3),
+        "supervision_overhead": round(supervision_overhead, 3),
         "smoke": SMOKE,
     }
     OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
@@ -154,6 +194,11 @@ def test_corpus_fanout(corpus):
         f"  Prognos serial {timer['prognos_serial']:6.2f}s vs "
         f"{FAN_WORKERS} workers {timer['prognos_fanout']:6.2f}s"
     )
+    print(
+        f"  supervision: supervised {supervised_s:6.2f}s vs "
+        f"unsupervised {unsupervised_s:6.2f}s "
+        f"({supervision_overhead:.3f}x, best of 2)"
+    )
     print(f"  -> {OUT_PATH.name}")
 
     # Acceptance: indexed jobs ship >= 10x fewer bytes than pickling the
@@ -167,4 +212,13 @@ def test_corpus_fanout(corpus):
         assert fanned_s < serial_s, (
             f"fan-out {fanned_s:.2f}s did not beat serial {serial_s:.2f}s "
             f"on a {cpus}-CPU host"
+        )
+    # Acceptance: supervision (timeouts, retries, incremental publish)
+    # prices in at <= 5% over the pre-supervision pool pass on the warm
+    # no-fault path. Timing-based, so gated like the speedup assert.
+    if cpus >= 2 and not SMOKE:
+        assert supervision_overhead <= 1.05, (
+            f"supervised pass {supervised_s:.2f}s is "
+            f"{supervision_overhead:.3f}x the unsupervised {unsupervised_s:.2f}s "
+            "(> 1.05x budget)"
         )

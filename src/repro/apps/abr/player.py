@@ -182,7 +182,10 @@ def play_many(jobs: Iterable[PlayJob], *, workers: int | None = None) -> list[Vo
     and like it they ship no payload: the job list (traces included) is
     fork-inherited via :mod:`repro.simulate.fanout`, each worker job is
     just an index. Results come back in job order regardless of worker
-    count.
+    count. The pass is supervised (:mod:`repro.robust`): a crashed or
+    hung session is retried under ``REPRO_JOB_TIMEOUT_S`` /
+    ``REPRO_JOB_RETRIES`` and the pool degrades to serial execution
+    rather than losing the run.
 
     Args:
         jobs: ``(algorithm_factory, trace, feed, events)`` tuples.

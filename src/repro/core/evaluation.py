@@ -302,7 +302,10 @@ def run_prognos_over_logs(
     (results are identical for any worker count, and bit-identical to
     :func:`run_prognos_over_logs_reference`). The pool ships no logs:
     the corpus is fork-inherited via :mod:`repro.simulate.fanout` and
-    each job carries only an index.
+    each job carries only an index. The pass is supervised
+    (:mod:`repro.robust`): crashed or hung workers are retried under
+    ``REPRO_JOB_TIMEOUT_S``/``REPRO_JOB_RETRIES`` and the pool
+    degrades to serial execution rather than losing the run.
     """
     if workers is None:
         workers = 1
@@ -634,9 +637,10 @@ def table3(
     """Assemble Table 3: three methods over each dataset.
 
     The (dataset, method) cells are independent, so ``workers`` > 1
-    fans them out over a process pool (``run_drives`` style; results
-    are identical for any worker count). ``None`` reads
-    ``REPRO_BENCH_WORKERS`` like the drive runner does.
+    fans them out over a supervised process pool (``run_drives``
+    style; results are identical for any worker count, and a crashed
+    or hung cell is retried rather than losing the table). ``None``
+    reads ``REPRO_BENCH_WORKERS`` like the drive runner does.
     """
     if workers is None:
         workers = default_workers()

@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -63,6 +64,9 @@ class DatasetCache:
 
     Entries live under ``root/datasets`` as ``<kind>-<key>.npz``.
     Lookups on a disabled cache always miss; stores become no-ops.
+    Like the drive cache it is self-healing: failed writes degrade to
+    a counted no-op (``put_failures``) and undecodable entries are
+    quarantined to ``*.corrupt`` (``corrupt``) so they miss once.
     """
 
     def __init__(self, root: str | Path | None = None, *, enabled: bool | None = None):
@@ -75,6 +79,8 @@ class DatasetCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.put_failures = 0
+        self.corrupt = 0
 
     @staticmethod
     def key_for(kind: str, logs: Sequence[DriveLog], params: dict) -> str:
@@ -107,8 +113,18 @@ class DatasetCache:
                 x = archive["x"]
                 times_s = archive["times_s"]
                 labels = [HandoverType[name] for name in archive["labels"].tolist()]
-        except (OSError, EOFError, KeyError, ValueError):
-            # A truncated or stale-format entry is a miss, not an error.
+        except (EOFError, KeyError, ValueError, zipfile.BadZipFile):
+            # Undecodable entry: miss, and quarantine it so the next
+            # lookup misses cheaply instead of re-parsing it forever.
+            self.corrupt += 1
+            try:
+                path.replace(path.with_name(path.name + ".corrupt"))
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        except OSError:
+            # Transient read failure: a plain miss.
             self.misses += 1
             return None
         self.hits += 1
@@ -117,21 +133,33 @@ class DatasetCache:
     def put(self, kind: str, key: str, dataset: LabeledDataset) -> None:
         if not self.enabled:
             return
-        self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(kind, key)
-        with atomic_publish(path) as tmp:
-            with open(tmp, "wb") as fh:
-                np.savez_compressed(
-                    fh,
-                    x=dataset.x,
-                    times_s=dataset.times_s,
-                    labels=np.array([label.name for label in dataset.labels]),
-                )
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with atomic_publish(path) as tmp:
+                with open(tmp, "wb") as fh:
+                    np.savez_compressed(
+                        fh,
+                        x=dataset.x,
+                        times_s=dataset.times_s,
+                        labels=np.array([label.name for label in dataset.labels]),
+                    )
+        except OSError:
+            # Full disk / read-only cache dir: degrade to a counted
+            # no-op, never abort the run that built the dataset.
+            self.put_failures += 1
+            return
         self.stores += 1
 
     @property
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "put_failures": self.put_failures,
+            "corrupt": self.corrupt,
+        }
 
 
 def build_cached(

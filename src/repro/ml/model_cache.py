@@ -52,6 +52,9 @@ class ModelCache:
 
     Entries live under ``root/models`` as ``<kind>-<key>.pkl.gz``.
     Lookups on a disabled cache always miss; stores become no-ops.
+    Like the drive cache it is self-healing: failed writes degrade to
+    a counted no-op (``put_failures``) and undecodable entries are
+    quarantined to ``*.corrupt`` (``corrupt``) so they miss once.
     """
 
     def __init__(self, root: str | Path | None = None, *, enabled: bool | None = None):
@@ -64,6 +67,8 @@ class ModelCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.put_failures = 0
+        self.corrupt = 0
 
     @staticmethod
     def key_for(kind: str, data_digest: str, params: dict) -> str:
@@ -94,8 +99,19 @@ class ModelCache:
         try:
             with gzip.open(path, "rb") as fh:
                 model = pickle.load(fh)
-        except (OSError, EOFError, pickle.UnpicklingError):
-            # A truncated or stale-format entry is a miss, not an error.
+        except (EOFError, pickle.UnpicklingError, gzip.BadGzipFile):
+            # Undecodable entry (BadGzipFile is an OSError subclass,
+            # so it must be caught before the transient clause): miss,
+            # and quarantine so the next lookup misses cheaply.
+            self.corrupt += 1
+            try:
+                path.replace(path.with_name(path.name + ".corrupt"))
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        except OSError:
+            # Transient read failure: a plain miss.
             self.misses += 1
             return None
         self.hits += 1
@@ -104,16 +120,28 @@ class ModelCache:
     def put(self, kind: str, key: str, model) -> None:
         if not self.enabled:
             return
-        self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(kind, key)
-        with atomic_publish(path) as tmp:
-            with gzip.open(tmp, "wb", compresslevel=6) as fh:
-                pickle.dump(model, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with atomic_publish(path) as tmp:
+                with gzip.open(tmp, "wb", compresslevel=6) as fh:
+                    pickle.dump(model, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        except OSError:
+            # Full disk / read-only cache dir: degrade to a counted
+            # no-op, never abort the run that fitted the model.
+            self.put_failures += 1
+            return
         self.stores += 1
 
     @property
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "put_failures": self.put_failures,
+            "corrupt": self.corrupt,
+        }
 
 
 def fit_cached(

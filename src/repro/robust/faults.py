@@ -1,0 +1,183 @@
+"""Deterministic fault injection driven by the ``REPRO_FAULTS`` env spec.
+
+The supervisor and the cache layer call the ``maybe_*`` hooks below at
+their failure points; with ``REPRO_FAULTS`` unset every hook is a
+no-op, so production runs pay one env lookup per pool pass. The test
+suite (and the CI fault-injection smoke job) sets a spec and proves
+the recovery paths end-to-end.
+
+Spec grammar — comma-separated entries, each ``name[:key=value]*``::
+
+    REPRO_FAULTS="worker_crash:p=0.2:seed=7,cache_write_oserror"
+
+Fault names and where they fire:
+
+* ``worker_crash`` — a pool worker calls ``os._exit(3)`` before
+  running a job (the parent sees ``BrokenProcessPool``).
+* ``worker_hang`` — a pool worker sleeps ``hang_s`` seconds before a
+  job (the parent's per-job timeout fires, if set).
+* ``cache_write_oserror`` — a cache ``put`` raises ``OSError`` at
+  publish time (as a full disk or read-only cache dir would).
+* ``cache_truncate`` — a published cache entry is truncated to half
+  its bytes, so the next load hits the corrupt-entry branch.
+
+Per-entry parameters (all optional):
+
+* ``p`` — firing probability in ``[0, 1]`` (default 1). The draw is a
+  pure function of ``(seed, name, key, attempt)``, so a given job on a
+  given attempt either always fires or never does — runs reproduce
+  exactly, and a retry re-draws.
+* ``seed`` — varies the draw stream (default 0).
+* ``key`` — restrict the fault to one job key / cache entry name.
+* ``attempts`` — fire only while the job's attempt number is below
+  this (e.g. ``attempts=1`` fails the first try, lets the retry pass).
+* ``times`` — fire at most this many times per process (counted).
+* ``hang_s`` — ``worker_hang`` sleep length (default 60 s).
+
+Unknown names or malformed entries warn once and are ignored — a typo
+in a fault spec must not itself take the run down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+import warnings
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+ENV_VAR = "REPRO_FAULTS"
+
+KNOWN_FAULTS = frozenset(
+    {"worker_crash", "worker_hang", "cache_write_oserror", "cache_truncate"}
+)
+
+#: Per-process count of fired faults, keyed by fault name (test hook).
+fired_counts: Counter[str] = Counter()
+
+#: Per-spec fired tally backing the ``times`` cap.
+_spec_fired: Counter["FaultSpec"] = Counter()
+
+_parsed: tuple[str, tuple["FaultSpec", ...]] | None = None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``REPRO_FAULTS`` entry."""
+
+    name: str
+    p: float = 1.0
+    seed: int = 0
+    key: str | None = None
+    attempts: int | None = None
+    times: int | None = None
+    hang_s: float = 60.0
+
+
+def parse_spec(raw: str) -> tuple[FaultSpec, ...]:
+    """Parse a ``REPRO_FAULTS`` string; malformed entries warn and drop."""
+    specs: list[FaultSpec] = []
+    for entry in filter(None, (part.strip() for part in raw.split(","))):
+        name, _, tail = entry.partition(":")
+        if name not in KNOWN_FAULTS:
+            warnings.warn(
+                f"{ENV_VAR}: unknown fault {name!r} in {entry!r} ignored "
+                f"(known: {', '.join(sorted(KNOWN_FAULTS))})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        params: dict[str, object] = {}
+        bad = False
+        for pair in filter(None, tail.split(":")):
+            pkey, sep, value = pair.partition("=")
+            try:
+                if pkey in ("p", "hang_s"):
+                    params[pkey] = float(value)
+                elif pkey in ("seed", "attempts", "times"):
+                    params[pkey] = int(value)
+                elif pkey == "key" and sep:
+                    params[pkey] = value
+                else:
+                    raise ValueError(pkey)
+            except ValueError:
+                warnings.warn(
+                    f"{ENV_VAR}: bad parameter {pair!r} in {entry!r}; "
+                    "entry ignored",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                bad = True
+                break
+        if not bad:
+            specs.append(FaultSpec(name, **params))  # type: ignore[arg-type]
+    return tuple(specs)
+
+
+def active_faults() -> tuple[FaultSpec, ...]:
+    """The specs parsed from ``REPRO_FAULTS`` (re-parsed when it changes)."""
+    global _parsed
+    raw = os.environ.get(ENV_VAR, "")
+    if _parsed is None or _parsed[0] != raw:
+        _parsed = (raw, parse_spec(raw) if raw else ())
+    return _parsed[1]
+
+
+def reset() -> None:
+    """Clear parse cache and fired tallies (test isolation hook)."""
+    global _parsed
+    _parsed = None
+    fired_counts.clear()
+    _spec_fired.clear()
+
+
+def _draw(spec: FaultSpec, key: object, attempt: int) -> float:
+    payload = f"{spec.seed}|{spec.name}|{key}|{attempt}".encode()
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def _fires(spec: FaultSpec, key: object, attempt: int) -> bool:
+    if spec.key is not None and str(key) != spec.key:
+        return False
+    if spec.attempts is not None and attempt >= spec.attempts:
+        return False
+    if spec.times is not None and _spec_fired[spec] >= spec.times:
+        return False
+    if _draw(spec, key, attempt) >= spec.p:
+        return False
+    _spec_fired[spec] += 1
+    fired_counts[spec.name] += 1
+    return True
+
+
+def maybe_fail_job(key: object, attempt: int = 0) -> None:
+    """Worker-side hook: crash or hang before running job ``key``.
+
+    Only the supervisor's in-pool chunk runner calls this, so the
+    faults never fire in the parent process or on the serial
+    degradation path — which is exactly what makes serial execution
+    the recovery of last resort.
+    """
+    for spec in active_faults():
+        if spec.name == "worker_crash" and _fires(spec, key, attempt):
+            os._exit(3)
+        elif spec.name == "worker_hang" and _fires(spec, key, attempt):
+            time.sleep(spec.hang_s)
+
+
+def maybe_raise_cache_write(key: object) -> None:
+    """Cache-writer hook: raise ``OSError`` as a full disk would."""
+    for spec in active_faults():
+        if spec.name == "cache_write_oserror" and _fires(spec, key, 0):
+            raise OSError(f"injected cache_write_oserror for {key}")
+
+
+def maybe_truncate(path: Path) -> None:
+    """Post-publish hook: corrupt ``path`` by dropping its second half."""
+    for spec in active_faults():
+        if spec.name == "cache_truncate" and _fires(spec, path.name, 0):
+            data = path.read_bytes()
+            path.write_bytes(data[: len(data) // 2])

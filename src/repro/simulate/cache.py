@@ -39,6 +39,7 @@ from typing import Iterator
 import numpy as np
 
 import repro
+from repro.robust import faults
 from repro.simulate.columnar import load_columnar, save_columnar
 from repro.simulate.records import DriveLog
 from repro.simulate.scenarios import Scenario
@@ -58,7 +59,13 @@ def atomic_publish(path: Path) -> Iterator[Path]:
     the final ``replace`` race simply overwrites the winner's identical
     content. On failure the temp file is removed and nothing is
     published.
+
+    The :mod:`repro.robust.faults` hooks make this the one choke point
+    for injected cache-write faults: ``cache_write_oserror`` raises
+    before anything is staged, ``cache_truncate`` corrupts the entry
+    after publication (exercising the readers' quarantine path).
     """
+    faults.maybe_raise_cache_write(path.name)
     tmp = path.with_name(f".{path.name}.{os.getpid()}-{secrets.token_hex(4)}.tmp")
     try:
         yield tmp
@@ -66,6 +73,7 @@ def atomic_publish(path: Path) -> Iterator[Path]:
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+    faults.maybe_truncate(path)
 
 
 def code_version_token() -> str:
@@ -146,6 +154,13 @@ class DriveCache:
     logs, so their memoized per-log series are views over the loaded
     arrays and re-packing (for digests or further stores) is free.
     Lookups on a disabled cache always miss; stores become no-ops.
+
+    The cache is self-healing: a store that fails with ``OSError``
+    (disk full, read-only ``REPRO_CACHE_DIR``) is counted in
+    ``put_failures`` and otherwise ignored — a corpus run never aborts
+    because its cache is sick — and an entry that fails to decode is
+    quarantined (renamed ``<key>.npz.corrupt``, counted in
+    ``corrupt``) so it misses once, not on every lookup.
     """
 
     def __init__(self, root: str | Path | None = None, *, enabled: bool | None = None):
@@ -158,6 +173,8 @@ class DriveCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.put_failures = 0
+        self.corrupt = 0
 
     @staticmethod
     def key_for(scenario: Scenario) -> str:
@@ -180,24 +197,55 @@ class DriveCache:
             return None
         try:
             log = load_columnar(path).to_drive_log()
-        except (OSError, EOFError, ValueError, KeyError, zipfile.BadZipFile):
-            # A truncated or stale-format entry is a miss, not an error.
+        except (EOFError, ValueError, KeyError, zipfile.BadZipFile):
+            # A truncated or stale-format entry is a miss, not an
+            # error — and it will never decode, so quarantine it:
+            # rename to ``<key>.npz.corrupt`` (best-effort) so the next
+            # lookup misses cheaply instead of re-parsing a known-bad
+            # file forever.
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        except OSError:
+            # Transient read failure: a plain miss, the entry may be
+            # readable next time.
             self.misses += 1
             return None
         self.hits += 1
         return log
 
+    def _quarantine(self, path: Path) -> None:
+        self.corrupt += 1
+        try:
+            path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+
     def put(self, scenario: Scenario, log: DriveLog) -> None:
-        """Store ``log`` under the scenario's content key."""
+        """Store ``log`` under the scenario's content key.
+
+        Write failures (disk full, read-only cache dir) degrade to a
+        counted no-op — the caller keeps its in-memory log either way.
+        """
         if not self.enabled:
             return
-        self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(self.key_for(scenario))
-        with atomic_publish(path) as tmp:
-            with open(tmp, "wb") as handle:
-                save_columnar(log.columnar(), handle)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with atomic_publish(path) as tmp:
+                with open(tmp, "wb") as handle:
+                    save_columnar(log.columnar(), handle)
+        except OSError:
+            self.put_failures += 1
+            return
         self.stores += 1
 
     @property
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "put_failures": self.put_failures,
+            "corrupt": self.corrupt,
+        }

@@ -23,12 +23,23 @@ On platforms whose default start method is ``spawn`` (Windows, macOS)
 the ``fork`` context is unavailable or unsafe to assume; ``fanout_map``
 transparently falls back to the original pickle-per-job path there, so
 results are identical everywhere — only the shipping cost differs.
+``REPRO_FORCE_SPAWN=1`` forces that fallback on any platform, so Linux
+CI exercises the non-fork branch too.
+
+Since the supervised-execution PR, :func:`fanout_map` routes every pool
+pass through :func:`repro.robust.supervisor.supervised_map`, which adds
+per-job timeouts, bounded retries, broken-pool recovery, and
+incremental result publication on top of the same shipping scheme. The
+pre-supervision implementation is retained verbatim as
+:func:`fanout_map_unsupervised` — the bit-identical reference the
+equivalence tests and the supervision-overhead bench compare against.
 """
 
 from __future__ import annotations
 
 import itertools
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
@@ -63,6 +74,11 @@ def fork_context():
         return None
 
 
+def force_spawn() -> bool:
+    """True when ``REPRO_FORCE_SPAWN=1`` demands the pickle fallback."""
+    return os.environ.get("REPRO_FORCE_SPAWN", "") == "1"
+
+
 def pool_chunksize(jobs: int, workers: int) -> int:
     """Batch jobs so each worker drains ~4 chunks, not one IPC per job."""
     return max(1, jobs // (max(1, workers) * 4))
@@ -76,8 +92,9 @@ def fanout_map(
     *,
     fallback_fn: Callable[[Any], Any],
     fallback_jobs: Sequence[Any],
+    on_result: Callable[[int, Any], None] | None = None,
 ) -> list[Any]:
-    """Map ``count`` jobs over a process pool without shipping the corpus.
+    """Map ``count`` jobs over a supervised pool, shipping no corpus.
 
     Args:
         indexed_fn: module-level worker taking ``(token, index)`` and
@@ -86,14 +103,49 @@ def fanout_map(
         count: number of jobs (indices ``0..count-1``).
         workers: requested pool width (capped at ``count``).
         fallback_fn: module-level worker taking one pickled job — used
-            where the ``fork`` start method is unavailable.
+            where ``fork`` is unavailable or ``REPRO_FORCE_SPAWN=1``.
         fallback_jobs: the ``count`` pickled jobs for ``fallback_fn``.
+        on_result: optional ``(index, result)`` callback fired in the
+            parent as each job first completes, so callers can publish
+            results incrementally instead of after the whole pass.
 
-    Results come back in index order for either path.
+    Results come back in index order for either path, bit-identical to
+    :func:`fanout_map_unsupervised`; the supervision (timeouts,
+    retries, pool recovery, serial degradation) lives in
+    :mod:`repro.robust.supervisor`.
+    """
+    from repro.robust.supervisor import supervised_map
+
+    return supervised_map(
+        indexed_fn,
+        payload_value,
+        count,
+        workers,
+        fallback_fn=fallback_fn,
+        fallback_jobs=fallback_jobs,
+        on_result=on_result,
+    )
+
+
+def fanout_map_unsupervised(
+    indexed_fn: Callable[[tuple[int, int]], Any],
+    payload_value: Any,
+    count: int,
+    workers: int,
+    *,
+    fallback_fn: Callable[[Any], Any],
+    fallback_jobs: Sequence[Any],
+) -> list[Any]:
+    """The pre-supervision pool pass (reference for equivalence/overhead).
+
+    One plain ``pool.map`` with no recovery: a crashed or hung worker
+    loses the whole pass. Kept verbatim so tests can pin
+    :func:`fanout_map` output against it and the fan-out bench can
+    price supervision.
     """
     workers = max(1, min(workers, count))
     chunk = pool_chunksize(count, workers)
-    ctx = fork_context()
+    ctx = None if force_spawn() else fork_context()
     if ctx is None:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fallback_fn, fallback_jobs, chunksize=chunk))

@@ -14,7 +14,11 @@ identical no matter which worker (or how many workers) produced it.
 The pool ships no scenario graphs: misses fan out through
 :mod:`repro.simulate.fanout`, which parks the scenario list for fork
 inheritance and sends each worker only an index (falling back to
-pickling where ``fork`` is unavailable).
+pickling where ``fork`` is unavailable). The pass is supervised
+(:mod:`repro.robust`): crashed or hung workers are retried and the
+pool degrades to serial execution rather than losing the run, and
+every finished drive is published to the cache the moment it
+completes.
 
 ``REPRO_BENCH_WORKERS`` sets the default worker count (1 = serial).
 """
@@ -22,6 +26,7 @@ pickling where ``fork`` is unavailable).
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Sequence
 
 from repro.simulate import fanout
@@ -32,9 +37,16 @@ from repro.simulate.scenarios import Scenario
 
 def default_workers() -> int:
     """Worker count from ``REPRO_BENCH_WORKERS`` (default 1 = serial)."""
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "1")
     try:
-        return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+        return max(1, int(raw))
     except ValueError:
+        warnings.warn(
+            f"REPRO_BENCH_WORKERS={raw!r} is not an integer; "
+            "falling back to 1 worker (serial)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1
 
 
@@ -82,21 +94,29 @@ def run_drives(
             misses.append(i)
 
     if misses:
+        # Publish incrementally: each drive is cached the moment it
+        # finishes (in the parent, as pool chunks complete), so a crash
+        # at drive 999/1000 loses one drive and a rerun resumes from
+        # the cache instead of resimulating the lot.
+        def publish(offset: int, log: DriveLog) -> None:
+            index = misses[offset]
+            logs[index] = log
+            if use_cache and cache:
+                cache.put(scenarios[index], log)
+
         if workers <= 1 or len(misses) == 1:
-            fresh = [_run_one(scenarios[i]) for i in misses]
+            for offset, i in enumerate(misses):
+                publish(offset, _run_one(scenarios[i]))
         else:
             miss_scenarios = [scenarios[i] for i in misses]
-            fresh = fanout.fanout_map(
+            fanout.fanout_map(
                 _run_one_indexed,
                 miss_scenarios,
                 len(miss_scenarios),
                 workers,
                 fallback_fn=_run_one,
                 fallback_jobs=miss_scenarios,
+                on_result=publish,
             )
-        for i, log in zip(misses, fresh):
-            logs[i] = log
-            if use_cache and cache:
-                cache.put(scenarios[i], log)
 
     return logs  # type: ignore[return-value]

@@ -3,12 +3,51 @@
 Simulation is the expensive part of this suite, so canonical small
 drives are session-scoped: one NSA low-band freeway drive, one mmWave
 city walk, and one rural coverage drive cover most integration needs.
+
+The suite also arms a per-test wall-clock alarm (SIGALRM,
+``REPRO_TEST_TIMEOUT_S``, default 300 s): with fault injection in the
+tree, a regression that reintroduces an unrecovered hang must fail the
+test quickly instead of stalling the whole run. When the
+``pytest-timeout`` plugin is installed (CI) it owns the job and the
+local alarm stands down.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import numpy as np
 import pytest
+
+_TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "300") or 0)
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    use_alarm = (
+        _TEST_TIMEOUT_S > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+        and not item.config.pluginmanager.hasplugin("timeout")
+    )
+    if not use_alarm:
+        return (yield)
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the REPRO_TEST_TIMEOUT_S={_TEST_TIMEOUT_S:.0f}s "
+            "wall-clock alarm (likely an unrecovered hang)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT_S)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 from repro.radio.bands import BandClass
 from repro.ran import OPX, OPY

@@ -43,7 +43,13 @@ def test_round_trip_is_lossless(tmp_path, logs, dataset):
     key = cache.key_for("radio", logs, {"stride": 10})
     assert cache.get("radio", key) is None
     cache.put("radio", key, dataset)
-    assert cache.stats == {"hits": 0, "misses": 1, "stores": 1}
+    assert cache.stats == {
+        "hits": 0,
+        "misses": 1,
+        "stores": 1,
+        "put_failures": 0,
+        "corrupt": 0,
+    }
 
     warm = _cache(tmp_path)
     loaded = warm.get("radio", key)
@@ -51,7 +57,13 @@ def test_round_trip_is_lossless(tmp_path, logs, dataset):
     assert np.array_equal(loaded.x, dataset.x)
     assert np.array_equal(loaded.times_s, dataset.times_s)
     assert loaded.labels == dataset.labels
-    assert warm.stats == {"hits": 1, "misses": 0, "stores": 0}
+    assert warm.stats == {
+        "hits": 1,
+        "misses": 0,
+        "stores": 0,
+        "put_failures": 0,
+        "corrupt": 0,
+    }
 
 
 def test_build_cached_skips_builder_on_hit(tmp_path, logs, dataset):
@@ -66,7 +78,13 @@ def test_build_cached_skips_builder_on_hit(tmp_path, logs, dataset):
     second = build_cached("radio", builder, logs, {"stride": 10}, cache=cache)
     assert len(calls) == 1
     assert np.array_equal(first.x, second.x)
-    assert cache.stats == {"hits": 1, "misses": 1, "stores": 1}
+    assert cache.stats == {
+        "hits": 1,
+        "misses": 1,
+        "stores": 1,
+        "put_failures": 0,
+        "corrupt": 0,
+    }
 
 
 def test_key_tracks_params_logs_and_kind(tmp_path, logs):
@@ -114,7 +132,13 @@ def test_no_cache_env_disables(tmp_path, monkeypatch, logs, dataset):
     cache.put("radio", key, dataset)
     assert not (tmp_path / "datasets").exists()
     assert cache.get("radio", key) is None
-    assert cache.stats == {"hits": 0, "misses": 1, "stores": 0}
+    assert cache.stats == {
+        "hits": 0,
+        "misses": 1,
+        "stores": 0,
+        "put_failures": 0,
+        "corrupt": 0,
+    }
 
 
 def test_cache_dir_env_relocates(tmp_path, monkeypatch):

@@ -243,7 +243,13 @@ class TestModelCache:
         first = fit_cached("gbc", factory, x, y, params, cache=cache)
         second = fit_cached("gbc", factory, x, y, params, cache=cache)
         assert len(calls) == 1
-        assert cache.stats == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats == {
+            "hits": 1,
+            "misses": 1,
+            "stores": 1,
+            "put_failures": 0,
+            "corrupt": 0,
+        }
         assert first.predict(x) == second.predict(x)
 
     def test_key_sensitive_to_data_and_params(self, tmp_path):

@@ -1,0 +1,173 @@
+"""Self-healing caches: counted write failures and quarantined entries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.dataset_cache import DatasetCache
+from repro.ml.features import LabeledDataset
+from repro.ml.model_cache import ModelCache
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+from repro.robust import faults
+from repro.rrc.taxonomy import HandoverType
+from repro.simulate.cache import DriveCache
+from repro.simulate.runner import run_drives
+from repro.simulate.scenarios import freeway_scenario
+from repro.simulate.serialization import log_to_dict
+
+
+@pytest.fixture(autouse=True)
+def _isolated_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return freeway_scenario(OPX, BandClass.LOW, length_km=1.0, seed=61)
+
+
+@pytest.fixture(scope="module")
+def drive_log(scenario):
+    return scenario.run()
+
+
+def _truncate(path):
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+
+
+class TestDriveCache:
+    def test_write_fault_degrades_to_counted_noop(
+        self, monkeypatch, tmp_path, scenario, drive_log
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "cache_write_oserror")
+        cache = DriveCache(tmp_path)
+        cache.put(scenario, drive_log)
+        assert cache.stats["put_failures"] == 1
+        assert cache.stats["stores"] == 0
+        assert not any(tmp_path.iterdir())
+        assert cache.get(scenario) is None
+
+    def test_run_drives_survives_write_faults(
+        self, monkeypatch, tmp_path, scenario, drive_log
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "cache_write_oserror")
+        cache = DriveCache(tmp_path)
+        (log,) = run_drives([scenario], workers=1, cache=cache)
+        assert log_to_dict(log) == log_to_dict(drive_log)
+        assert cache.stats["put_failures"] == 1
+        assert cache.stats["stores"] == 0
+
+    def test_truncated_entry_quarantined_exactly_once(
+        self, tmp_path, scenario, drive_log
+    ):
+        cache = DriveCache(tmp_path)
+        cache.put(scenario, drive_log)
+        path = cache._path(cache.key_for(scenario))
+        _truncate(path)
+
+        assert cache.get(scenario) is None
+        assert cache.stats["corrupt"] == 1
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+
+        # The quarantined entry is now a cheap ordinary miss, not a
+        # second decode failure.
+        assert cache.get(scenario) is None
+        assert cache.stats["corrupt"] == 1
+        assert cache.stats["misses"] == 2
+
+        # Re-simulating and re-storing heals the slot.
+        cache.put(scenario, drive_log)
+        healed = cache.get(scenario)
+        assert healed is not None
+        assert log_to_dict(healed) == log_to_dict(drive_log)
+
+    def test_injected_truncate_heals_on_rewrite(
+        self, monkeypatch, tmp_path, scenario, drive_log
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "cache_truncate:times=1")
+        cache = DriveCache(tmp_path)
+        cache.put(scenario, drive_log)  # published, then corrupted
+        assert cache.stats["stores"] == 1
+        assert cache.get(scenario) is None
+        assert cache.stats["corrupt"] == 1
+
+        cache.put(scenario, drive_log)  # times=1 exhausted: clean write
+        healed = cache.get(scenario)
+        assert healed is not None
+        assert log_to_dict(healed) == log_to_dict(drive_log)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return LabeledDataset(
+        np.arange(12, dtype=float).reshape(4, 3),
+        [HandoverType.SCGA, HandoverType.SCGR, HandoverType.SCGA, HandoverType.SCGR],
+        np.linspace(0.0, 1.5, 4),
+    )
+
+
+class TestDatasetCache:
+    def test_write_fault_degrades_to_counted_noop(self, monkeypatch, tmp_path, dataset):
+        monkeypatch.setenv("REPRO_FAULTS", "cache_write_oserror")
+        cache = DatasetCache(tmp_path, enabled=True)
+        cache.put("radio", "k" * 8, dataset)
+        assert cache.stats["put_failures"] == 1
+        assert cache.stats["stores"] == 0
+        assert cache.get("radio", "k" * 8) is None
+
+    def test_truncated_entry_quarantined_then_healed(self, tmp_path, dataset):
+        cache = DatasetCache(tmp_path, enabled=True)
+        cache.put("radio", "k" * 8, dataset)
+        path = cache._path("radio", "k" * 8)
+        _truncate(path)
+
+        assert cache.get("radio", "k" * 8) is None
+        assert cache.stats["corrupt"] == 1
+        assert path.with_name(path.name + ".corrupt").exists()
+
+        cache.put("radio", "k" * 8, dataset)
+        healed = cache.get("radio", "k" * 8)
+        assert healed is not None
+        assert np.array_equal(healed.x, dataset.x)
+        assert healed.labels == dataset.labels
+
+
+class TestModelCache:
+    def test_write_fault_degrades_to_counted_noop(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FAULTS", "cache_write_oserror")
+        cache = ModelCache(tmp_path, enabled=True)
+        cache.put("gbc", "k" * 8, {"weights": [1, 2, 3]})
+        assert cache.stats["put_failures"] == 1
+        assert cache.stats["stores"] == 0
+        assert cache.get("gbc", "k" * 8) is None
+
+    def test_garbage_entry_quarantined_then_healed(self, tmp_path):
+        cache = ModelCache(tmp_path, enabled=True)
+        model = {"weights": np.arange(4)}
+        cache.put("gbc", "k" * 8, model)
+        path = cache._path("gbc", "k" * 8)
+        path.write_bytes(b"not a gzip stream")  # BadGzipFile, an OSError subclass
+
+        assert cache.get("gbc", "k" * 8) is None
+        assert cache.stats["corrupt"] == 1
+        assert path.with_name(path.name + ".corrupt").exists()
+
+        cache.put("gbc", "k" * 8, model)
+        healed = cache.get("gbc", "k" * 8)
+        assert healed is not None
+        assert np.array_equal(healed["weights"], model["weights"])
+
+    def test_truncated_gzip_is_quarantined(self, tmp_path):
+        cache = ModelCache(tmp_path, enabled=True)
+        cache.put("gbc", "k" * 8, {"weights": list(range(64))})
+        path = cache._path("gbc", "k" * 8)
+        _truncate(path)
+        assert cache.get("gbc", "k" * 8) is None
+        assert cache.stats["corrupt"] == 1

@@ -1,0 +1,109 @@
+"""The fault-injection harness: spec parsing and deterministic firing."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.robust import faults
+from repro.robust.faults import FaultSpec, parse_spec
+
+
+@pytest.fixture(autouse=True)
+def _isolated_faults(monkeypatch):
+    # Each test owns the spec: clear any externally set REPRO_FAULTS
+    # (the CI fault-smoke job exports one) and the per-process tallies.
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+class TestParsing:
+    def test_full_spec(self):
+        specs = parse_spec("worker_crash:p=0.2:seed=7,worker_hang:hang_s=5")
+        assert specs == (
+            FaultSpec("worker_crash", p=0.2, seed=7),
+            FaultSpec("worker_hang", hang_s=5.0),
+        )
+
+    def test_bare_names_and_whitespace(self):
+        specs = parse_spec(" cache_write_oserror , cache_truncate:times=1 ")
+        assert [s.name for s in specs] == ["cache_write_oserror", "cache_truncate"]
+        assert specs[1].times == 1
+
+    def test_key_attempts_params(self):
+        (spec,) = parse_spec("worker_crash:key=3:attempts=1")
+        assert spec.key == "3" and spec.attempts == 1
+
+    def test_unknown_fault_warns_and_drops(self):
+        with pytest.warns(RuntimeWarning, match="unknown fault"):
+            specs = parse_spec("worker_crush:p=1,worker_hang")
+        assert [s.name for s in specs] == ["worker_hang"]
+
+    def test_malformed_param_warns_and_drops_entry(self):
+        with pytest.warns(RuntimeWarning, match="bad parameter"):
+            specs = parse_spec("worker_crash:p=often,cache_truncate")
+        assert [s.name for s in specs] == ["cache_truncate"]
+
+    def test_empty_spec_is_inert(self):
+        assert parse_spec("") == ()
+        assert faults.active_faults() == ()
+
+    def test_env_reparse_on_change(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "worker_hang")
+        assert [s.name for s in faults.active_faults()] == ["worker_hang"]
+        monkeypatch.setenv("REPRO_FAULTS", "worker_crash")
+        assert [s.name for s in faults.active_faults()] == ["worker_crash"]
+
+
+class TestFiring:
+    def test_draw_is_deterministic_per_key_and_attempt(self):
+        spec = FaultSpec("worker_crash", p=0.5, seed=7)
+        draws = [faults._draw(spec, key, 0) for key in range(64)]
+        assert draws == [faults._draw(spec, key, 0) for key in range(64)]
+        # Attempts re-draw: a retry is not doomed to the same outcome.
+        assert draws != [faults._draw(spec, key, 1) for key in range(64)]
+        # p is a real probability, not all-or-nothing.
+        fired = sum(d < 0.5 for d in draws)
+        assert 16 <= fired <= 48
+
+    def test_key_restriction(self):
+        spec = FaultSpec("worker_crash", key="3")
+        assert faults._fires(spec, 3, 0)
+        assert not faults._fires(spec, 2, 0)
+
+    def test_attempts_window(self):
+        spec = FaultSpec("worker_hang", attempts=1)
+        assert faults._fires(spec, 0, 0)
+        assert not faults._fires(spec, 0, 1)
+
+    def test_times_cap_counts_per_process(self):
+        spec = FaultSpec("cache_truncate", times=2)
+        fired = [faults._fires(spec, f"entry-{i}", 0) for i in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_cache_write_hook_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "cache_write_oserror")
+        with pytest.raises(OSError, match="injected"):
+            faults.maybe_raise_cache_write("some-entry.npz")
+        assert faults.fired_counts["cache_write_oserror"] == 1
+
+    def test_truncate_hook_halves_file(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FAULTS", "cache_truncate")
+        path = tmp_path / "entry.npz"
+        path.write_bytes(b"0123456789")
+        faults.maybe_truncate(path)
+        assert path.read_bytes() == b"01234"
+
+    def test_hooks_inert_without_spec(self, tmp_path):
+        path = tmp_path / "entry.npz"
+        path.write_bytes(b"0123456789")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            faults.maybe_fail_job(0, 0)
+            faults.maybe_raise_cache_write("entry.npz")
+            faults.maybe_truncate(path)
+        assert path.read_bytes() == b"0123456789"
+        assert not faults.fired_counts

@@ -1,0 +1,219 @@
+"""supervised_map: equivalence, recovery ladder, and incremental publish."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.robust import faults, supervisor
+from repro.robust.supervisor import (
+    backoff_s,
+    job_retries,
+    job_timeout_s,
+    last_run_stats,
+    supervised_map,
+)
+from repro.simulate import fanout
+
+
+@pytest.fixture(autouse=True)
+def _isolated_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FORCE_SPAWN", raising=False)
+    monkeypatch.delenv("REPRO_JOB_TIMEOUT_S", raising=False)
+    monkeypatch.delenv("REPRO_JOB_RETRIES", raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def _square_indexed(job):
+    token, i = job
+    return fanout.payload(token)[i] ** 2
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_on_three_indexed(job):
+    token, i = job
+    if i == 3:
+        raise ValueError("job 3 is genuinely broken")
+    return fanout.payload(token)[i] ** 2
+
+
+def _values(n=12):
+    return [10 + i for i in range(n)]
+
+
+def _map_squares(workers, n=12, **kwargs):
+    values = _values(n)
+    return fanout.fanout_map(
+        _square_indexed,
+        values,
+        len(values),
+        workers,
+        fallback_fn=_square,
+        fallback_jobs=values,
+        **kwargs,
+    )
+
+
+class TestEquivalence:
+    def test_matches_unsupervised_fork(self):
+        if fanout.fork_context() is None:
+            pytest.skip("fork start method unavailable")
+        values = _values()
+        expected = fanout.fanout_map_unsupervised(
+            _square_indexed,
+            values,
+            len(values),
+            3,
+            fallback_fn=_square,
+            fallback_jobs=values,
+        )
+        assert _map_squares(3) == expected == [v**2 for v in values]
+        stats = last_run_stats()
+        assert stats.start_method == "fork"
+        assert stats.published == len(values)
+        assert stats.pool_rebuilds == stats.timeouts == stats.serial_jobs == 0
+
+    def test_force_spawn_matches_and_keeps_order(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_SPAWN", "1")
+        values = _values()
+        expected = fanout.fanout_map_unsupervised(
+            _square_indexed,
+            values,
+            len(values),
+            2,
+            fallback_fn=_square,
+            fallback_jobs=values,
+        )
+        assert _map_squares(2) == expected == [v**2 for v in values]
+        assert last_run_stats().start_method == "spawn"
+
+    def test_workers_one_runs_serial_in_process(self):
+        assert _map_squares(1) == [v**2 for v in _values()]
+        stats = last_run_stats()
+        assert stats.serial_jobs == stats.jobs == 12
+        assert stats.pool_rebuilds == 0
+
+    def test_single_job_runs_serial(self):
+        assert _map_squares(8, n=1) == [100]
+        assert last_run_stats().serial_jobs == 1
+
+
+class TestIncrementalPublish:
+    def test_on_result_fires_per_job_in_parent(self):
+        published = []
+        out = _map_squares(2, on_result=lambda i, r: published.append((i, r)))
+        assert sorted(published) == [(i, v**2) for i, v in enumerate(_values())]
+        assert out == [v**2 for v in _values()]
+
+    def test_completed_jobs_publish_before_a_bad_job_raises(self):
+        if fanout.fork_context() is None:
+            pytest.skip("fork start method unavailable")
+        published = []
+        values = _values(8)
+        with pytest.raises(ValueError, match="genuinely broken"):
+            supervised_map(
+                _raise_on_three_indexed,
+                values,
+                len(values),
+                2,
+                fallback_fn=_square,
+                fallback_jobs=values,
+                on_result=lambda i, r: published.append(i),
+                retries=0,
+            )
+        # Every healthy job finished its round and was published before
+        # the serial rerun of the broken one surfaced the real error.
+        assert sorted(published) == [i for i in range(8) if i != 3]
+
+
+class TestRecovery:
+    def test_crash_everywhere_degrades_to_serial(self, monkeypatch):
+        if fanout.fork_context() is None:
+            pytest.skip("fork start method unavailable")
+        monkeypatch.setenv("REPRO_FAULTS", "worker_crash:p=1:seed=5")
+        published = []
+        out = _map_squares(2, n=8, on_result=lambda i, r: published.append(i))
+        assert out == [v**2 for v in _values(8)]
+        stats = last_run_stats()
+        assert stats.pool_rebuilds == supervisor.MAX_POOL_REBUILDS
+        assert stats.serial_jobs == 8
+        assert sorted(published) == list(range(8))
+
+    def test_targeted_crash_recovers_via_retry(self, monkeypatch):
+        if fanout.fork_context() is None:
+            pytest.skip("fork start method unavailable")
+        # Fires only on job 3's first attempt: one pool death, then the
+        # retry goes through a rebuilt pool.
+        monkeypatch.setenv("REPRO_FAULTS", "worker_crash:key=3:attempts=1")
+        out = _map_squares(2, n=8)
+        assert out == [v**2 for v in _values(8)]
+        stats = last_run_stats()
+        assert stats.pool_rebuilds == 1
+        assert stats.retried_jobs >= 1
+
+    def test_hang_hits_timeout_and_is_retried(self, monkeypatch):
+        if fanout.fork_context() is None:
+            pytest.skip("fork start method unavailable")
+        monkeypatch.setenv("REPRO_FAULTS", "worker_hang:key=2:attempts=1:hang_s=30")
+        values = _values(6)
+        start = time.monotonic()
+        out = supervised_map(
+            _square_indexed,
+            values,
+            len(values),
+            2,
+            fallback_fn=_square,
+            fallback_jobs=values,
+            timeout_s=1.0,
+            retries=2,
+        )
+        elapsed = time.monotonic() - start
+        assert out == [v**2 for v in values]
+        stats = last_run_stats()
+        assert stats.timeouts >= 1
+        assert stats.pool_rebuilds >= 1
+        # The 30 s hang must have been preempted, not waited out.
+        assert elapsed < 20.0
+
+
+class TestKnobs:
+    def test_timeout_env(self, monkeypatch):
+        assert job_timeout_s() is None
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT_S", "2.5")
+        assert job_timeout_s() == 2.5
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT_S", "0")
+        assert job_timeout_s() is None
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT_S", "soon")
+        with pytest.warns(RuntimeWarning, match="REPRO_JOB_TIMEOUT_S"):
+            assert job_timeout_s() is None
+
+    def test_retries_env(self, monkeypatch):
+        assert job_retries() == 2
+        monkeypatch.setenv("REPRO_JOB_RETRIES", "5")
+        assert job_retries() == 5
+        monkeypatch.setenv("REPRO_JOB_RETRIES", "-3")
+        assert job_retries() == 0
+        monkeypatch.setenv("REPRO_JOB_RETRIES", "many")
+        with pytest.warns(RuntimeWarning, match="REPRO_JOB_RETRIES"):
+            assert job_retries() == 2
+
+    def test_backoff_deterministic_and_bounded(self):
+        assert backoff_s(1, salt=4) == backoff_s(1, salt=4)
+        assert backoff_s(1, salt=4) != backoff_s(1, salt=5)
+        for round_no in range(8):
+            delay = backoff_s(round_no, salt=3)
+            assert 0 < delay <= supervisor.BACKOFF_BASE_S * 8 * 1.5
+
+    def test_default_workers_warns_on_bad_value(self, monkeypatch):
+        from repro.simulate.runner import default_workers
+
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "three")
+        with pytest.warns(RuntimeWarning, match="REPRO_BENCH_WORKERS"):
+            assert default_workers() == 1

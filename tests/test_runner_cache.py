@@ -38,14 +38,26 @@ def test_cache_round_trip(tmp_path, serial_logs):
     scenarios = _scenarios()
     cache = DriveCache(tmp_path)
     first = run_drives(scenarios, workers=1, cache=cache)
-    assert cache.stats == {"hits": 0, "misses": 2, "stores": 2}
+    assert cache.stats == {
+        "hits": 0,
+        "misses": 2,
+        "stores": 2,
+        "put_failures": 0,
+        "corrupt": 0,
+    }
     assert sorted(p.name for p in tmp_path.iterdir()) == sorted(
         f"{DriveCache.key_for(s)}.npz" for s in scenarios
     )
 
     warm = DriveCache(tmp_path)
     second = run_drives(scenarios, workers=1, cache=warm)
-    assert warm.stats == {"hits": 2, "misses": 0, "stores": 0}
+    assert warm.stats == {
+        "hits": 2,
+        "misses": 0,
+        "stores": 0,
+        "put_failures": 0,
+        "corrupt": 0,
+    }
     for a, b, c in zip(serial_logs, first, second):
         assert log_to_dict(a) == log_to_dict(b) == log_to_dict(c)
 
