@@ -6,6 +6,13 @@ paper reports: handover frequencies and signaling rates (§5.1), T1/T2
 duration decompositions (§5.2), energy budgets (§5.3), coverage
 footprints (§6.1), around-handover throughput phases (§6.2), and
 co-location effects (§6.3).
+
+The §5.1 frequency and §5.3 energy analyses additionally accept
+:class:`~repro.simulate.columnar.ColumnarLog` packed arrays directly —
+including memory-mapped corpus-store slices — and run as column scans
+without materialising tick or handover objects. Their original
+per-record list scans are kept as ``*_reference`` functions and pinned
+bit-identical by the equivalence tests.
 """
 
 from repro.analysis.stats import SeriesSummary, summarize

@@ -5,14 +5,29 @@ The paper's headline numbers: on freeways an NSA 5G handover every
 0.13 km, mid-band every 0.35 km, low-band every 0.4 km. Signaling: SA
 cuts HO-related messages ~3.8× versus LTE per km; NSA mmWave's PHY-layer
 procedures exceed low-band's by >5×.
+
+These analyses run on :class:`~repro.simulate.columnar.ColumnarLog`
+packed arrays — distance from the first/last ``tick_arc_m`` entries,
+type counts by ``bincount`` over the ``ho_type`` index column, tallies
+as one ``ho_signaling`` matrix sum — so a memory-mapped corpus slice is
+analysed without materialising a single tick object. Every public
+function accepts ``DriveLog`` and ``ColumnarLog`` inputs
+interchangeably (a ``DriveLog`` contributes its memoized packing). The
+original per-record list scans are retained as ``*_reference``
+implementations; the equivalence tests pin the columnar results to
+them bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.rrc.signaling import SignalingTally
 from repro.rrc.taxonomy import HandoverCategory, HandoverType
+from repro.simulate.columnar import ColumnarLog, as_columnar
 from repro.simulate.records import DriveLog
 
 #: Procedure sets used for the paper's "4G HO" vs "5G HO" accounting.
@@ -25,17 +40,42 @@ FIVE_G_NSA_TYPES = (
 )
 SA_TYPES = (HandoverType.MCGH,)
 
+Logs = Sequence["DriveLog | ColumnarLog"]
 
-def handover_rate_per_km(logs: list[DriveLog], types: tuple[HandoverType, ...]) -> float:
+
+def _distance_km(clogs: list[ColumnarLog]) -> float:
+    """Total drive distance: first→last arc per log, summed in order."""
+    total = 0.0
+    for clog in clogs:
+        arc = clog.arrays["tick_arc_m"]
+        if len(arc):
+            total += float(arc[-1] - arc[0]) / 1000.0
+    return total
+
+
+def _count_of_types(clog: ColumnarLog, wanted: set[HandoverType]) -> int:
+    """Handovers of ``wanted`` types in one log, off the index column."""
+    names = clog.arrays["enum_ho_types"]
+    wanted_indices = [
+        i for i, name in enumerate(names.tolist()) if HandoverType[name] in wanted
+    ]
+    if not wanted_indices:
+        return 0
+    return int(np.isin(clog.arrays["ho_type"], wanted_indices).sum())
+
+
+def handover_rate_per_km(logs: Logs, types: tuple[HandoverType, ...]) -> float:
     """Handovers of the given types per km across the logs."""
-    distance = sum(log.distance_km for log in logs)
+    clogs = [as_columnar(log) for log in logs]
+    distance = _distance_km(clogs)
     if distance <= 0:
         raise ValueError("logs cover no distance")
-    count = sum(len(log.handovers_of(*types)) for log in logs)
+    wanted = set(types)
+    count = sum(_count_of_types(clog, wanted) for clog in clogs)
     return count / distance
 
 
-def handover_spacing_km(logs: list[DriveLog], types: tuple[HandoverType, ...]) -> float:
+def handover_spacing_km(logs: Logs, types: tuple[HandoverType, ...]) -> float:
     """Mean distance between handovers of the given types (km)."""
     rate = handover_rate_per_km(logs, types)
     if rate == 0:
@@ -54,18 +94,23 @@ class FrequencyBreakdown:
     count_by_type: dict[HandoverType, int]
 
 
-def frequency_breakdown(logs: list[DriveLog]) -> FrequencyBreakdown:
+def frequency_breakdown(logs: Logs) -> FrequencyBreakdown:
     """Handover spacing per paper category over a set of drives."""
-    distance = sum(log.distance_km for log in logs)
+    clogs = [as_columnar(log) for log in logs]
     counts: dict[HandoverType, int] = {}
-    for log in logs:
-        for ho_type, count in log.count_by_type().items():
-            counts[ho_type] = counts.get(ho_type, 0) + count
+    for clog in clogs:
+        # One bincount over the index column replaces the per-record
+        # dict walk; indices map through the log's own name table.
+        types = [HandoverType[name] for name in clog.arrays["enum_ho_types"].tolist()]
+        per_index = np.bincount(clog.arrays["ho_type"], minlength=len(types))
+        for index, count in enumerate(per_index.tolist()):
+            if count:
+                counts[types[index]] = counts.get(types[index], 0) + count
     return FrequencyBreakdown(
-        distance_km=distance,
-        spacing_4g_km=handover_spacing_km(logs, FOUR_G_TYPES),
-        spacing_5g_nsa_km=handover_spacing_km(logs, FIVE_G_NSA_TYPES),
-        spacing_sa_km=handover_spacing_km(logs, SA_TYPES),
+        distance_km=_distance_km(clogs),
+        spacing_4g_km=handover_spacing_km(clogs, FOUR_G_TYPES),
+        spacing_5g_nsa_km=handover_spacing_km(clogs, FIVE_G_NSA_TYPES),
+        spacing_sa_km=handover_spacing_km(clogs, SA_TYPES),
         count_by_type=counts,
     )
 
@@ -83,8 +128,71 @@ class SignalingRates:
         return self.rrc_per_km + self.rach_per_km + self.phy_per_km
 
 
-def signaling_per_km(logs: list[DriveLog]) -> SignalingRates:
+def signaling_per_km(logs: Logs) -> SignalingRates:
     """Per-km signaling attributable to handovers across the logs."""
+    clogs = [as_columnar(log) for log in logs]
+    distance = _distance_km(clogs)
+    if distance <= 0:
+        raise ValueError("logs cover no distance")
+    # ho_signaling columns are the SignalingTally fields in order:
+    # (measurement reports, reconfigurations, completes, RACH, PHY SSB).
+    totals = np.zeros(5, dtype=np.int64)
+    for clog in clogs:
+        matrix = clog.arrays["ho_signaling"]
+        if len(matrix):
+            totals += matrix.sum(axis=0, dtype=np.int64)
+    rrc_total = int(totals[0] + totals[1] + totals[2])
+    return SignalingRates(
+        rrc_per_km=rrc_total / distance,
+        rach_per_km=int(totals[3]) / distance,
+        phy_per_km=int(totals[4]) / distance,
+    )
+
+
+# ----------------------------------------------------------------------
+# Reference implementations: the original per-record list scans
+# ----------------------------------------------------------------------
+
+
+def handover_rate_per_km_reference(
+    logs: list[DriveLog], types: tuple[HandoverType, ...]
+) -> float:
+    """List-based :func:`handover_rate_per_km` (equivalence baseline)."""
+    distance = sum(log.distance_km for log in logs)
+    if distance <= 0:
+        raise ValueError("logs cover no distance")
+    count = sum(len(log.handovers_of(*types)) for log in logs)
+    return count / distance
+
+
+def handover_spacing_km_reference(
+    logs: list[DriveLog], types: tuple[HandoverType, ...]
+) -> float:
+    """List-based :func:`handover_spacing_km` (equivalence baseline)."""
+    rate = handover_rate_per_km_reference(logs, types)
+    if rate == 0:
+        return float("inf")
+    return 1.0 / rate
+
+
+def frequency_breakdown_reference(logs: list[DriveLog]) -> FrequencyBreakdown:
+    """List-based :func:`frequency_breakdown` (equivalence baseline)."""
+    distance = sum(log.distance_km for log in logs)
+    counts: dict[HandoverType, int] = {}
+    for log in logs:
+        for ho_type, count in log.count_by_type().items():
+            counts[ho_type] = counts.get(ho_type, 0) + count
+    return FrequencyBreakdown(
+        distance_km=distance,
+        spacing_4g_km=handover_spacing_km_reference(logs, FOUR_G_TYPES),
+        spacing_5g_nsa_km=handover_spacing_km_reference(logs, FIVE_G_NSA_TYPES),
+        spacing_sa_km=handover_spacing_km_reference(logs, SA_TYPES),
+        count_by_type=counts,
+    )
+
+
+def signaling_per_km_reference(logs: list[DriveLog]) -> SignalingRates:
+    """List-based :func:`signaling_per_km` (equivalence baseline)."""
     distance = sum(log.distance_km for log in logs)
     if distance <= 0:
         raise ValueError("logs cover no distance")

@@ -52,6 +52,7 @@ from repro.ran.carrier import CarrierProfile
 from repro.rrc.events import EventConfig, MeasurementObject
 from repro.rrc.taxonomy import HandoverType
 from repro.simulate import fanout
+from repro.simulate.corpus import CorpusView, resolve_log
 from repro.simulate.records import DriveLog, TickRecord
 from repro.simulate.runner import default_workers
 
@@ -261,8 +262,11 @@ def _plan_and_forecast_star(
     args: tuple,
 ) -> tuple[_ReplayPlan, list[list[tuple[str, float]]]]:
     # Module-level so ProcessPoolExecutor can pickle it by reference.
+    # The log slot may be a corpus DriveRef — a (store_path, drive_id)
+    # pointer resolved here, in whichever process runs the job, so the
+    # spawn fallback ships bytes, not corpora.
     log, window_s, stride, event_configs, config = args
-    plan = _replay_plan(log, window_s, stride)
+    plan = _replay_plan(resolve_log(log), window_s, stride)
     return plan, _forecast_steps(plan, event_configs, config)
 
 
@@ -270,10 +274,12 @@ def _plan_and_forecast_indexed(
     job: tuple[int, int],
 ) -> tuple[_ReplayPlan, list[list[tuple[str, float]]]]:
     # Fork-inherited fan-out worker: the corpus and replay parameters
-    # arrive via shared memory, only (token, index) is shipped.
+    # arrive via shared memory, only (token, index) is shipped. With a
+    # corpus store the parked list holds DriveRefs, so the inherited
+    # payload is pointers and each worker maps its own slice lazily.
     token, index = job
     logs, window_s, stride, event_configs, config = fanout.payload(token)
-    plan = _replay_plan(logs[index], window_s, stride)
+    plan = _replay_plan(resolve_log(logs[index]), window_s, stride)
     return plan, _forecast_steps(plan, event_configs, config)
 
 
@@ -306,15 +312,25 @@ def run_prognos_over_logs(
     (:mod:`repro.robust`): crashed or hung workers are retried under
     ``REPRO_JOB_TIMEOUT_S``/``REPRO_JOB_RETRIES`` and the pool
     degrades to serial execution rather than losing the run.
+
+    ``logs`` may be a :class:`~repro.simulate.corpus.CorpusView`:
+    the plan stage then parks (store, drive_id) pointers instead of
+    materialised logs — each plan job (serial, forked, or spawned)
+    opens its drive's memory-mapped slice lazily and releases it when
+    the plan is built, so the whole corpus is never resident at once —
+    and the final event index is computed as a column scan over the
+    shards.
     """
     if workers is None:
         workers = 1
-    tasks = [(log, window_s, stride, event_configs, config) for log in logs]
+    is_view = isinstance(logs, CorpusView)
+    handles = logs.refs() if is_view else list(logs)
+    tasks = [(h, window_s, stride, event_configs, config) for h in handles]
     if workers > 1 and len(logs) > 1:
         staged = fanout.fanout_map(
             _plan_and_forecast_indexed,
-            (logs, window_s, stride, event_configs, config),
-            len(logs),
+            (handles, window_s, stride, event_configs, config),
+            len(handles),
             workers,
             fallback_fn=_plan_and_forecast_star,
             fallback_jobs=tasks,
@@ -388,7 +404,7 @@ def run_prognos_over_logs(
         times_s=np.array(times),
         predictions=predictions,
         truths=truths,
-        events=handover_events(logs),
+        events=logs.handover_events() if is_view else handover_events(logs),
         lead_times_s=lead_times,
         learner_stats=prognos.stats(),
     )

@@ -40,7 +40,7 @@ from repro.simulate.records import DriveLog
 _DEFAULT_ROOT = ".repro-cache"
 
 
-def log_content_digest(log: DriveLog) -> str:
+def log_content_digest(log) -> str:
     """sha256 over everything in the log a feature builder can read.
 
     Hashes the log's packed columnar arrays
@@ -49,12 +49,16 @@ def log_content_digest(log: DriveLog) -> str:
     digest is a straight pass over the loaded arrays, and fresh logs
     pack once into a form the cache store reuses. Memoized on the log
     instance, as the Table 3 drivers digest the same logs once per
-    (kind, params) combination.
+    (kind, params) combination. Accepts a
+    :class:`~repro.simulate.columnar.ColumnarLog` too — memory-mapped
+    corpus slices digest without materialising a DriveLog.
     """
+    from repro.simulate.columnar import as_columnar
+
     cached = log.__dict__.get("_content_digest")
     if cached is not None:
         return cached
-    token = log.columnar().content_digest()
+    token = as_columnar(log).content_digest()
     log.__dict__["_content_digest"] = token
     return token
 

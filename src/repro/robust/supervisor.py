@@ -28,7 +28,13 @@ and adds the supervision a production corpus run needs:
 * **Incremental publication.** ``on_result(index, result)`` fires in
   the parent the moment a job's chunk completes, so a caller caching
   results (``run_drives``) keeps every finished job even if the run
-  dies later; each index is published exactly once.
+  dies later; each index is published exactly once. This hook is also
+  what makes streamed corpus generation resumable:
+  :func:`repro.simulate.runner.run_drives_to_store` appends each
+  finished drive to the sharded
+  :class:`~repro.simulate.corpus.CorpusStore` from here, committing
+  shard indexes atomically, so a killed build restarts from the drives
+  already on disk.
 
 ``REPRO_FORCE_SPAWN=1`` forces the spawn/pickle fallback path (the one
 platforms without ``fork`` take), so Linux CI exercises it too.

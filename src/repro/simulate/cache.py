@@ -21,6 +21,11 @@ Environment knobs:
   ``./.repro-cache``).
 * ``REPRO_NO_CACHE=1`` disables the cache entirely (every lookup
   misses, nothing is written).
+* ``REPRO_CORPUS_DIR`` attaches a :class:`~repro.simulate.corpus.
+  CorpusStore` at that path: lookups serve memory-mapped slices from
+  the sharded corpus (falling back to — and migrating — per-drive
+  ``.npz`` entries), and stores append to the corpus instead of
+  writing ``.npz`` files.
 """
 
 from __future__ import annotations
@@ -40,7 +45,7 @@ import numpy as np
 
 import repro
 from repro.robust import faults
-from repro.simulate.columnar import load_columnar, save_columnar
+from repro.simulate.columnar import ColumnarLog, load_columnar, save_columnar
 from repro.simulate.records import DriveLog
 from repro.simulate.scenarios import Scenario
 
@@ -161,15 +166,36 @@ class DriveCache:
     because its cache is sick — and an entry that fails to decode is
     quarantined (renamed ``<key>.npz.corrupt``, counted in
     ``corrupt``) so it misses once, not on every lookup.
+
+    When a :class:`~repro.simulate.corpus.CorpusStore` is attached
+    (``store=`` explicitly, or by default whenever ``REPRO_CORPUS_DIR``
+    is set), the cache delegates to it behind the shared
+    ``FORMAT_VERSION`` gate: lookups try the store's memory-mapped
+    slices first and fall back to per-drive ``.npz`` entries — a
+    ``.npz`` hit is migrated into the corpus so the next lookup maps
+    instead of decompressing — and stores append to the corpus instead
+    of writing new ``.npz`` files. Without a store the on-disk format
+    and stats are exactly what they always were.
     """
 
-    def __init__(self, root: str | Path | None = None, *, enabled: bool | None = None):
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        enabled: bool | None = None,
+        store: "object | None" = "env",
+    ):
         if enabled is None:
             enabled = os.environ.get("REPRO_NO_CACHE", "") != "1"
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR") or _DEFAULT_ROOT
+        if store == "env":
+            from repro.simulate.corpus import CorpusStore
+
+            store = CorpusStore.from_env()
         self.root = Path(root)
         self.enabled = enabled
+        self.store = store
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -188,15 +214,33 @@ class DriveCache:
 
     def get(self, scenario: Scenario) -> DriveLog | None:
         """The cached log for ``scenario``, or None on a miss."""
+        clog = self.get_columnar(scenario)
+        return None if clog is None else clog.to_drive_log()
+
+    def get_columnar(self, scenario: Scenario) -> ColumnarLog | None:
+        """The cached packed arrays for ``scenario``, or None on a miss.
+
+        The fast path for consumers that scan columns and never touch
+        tick objects: no ``to_drive_log()`` rebuild. With a corpus
+        store attached the hit is a read-only memory-mapped slice
+        (pages fault in as they are scanned); a ``.npz`` fallback hit
+        is migrated into the corpus on the way out.
+        """
         if not self.enabled:
             self.misses += 1
             return None
-        path = self._path(self.key_for(scenario))
+        key = self.key_for(scenario)
+        if self.store is not None:
+            clog = self.store.open_slice(key)
+            if clog is not None:
+                self.hits += 1
+                return clog
+        path = self._path(key)
         if not path.exists():
             self.misses += 1
             return None
         try:
-            log = load_columnar(path).to_drive_log()
+            clog = load_columnar(path)
         except (EOFError, ValueError, KeyError, zipfile.BadZipFile):
             # A truncated or stale-format entry is a miss, not an
             # error — and it will never decode, so quarantine it:
@@ -211,8 +255,12 @@ class DriveCache:
             # readable next time.
             self.misses += 1
             return None
+        if self.store is not None:
+            # Best-effort migration: next lookup maps from the corpus
+            # instead of decompressing this .npz again.
+            self.store.append(key, clog)
         self.hits += 1
-        return log
+        return clog
 
     def _quarantine(self, path: Path) -> None:
         self.corrupt += 1
@@ -226,8 +274,18 @@ class DriveCache:
 
         Write failures (disk full, read-only cache dir) degrade to a
         counted no-op — the caller keeps its in-memory log either way.
+        With a corpus store attached the log is appended to the sharded
+        corpus instead (same exactly-once, same degradation: a failed
+        append counts here as a ``put_failure``).
         """
         if not self.enabled:
+            return
+        if self.store is not None:
+            failures_before = self.store.put_failures
+            if self.store.append(self.key_for(scenario), log.columnar()):
+                self.stores += 1
+            elif self.store.put_failures > failures_before:
+                self.put_failures += 1
             return
         path = self._path(self.key_for(scenario))
         try:

@@ -578,6 +578,21 @@ class ColumnarLog:
         return digest.hexdigest()
 
 
+def as_columnar(log) -> ColumnarLog:
+    """``log`` as packed arrays, whatever it is.
+
+    Accepts a :class:`ColumnarLog` (returned as-is — including
+    memory-mapped corpus slices, which stay zero-copy) or a
+    :class:`~repro.simulate.records.DriveLog` (its memoized
+    :meth:`~repro.simulate.records.DriveLog.columnar` packing). The
+    columnar analyses take either, so callers holding a corpus slice
+    never materialise tick objects just to hand them to an analysis.
+    """
+    if isinstance(log, ColumnarLog):
+        return log
+    return log.columnar()
+
+
 # ----------------------------------------------------------------------
 # .npz codec
 # ----------------------------------------------------------------------

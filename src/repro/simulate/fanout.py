@@ -33,6 +33,16 @@ incremental result publication on top of the same shipping scheme. The
 pre-supervision implementation is retained verbatim as
 :func:`fanout_map_unsupervised` — the bit-identical reference the
 equivalence tests and the supervision-overhead bench compare against.
+
+With the sharded corpus store (:mod:`repro.simulate.corpus`), the
+registry no longer needs to hold in-memory corpora at all for
+store-backed passes: callers park lists of
+:class:`~repro.simulate.corpus.DriveRef` pointers — ``(store_path,
+drive_id)`` pairs, tens of bytes each — and every worker (fork *and*
+spawn fallback alike) opens read-only memory-mapped slices lazily via
+its process-local store handle. The fork pages stay tiny, the spawn
+pickles stay tiny, and a worker faults in only the array pages its job
+actually scans.
 """
 
 from __future__ import annotations

@@ -167,3 +167,107 @@ class TestColocation:
         # observation hulls must overlap.
         assert overlaps
         assert all(overlaps.values())
+
+
+class TestColumnarEquivalence:
+    """The §5.1/§5.3 columnar ports are bit-identical to the list scans.
+
+    Each analysis runs three ways — reference list scan over DriveLogs,
+    columnar over the same DriveLogs (memoized packing), and columnar
+    over ColumnarLog inputs directly — and every float must match
+    exactly: same values, same op order, no tolerance.
+    """
+
+    @pytest.fixture()
+    def corpus(self, freeway_low_log, sa_freeway_log, coverage_log):
+        return [freeway_low_log, sa_freeway_log, coverage_log]
+
+    def test_rate_and_spacing(self, corpus):
+        from repro.analysis.frequency import (
+            handover_rate_per_km,
+            handover_rate_per_km_reference,
+            handover_spacing_km_reference,
+        )
+
+        clogs = [log.columnar() for log in corpus]
+        for types in (FOUR_G_TYPES, FIVE_G_NSA_TYPES, (HandoverType.MCGH,)):
+            expected = handover_rate_per_km_reference(corpus, types)
+            assert handover_rate_per_km(corpus, types) == expected
+            assert handover_rate_per_km(clogs, types) == expected
+            assert handover_spacing_km(corpus, types) == (
+                handover_spacing_km_reference(corpus, types)
+            )
+
+    def test_frequency_breakdown(self, corpus):
+        from repro.analysis.frequency import frequency_breakdown_reference
+
+        expected = frequency_breakdown_reference(corpus)
+        for logs in (corpus, [log.columnar() for log in corpus]):
+            got = frequency_breakdown(logs)
+            assert got.distance_km == expected.distance_km
+            assert got.spacing_4g_km == expected.spacing_4g_km
+            assert got.spacing_5g_nsa_km == expected.spacing_5g_nsa_km
+            assert got.spacing_sa_km == expected.spacing_sa_km
+            assert got.count_by_type == expected.count_by_type
+
+    def test_signaling_rates(self, corpus):
+        from repro.analysis.frequency import signaling_per_km_reference
+
+        expected = signaling_per_km_reference(corpus)
+        for logs in (corpus, [log.columnar() for log in corpus]):
+            got = signaling_per_km(logs)
+            assert got.rrc_per_km == expected.rrc_per_km
+            assert got.rach_per_km == expected.rach_per_km
+            assert got.phy_per_km == expected.phy_per_km
+
+    def test_energy_breakdown(self, corpus):
+        from repro.analysis.energy import energy_breakdown_reference
+
+        for types in (FOUR_G_TYPES, FIVE_G_NSA_TYPES):
+            expected = energy_breakdown_reference(corpus, types)
+            for logs in (corpus, [log.columnar() for log in corpus]):
+                got = energy_breakdown(logs, types)
+                assert got.handover_count == expected.handover_count
+                assert got.distance_km == expected.distance_km
+                assert got.mean_power_w == expected.mean_power_w
+                assert got.mean_energy_per_ho_j == expected.mean_energy_per_ho_j
+                assert got.energy_per_km_j == expected.energy_per_km_j
+
+    def test_hourly_budget(self, corpus):
+        from repro.analysis.energy import hourly_energy_budget_reference
+
+        expected = hourly_energy_budget_reference(corpus, FIVE_G_NSA_TYPES)
+        got = hourly_energy_budget(corpus, FIVE_G_NSA_TYPES)
+        assert got == expected
+
+    def test_no_matching_handovers_still_raises(self, freeway_low_log):
+        from repro.analysis.energy import energy_breakdown_reference
+
+        with pytest.raises(ValueError, match="no handovers"):
+            energy_breakdown([freeway_low_log], (HandoverType.MCGH,))
+        with pytest.raises(ValueError, match="no handovers"):
+            energy_breakdown_reference([freeway_low_log], (HandoverType.MCGH,))
+
+    def test_memmap_slices_match_reference(self, tmp_path, corpus):
+        """The analyses run straight off corpus-store slices, identically."""
+        from repro.analysis.frequency import (
+            frequency_breakdown_reference,
+            signaling_per_km_reference,
+        )
+        from repro.analysis.energy import energy_breakdown_reference
+        from repro.simulate.corpus import CorpusStore
+
+        store = CorpusStore(tmp_path, enabled=True)
+        for i, log in enumerate(corpus):
+            store.append(f"d{i}", log.columnar())
+        slices = [store.open_slice(f"d{i}") for i in range(len(corpus))]
+        assert all(clog is not None for clog in slices)
+
+        expected = frequency_breakdown_reference(corpus)
+        got = frequency_breakdown(slices)
+        assert got.distance_km == expected.distance_km
+        assert got.count_by_type == expected.count_by_type
+        assert signaling_per_km(slices) == signaling_per_km_reference(corpus)
+        assert energy_breakdown(slices, FIVE_G_NSA_TYPES) == (
+            energy_breakdown_reference(corpus, FIVE_G_NSA_TYPES)
+        )
