@@ -1,0 +1,140 @@
+"""Serving-layer throughput: micro-batched engine vs per-session serving.
+
+A forked :class:`~repro.serve.server.PrognosServer` is driven closed
+loop by :mod:`repro.serve.loadgen`: every client replays a simulated
+drive tick by tick over TCP (reports and handover commands interleaved
+at their replay positions), pacing itself on the returned predictions
+exactly like a UE-side Prognos client would. Both engine modes serve
+the identical script set; the ``"dropped"`` accounting stays at zero so
+every latency sample corresponds to a served tick.
+
+Correctness is asserted unconditionally: each session's prediction
+stream must be bit-identical to the offline
+:func:`~repro.core.evaluation.run_prognos_over_logs` replay of its
+drive, and the batched and sequential streams must agree on every field
+(including the MPC bitrate decisions). The ≥3x sessions/sec gate runs
+under the repo's usual timing-assert convention (multi-core, non-smoke).
+
+Results land in ``BENCH_serving.json`` at the repo root.
+``REPRO_BENCH_SMOKE=1`` shrinks drives and cohort to a CI smoke budget.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.evaluation import configs_for_log, run_prognos_over_logs
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+from repro.serve.loadgen import build_script, run_load, spawn_server, stop_server
+from repro.serve.server import ServerConfig
+from repro.simulate.runner import run_drives
+from repro.simulate.scenarios import freeway_scenario
+
+from conftest import print_header
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+DRIVES = 2 if SMOKE else 3
+LENGTH_KM = 1.2 if SMOKE else 3.0
+SESSIONS = 6 if SMOKE else 24
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def _run_mode(batched: bool, scripts):
+    pid, port = spawn_server(ServerConfig(batched=batched))
+    try:
+        start = time.perf_counter()
+        result = run_load(port, scripts, collect=True)
+        wall_s = time.perf_counter() - start
+    finally:
+        exit_code = stop_server(pid)
+    assert exit_code == 0, "serving daemon did not exit cleanly"
+    assert result.failed == 0 and result.completed == len(scripts)
+    for script in scripts:
+        bye = result.byes[script.session_id]
+        assert bye["answered"] == script.n_ticks
+        assert bye["dropped"] == 0 and bye["lost"] == 0
+    return result, wall_s
+
+
+def test_serving_throughput(corpus):
+    logs = run_drives(
+        [
+            freeway_scenario(OPX, BandClass.LOW, length_km=LENGTH_KM, seed=331 + i)
+            for i in range(DRIVES)
+        ],
+        cache=corpus.drive_cache,
+    )
+    configs = configs_for_log(OPX, (BandClass.LOW,))
+
+    # Offline oracle per drive: the served stream must reproduce it.
+    offline = []
+    for log in logs:
+        run = run_prognos_over_logs([log], configs)
+        offline.append(
+            [(float(t), p) for t, p in zip(run.times_s, run.predictions)]
+        )
+
+    scripts = [
+        build_script(logs[i % DRIVES], f"ue-{i:03d}", configs)
+        for i in range(SESSIONS)
+    ]
+    total_ticks = sum(s.n_ticks for s in scripts)
+
+    by_mode = {}
+    for mode in ("sequential", "batched"):
+        result, wall_s = _run_mode(mode == "batched", scripts)
+        for i, script in enumerate(scripts):
+            expected = offline[i % DRIVES]
+            got = result.predictions[script.session_id]
+            assert len(got) == len(expected)
+            for (t, ho, _sc, _sim, _lead, _lvl), (rt, rho) in zip(got, expected):
+                assert t == rt and ho is rho, (
+                    f"{mode} serving diverged from the offline replay "
+                    f"({script.session_id} @ t={t})"
+                )
+        by_mode[mode] = (result, wall_s)
+    sequential, batched = by_mode["sequential"][0], by_mode["batched"][0]
+    assert batched.predictions == sequential.predictions
+
+    speedup = batched.sessions_per_s / sequential.sessions_per_s
+    cpus = os.cpu_count() or 1
+    if cpus >= 2 and not SMOKE:
+        assert speedup >= 3.0, (
+            f"micro-batching must clear 3x closed-loop throughput "
+            f"(got {speedup:.2f}x)"
+        )
+
+    result = {
+        "drives": DRIVES,
+        "length_km": LENGTH_KM,
+        "sessions": SESSIONS,
+        "ticks_per_session_total": total_ticks,
+        "sequential": sequential.summary(),
+        "batched": batched.summary(),
+        "speedup_sessions_per_s": round(speedup, 2),
+        "speedup_ticks_per_s": round(
+            batched.ticks_per_s / sequential.ticks_per_s, 2
+        ),
+        "identical_to_offline": True,
+        "cpus": cpus,
+        "smoke": SMOKE,
+    }
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    print_header("Serving layer: micro-batched vs per-session sequential")
+    print(
+        f"  corpus: {DRIVES} freeway drive(s) x {LENGTH_KM} km, "
+        f"{SESSIONS} sessions, {total_ticks} ticks"
+    )
+    for mode, (res, _wall) in by_mode.items():
+        print(
+            f"  {mode:>10}: {res.sessions_per_s:8.3f} sessions/s  "
+            f"{res.ticks_per_s:9.1f} ticks/s  "
+            f"p50 {res.p50_ms:7.3f} ms  p99 {res.p99_ms:8.3f} ms  "
+            f"p99.9 {res.p999_ms:8.3f} ms"
+        )
+    print(f"  speedup: {speedup:.2f}x sessions/s (identical prediction streams)")

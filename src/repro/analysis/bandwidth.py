@@ -10,6 +10,15 @@ SCG Modification gains ~43% post-HO.
 
 The same table, expressed as the median post/pre capacity ratio per
 procedure, is what Prognos ships to applications as ``ho_score`` (§7.2).
+
+The phase windows are computed over
+:class:`~repro.simulate.columnar.ColumnarLog` packed arrays
+(``tick_time_s`` / ``tick_total_capacity_mbps`` for the capacity
+series, the ``ho_*`` timestamp columns for the windows), so every entry
+point accepts ``DriveLog`` / ``ColumnarLog`` /
+:class:`~repro.simulate.corpus.DriveRef` lists or a memmap-backed
+:class:`~repro.simulate.corpus.CorpusView` interchangeably — a stored
+corpus slice is analysed straight off its shard files.
 """
 
 from __future__ import annotations
@@ -18,9 +27,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.inputs import columnar_logs
 from repro.analysis.stats import SeriesSummary, summarize
 from repro.rrc.taxonomy import HandoverType
-from repro.simulate.records import DriveLog
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,7 +55,7 @@ class HandoverPhaseThroughput:
 
 
 def phase_throughput(
-    logs: list[DriveLog],
+    logs,
     ho_type: HandoverType,
     *,
     window_s: float = 1.0,
@@ -60,22 +69,32 @@ def phase_throughput(
     exec_all: list[float] = []
     post_all: list[float] = []
     ratios: list[float] = []
-    for log in logs:
-        # Shared memoized arrays; each phase window [a, b) over the
-        # sorted tick times is the contiguous index range given by one
-        # searchsorted — means over the slices match the boolean-mask
-        # formulation bit for bit (same elements, same reduction).
-        times, caps = log.capacity_series()
-        for record in log.handovers_of(ho_type):
+    for clog in columnar_logs(logs):
+        # Packed (possibly memmapped) arrays; each phase window [a, b)
+        # over the sorted tick times is the contiguous index range given
+        # by one searchsorted — means over the slices match the
+        # boolean-mask formulation bit for bit (same elements, same
+        # reduction).
+        arrays = clog.arrays
+        times = arrays["tick_time_s"]
+        caps = arrays["tick_total_capacity_mbps"]
+        type_names = arrays["enum_ho_types"].tolist()
+        type_idx = (
+            type_names.index(ho_type.name) if ho_type.name in type_names else -2
+        )
+        for row in np.flatnonzero(arrays["ho_type"] == type_idx).tolist():
+            decision_s = arrays["ho_decision_s"][row]
+            exec_start_s = arrays["ho_exec_start_s"][row]
+            complete_s = arrays["ho_complete_s"][row]
             bounds = np.searchsorted(
                 times,
                 [
-                    record.decision_time_s - window_s,
-                    record.decision_time_s,
-                    record.exec_start_s,
-                    record.complete_s,
-                    record.complete_s,
-                    record.complete_s + window_s,
+                    decision_s - window_s,
+                    decision_s,
+                    exec_start_s,
+                    complete_s,
+                    complete_s,
+                    complete_s + window_s,
                 ],
                 side="left",
             )
@@ -104,7 +123,7 @@ def phase_throughput(
 
 
 def ho_score_table(
-    logs: list[DriveLog],
+    logs,
     types: tuple[HandoverType, ...] = (
         HandoverType.SCGA,
         HandoverType.SCGR,
@@ -121,9 +140,12 @@ def ho_score_table(
     applications (§7.2: "empirically calculated from results reported in
     Fig. 16").
     """
+    # Resolve once so store-backed views open their memmaps one time,
+    # not once per handover type.
+    clogs = columnar_logs(logs)
     table: dict[HandoverType, float] = {}
     for ho_type in types:
-        phases = phase_throughput(logs, ho_type)
+        phases = phase_throughput(clogs, ho_type)
         if phases is not None and phases.post_over_pre_ratios:
             table[ho_type] = phases.median_post_over_pre
     return table

@@ -7,6 +7,14 @@ was observed and testing them for overlap confirms the heuristic. The
 payoff: NSA handovers whose eNB/gNB pair is co-located complete ~13 ms
 faster (no cross-tower coordination), and only 5-36% of NSA low-band
 samples are co-located.
+
+All entry points scan :class:`~repro.simulate.columnar.ColumnarLog`
+packed arrays (``tick_lte_pci`` / ``tick_nr_pci`` for attachment
+counting, the ``ho_same_pci`` tri-state column for the duration split),
+so they accept ``DriveLog`` / ``ColumnarLog`` /
+:class:`~repro.simulate.corpus.DriveRef` lists or a memmap-backed
+:class:`~repro.simulate.corpus.CorpusView` interchangeably — a stored
+corpus slice is analysed without materialising a single tick object.
 """
 
 from __future__ import annotations
@@ -15,11 +23,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.inputs import columnar_logs
 from repro.analysis.stats import SeriesSummary, summarize
 from repro.geo.hull import convex_hull, hulls_overlap
 from repro.geo.point import Point
 from repro.rrc.taxonomy import HandoverType
-from repro.simulate.records import DriveLog
 
 #: NSA procedures whose timing the co-location comparison covers.
 NSA_PROCEDURES = (
@@ -44,12 +52,13 @@ class ColocationSummary:
         return self.different_pci.mean - self.same_pci.mean
 
 
-def colocated_tick_fraction(logs: list[DriveLog]) -> float:
+def colocated_tick_fraction(logs) -> float:
     """Fraction of NSA-attached ticks whose 4G and 5G PCIs match."""
     attached = 0
     same = 0
-    for log in logs:
-        lte_pci, nr_pci = log.serving_pci_series()
+    for clog in columnar_logs(logs):
+        lte_pci = clog.arrays["tick_lte_pci"]
+        nr_pci = clog.arrays["tick_nr_pci"]
         both = (lte_pci >= 0) & (nr_pci >= 0)
         attached += int(np.count_nonzero(both))
         same += int(np.count_nonzero(both & (lte_pci == nr_pci)))
@@ -58,25 +67,35 @@ def colocated_tick_fraction(logs: list[DriveLog]) -> float:
     return same / attached
 
 
-def colocation_summary(logs: list[DriveLog]) -> ColocationSummary:
+def colocation_summary(logs) -> ColocationSummary:
     """Compare NSA handover durations by the same-PCI heuristic."""
     same: list[float] = []
     different: list[float] = []
-    for log in logs:
-        for record in log.handovers_of(*NSA_PROCEDURES):
-            if record.same_pci_legs is None:
-                continue
-            (same if record.same_pci_legs else different).append(record.total_ms)
+    clogs = columnar_logs(logs)
+    for clog in clogs:
+        arrays = clog.arrays
+        type_names = arrays["enum_ho_types"].tolist()
+        nsa = [
+            i
+            for i, name in enumerate(type_names)
+            if HandoverType[name] in NSA_PROCEDURES
+        ]
+        known = arrays["ho_same_pci"] >= 0  # tri-state: -1 = unknown
+        keep = np.isin(arrays["ho_type"], nsa) & known
+        total_ms = arrays["ho_t1_ms"][keep] + arrays["ho_t2_ms"][keep]
+        same_legs = arrays["ho_same_pci"][keep] == 1
+        same.extend(total_ms[same_legs].tolist())
+        different.extend(total_ms[~same_legs].tolist())
     if not same or not different:
         raise ValueError("need both same-PCI and different-PCI handovers")
     return ColocationSummary(
         same_pci=summarize(same),
         different_pci=summarize(different),
-        colocated_sample_fraction=colocated_tick_fraction(logs),
+        colocated_sample_fraction=colocated_tick_fraction(clogs),
     )
 
 
-def verify_colocation_by_hulls(logs: list[DriveLog]) -> dict[tuple[int, int], bool]:
+def verify_colocation_by_hulls(logs) -> dict[tuple[int, int], bool]:
     """The paper's hull check: do a 4G PCI's and a 5G PCI's observation
     footprints overlap?
 
@@ -86,22 +105,29 @@ def verify_colocation_by_hulls(logs: list[DriveLog]) -> dict[tuple[int, int], bo
     """
     observations: dict[tuple[str, int], list[Point]] = {}
     pairs: set[tuple[int, int]] = set()
-    for log in logs:
-        for tick in log.ticks:
-            point = Point(tick.x_m, tick.y_m)
-            if tick.lte_serving_pci is not None:
-                observations.setdefault(("lte", tick.lte_serving_pci), []).append(point)
-            if tick.nr_serving_pci is not None:
-                observations.setdefault(("nr", tick.nr_serving_pci), []).append(point)
-            if tick.lte_serving_pci is not None and tick.nr_serving_pci is not None:
-                pairs.add((tick.lte_serving_pci, tick.nr_serving_pci))
+    for clog in columnar_logs(logs):
+        arrays = clog.arrays
+        lte_pci = arrays["tick_lte_pci"]
+        nr_pci = arrays["tick_nr_pci"]
+        xs = arrays["tick_x_m"]
+        ys = arrays["tick_y_m"]
+        for lte, nr, x, y in zip(
+            lte_pci.tolist(), nr_pci.tolist(), xs.tolist(), ys.tolist()
+        ):
+            point = Point(x, y)
+            if lte >= 0:
+                observations.setdefault(("lte", lte), []).append(point)
+            if nr >= 0:
+                observations.setdefault(("nr", nr), []).append(point)
+            if lte >= 0 and nr >= 0:
+                pairs.add((lte, nr))
     result: dict[tuple[int, int], bool] = {}
-    for lte_pci, nr_pci in pairs:
-        lte_points = observations.get(("lte", lte_pci), [])
-        nr_points = observations.get(("nr", nr_pci), [])
+    for lte_pci_id, nr_pci_id in pairs:
+        lte_points = observations.get(("lte", lte_pci_id), [])
+        nr_points = observations.get(("nr", nr_pci_id), [])
         if not lte_points or not nr_points:
             continue
-        result[(lte_pci, nr_pci)] = hulls_overlap(
+        result[(lte_pci_id, nr_pci_id)] = hulls_overlap(
             convex_hull(lte_points), convex_hull(nr_points)
         )
     return result

@@ -11,6 +11,19 @@ travels while connected to the same PCI. For NSA it contrasts:
 
 Reported footprints: low-band 1.4 km, mid-band 0.73 km, mmWave 0.15 km;
 NSA reduces effective low-band coverage 1.2-2x versus SA.
+
+The segment extraction runs on
+:class:`~repro.simulate.columnar.ColumnarLog` packed arrays: the
+attached subsequence is one ``flatnonzero`` over ``tick_nr_pci``,
+segment boundaries are a vectorised PCI-change (and, without merging,
+index-gap) comparison, and each segment length is a single ``arc``
+subtraction — so a memory-mapped corpus slice is analysed without
+materialising a tick object. Every public function accepts
+``DriveLog`` / ``ColumnarLog`` / :class:`~repro.simulate.corpus.DriveRef`
+lists or a whole :class:`~repro.simulate.corpus.CorpusView`. The
+original per-tick state machine is retained as
+:func:`nr_coverage_segments_m_reference`; the equivalence tests pin the
+columnar results to it bit-for-bit.
 """
 
 from __future__ import annotations
@@ -19,20 +32,53 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.inputs import columnar_logs
 from repro.analysis.stats import SeriesSummary, summarize
 from repro.simulate.records import DriveLog
 
 
 def nr_coverage_segments_m(
-    logs: list[DriveLog], *, merge_interruptions: bool = False
+    logs, *, merge_interruptions: bool = False
 ) -> list[float]:
-    """Distances travelled on one NR PCI.
+    """Distances travelled on one NR PCI, off the packed arrays.
 
     Args:
         merge_interruptions: False measures actual connection segments
             ("coverage w/ NSA"); True merges across detached gaps when
             the UE comes back to the same PCI ("coverage w/o NSA").
     """
+    segments: list[float] = []
+    for clog in columnar_logs(logs):
+        pci = clog.arrays["tick_nr_pci"]
+        arc = clog.arrays["tick_arc_m"]
+        attached = np.flatnonzero(pci >= 0)
+        if attached.size == 0:
+            continue
+        sub_pci = pci[attached]
+        sub_arc = arc[attached]
+        # A segment closes where the PCI changes between consecutive
+        # attached samples; without merging, a detached gap (an index
+        # jump in the attached subsequence) closes it too.
+        boundary = sub_pci[1:] != sub_pci[:-1]
+        if not merge_interruptions:
+            boundary = boundary | (attached[1:] != attached[:-1] + 1)
+        cuts = np.flatnonzero(boundary)
+        starts = np.concatenate(([0], cuts + 1))
+        ends = np.concatenate((cuts, [attached.size - 1]))
+        lengths = sub_arc[ends] - sub_arc[starts]
+        if merge_interruptions and attached[-1] != pci.size - 1:
+            # When the log ends detached, the segment left open across
+            # the trailing gap is never closed (matching the state
+            # machine, which only flushes while attached).
+            lengths = lengths[:-1]
+        segments.extend(lengths[lengths > 0].tolist())
+    return segments
+
+
+def nr_coverage_segments_m_reference(
+    logs: list[DriveLog], *, merge_interruptions: bool = False
+) -> list[float]:
+    """Per-tick state-machine formulation (kept as the test oracle)."""
     segments: list[float] = []
     for log in logs:
         current_pci: int | None = None
@@ -90,10 +136,11 @@ class CoverageSummary:
         return self.merged.mean / self.actual.mean
 
 
-def coverage_summary(logs: list[DriveLog]) -> CoverageSummary:
+def coverage_summary(logs) -> CoverageSummary:
     """Coverage w/ NSA vs. w/o NSA for a set of drives."""
-    actual = nr_coverage_segments_m(logs, merge_interruptions=False)
-    merged = nr_coverage_segments_m(logs, merge_interruptions=True)
+    clogs = columnar_logs(logs)
+    actual = nr_coverage_segments_m(clogs, merge_interruptions=False)
+    merged = nr_coverage_segments_m(clogs, merge_interruptions=True)
     if not actual or not merged:
         raise ValueError("no NR coverage segments in the logs")
     return CoverageSummary(actual=summarize(actual), merged=summarize(merged))

@@ -36,6 +36,24 @@ def _plan_matrix(n_levels: int, horizon: int) -> np.ndarray:
     return matrix
 
 
+@lru_cache(maxsize=64)
+def _group_matrices(
+    ladder: tuple, chunk_s: float, horizon: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group-shared MPC matrices for one (ladder, chunk) shape.
+
+    Pure functions of the key, memoised because the serving engine
+    re-scores the same ladder every chunk of every session.
+    """
+    plans = _plan_matrix(len(ladder), horizon)
+    levels = np.asarray(ladder, dtype=float)
+    base = levels[plans] * chunk_s
+    quality = levels[plans] / levels[-1] * 10.0
+    base.setflags(write=False)
+    quality.setflags(write=False)
+    return plans, base, quality
+
+
 class AbrAlgorithm(Protocol):
     """Selects the next chunk's quality level."""
 
@@ -184,6 +202,75 @@ class RobustMpc(_MpcBase):
         if not self._recent_errors:
             return predicted_mbps
         return predicted_mbps / (1.0 + max(self._recent_errors))
+
+
+def mpc_select_many(
+    entries: list[tuple["_MpcBase", list[float], float, int, float, float]],
+) -> list[int]:
+    """Batched :meth:`_MpcBase.select` over many independent sessions.
+
+    ``entries`` rows are ``(algo, levels_mbps, buffer_s, last_level,
+    predicted_mbps, chunk_s)``. Sessions sharing a ladder shape and
+    chunk duration are scored against one shared plan/quality matrix;
+    the per-plan value accumulation broadcasts over sessions with the
+    exact per-element operation order of :meth:`_MpcBase.select`, so
+    every returned level is bitwise identical to the scalar call. The
+    prediction discount stays a per-session scalar (it reads the algo's
+    recent-error state).
+    """
+    results = [0] * len(entries)
+    groups: dict[tuple, list[tuple[int, "_MpcBase", float, int, float]]] = {}
+    for idx, (algo, levels_mbps, buffer_s, last_level, predicted, chunk_s) in enumerate(
+        entries
+    ):
+        if not isinstance(algo, _MpcBase):
+            raise TypeError(f"mpc_select_many needs MPC-family algos, got {algo!r}")
+        key = (
+            tuple(levels_mbps),
+            float(chunk_s),
+            algo.HORIZON,
+            algo.REBUF_PENALTY,
+            algo.SMOOTH_PENALTY,
+        )
+        groups.setdefault(key, []).append((idx, algo, buffer_s, last_level, predicted))
+    for (ladder, chunk_s, horizon, rebuf, smooth), members in groups.items():
+        # ``levels[plans] * chunk_s / throughput`` associates left, so
+        # the numerator is shared across the group and only the final
+        # divide is per-session — bitwise identical to the scalar path.
+        plans, base, quality = _group_matrices(ladder, chunk_s, horizon)
+        throughput = np.array(
+            [max(algo._discounted(predicted), 0.1) for _, algo, _, _, predicted in members]
+        )
+        download_s = base[None, :, :] / throughput[:, None, None]
+        n_plans = plans.shape[0]
+        value = np.zeros((len(members), n_plans))
+        buf = np.empty((len(members), n_plans))
+        buf[...] = np.array([float(b) for _, _, b, _, _ in members])[:, None]
+        # Step 0 smoothness depends on each session's last level; later
+        # steps compare consecutive plan columns, shared group-wide.
+        # Scratch-buffer ufuncs below keep the elementwise op sequence
+        # of the expression form (multiply commutes bitwise in IEEE
+        # 754), trading temporaries for two reused buffers.
+        prev: np.ndarray = np.array([last for _, _, _, last, _ in members])[:, None]
+        stall = np.empty_like(buf)
+        for step in range(horizon):
+            d = download_s[:, :, step]
+            np.subtract(d, buf, out=stall)
+            np.maximum(stall, 0.0, out=stall)
+            np.subtract(buf, d, out=buf)
+            np.maximum(buf, 0.0, out=buf)
+            np.add(buf, chunk_s, out=buf)
+            np.multiply(stall, rebuf, out=stall)
+            np.subtract(quality[:, step], stall, out=stall)
+            np.subtract(
+                stall, smooth * np.abs(plans[:, step] - prev), out=stall
+            )
+            np.add(value, stall, out=value)
+            prev = plans[:, step]
+        winners = np.argmax(value, axis=1)
+        for row, (idx, _, _, _, _) in enumerate(members):
+            results[idx] = int(plans[int(winners[row]), 0])
+    return results
 
 
 class Festive:

@@ -26,6 +26,12 @@ class MeasurementObject(enum.Enum):
     LTE = "lte"
     NR = "nr"
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # default — but skips a Python-level __hash__ on every dict lookup
+    # (these key the per-tick serving/neighbour dicts on the serving
+    # hot path).
+    __hash__ = object.__hash__
+
 
 class EventType(enum.Enum):
     """LTE/NR measurement event types (Table 4)."""
@@ -37,6 +43,8 @@ class EventType(enum.Enum):
     A5 = "A5"  # serving worse than thr1 AND neighbour better than thr2
     B1 = "B1"  # inter-RAT neighbour better than threshold
     PERIODIC = "P"
+
+    __hash__ = object.__hash__
 
     @property
     def needs_neighbour(self) -> bool:

@@ -1,0 +1,545 @@
+"""Closed-loop load generator: corpus-driven clients for the server.
+
+Each simulated UE replays one drive's measurement stream over a real
+TCP connection, window-1 closed loop: send the tick, wait for the
+prediction, advance. The per-tick latency (send → prediction) and the
+end-to-end wall time therefore measure the server's whole serving path
+under concurrency — protocol, batching, model, backpressure — not a
+synthetic kernel.
+
+Scripts are pre-encoded once per drive
+(:func:`build_script` reuses the offline evaluator's replay plan, so
+reports and commands interleave with ticks in exactly the order
+:func:`~repro.core.evaluation.run_prognos_over_logs` drains them); per
+send only the three ABR feedback fields are patched in place
+(:data:`~repro.serve.protocol.ABR_PATCH`), keeping client-side CPU out
+of the measurement as far as possible. The client's buffer model is
+deterministic, so two runs over the same scripts (e.g. the bench's
+sequential vs micro-batched servers) present byte-identical inputs.
+
+All clients run in one process on a ``selectors`` loop —
+``run_load`` — and the helpers :func:`spawn_server` /
+:func:`stop_server` fork a serving daemon for benches, tests, and the
+CI smoke CLI (``python -m repro.serve.loadgen``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import selectors
+import signal
+import socket
+import sys
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.evaluation import _replay_plan, configs_for_log
+from repro.serve import protocol
+from repro.serve.protocol import ABR_PATCH, ABR_PATCH_OFFSET, FrameDecoder, frame
+from repro.serve.server import PrognosServer, ServerConfig
+
+#: A DASH-style ladder spanning the simulated capacity range (Mbps).
+DEFAULT_LEVELS_MBPS = [3.0, 7.5, 12.0, 18.5, 28.5, 43.0]
+DEFAULT_CHUNK_S = 4.0
+#: Client-side playout buffer model.
+START_BUFFER_S = 8.0
+MAX_BUFFER_S = 30.0
+
+
+# ----------------------------------------------------------------------
+# Script building
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ClientScript:
+    """One session's pre-encoded frame sequence."""
+
+    session_id: str
+    hello: dict
+    #: Per tick: (buffer holding any due event frames + the tick frame,
+    #: byte offset of the tick frame within the buffer).
+    steps: list[tuple[bytearray, int]]
+    #: Per tick: the observed throughput fed back on the next tick.
+    observed_mbps: list[float]
+    levels_mbps: list[float]
+    chunk_s: float
+
+    @property
+    def n_ticks(self) -> int:
+        return len(self.steps)
+
+
+def build_script(
+    log,
+    session_id: str,
+    event_configs,
+    *,
+    wants_abr: bool = True,
+    levels_mbps: list[float] | None = None,
+    chunk_s: float = DEFAULT_CHUNK_S,
+    policy: str = "drop",
+    standalone: bool = False,
+    max_ticks: int | None = None,
+) -> ClientScript:
+    """Pre-encode one drive as a client session.
+
+    The replay plan is the offline evaluator's own, so the server-side
+    event drain order — and therefore the prediction stream — matches
+    :func:`~repro.core.evaluation.run_prognos_over_logs` over the same
+    single drive.
+    """
+    plan = _replay_plan(log, 1.0, 1)
+    capacities = [t.total_capacity_mbps for t in log.ticks]
+    levels = list(levels_mbps or DEFAULT_LEVELS_MBPS)
+    steps: list[tuple[bytearray, int]] = []
+    observed: list[float] = []
+    e_idx = 0
+    events = plan.events
+    n = len(plan.step_times)
+    if max_ticks is not None:
+        n = min(n, max_ticks)
+    for pos in range(n):
+        now = plan.step_times[pos]
+        parts = bytearray()
+        while e_idx < len(events) and events[e_idx][0] <= pos:
+            _, kind, payload, event_time = events[e_idx]
+            if kind == 0:
+                parts += frame(protocol.encode_report(payload, event_time))
+            else:
+                parts += frame(protocol.encode_command(payload, event_time))
+            e_idx += 1
+        tick_off = len(parts)
+        rsrp, serving, neighbours, scoped = plan.step_inputs[pos]
+        parts += frame(
+            protocol.encode_tick(
+                now,
+                rsrp,
+                serving,
+                neighbours,
+                scoped,
+                wants_abr=wants_abr,
+                observed_mbps=0.0,
+                buffer_s=0.0,
+                last_level=0,
+            )
+        )
+        steps.append((parts, tick_off))
+        observed.append(float(capacities[pos]))
+    hello = {
+        "type": "hello",
+        "version": protocol.PROTOCOL_VERSION,
+        "session": session_id,
+        "standalone": standalone,
+        "policy": policy,
+        "events": protocol.encode_event_configs(event_configs),
+    }
+    if wants_abr:
+        hello["abr"] = {"levels_mbps": levels, "chunk_s": chunk_s}
+    return ClientScript(session_id, hello, steps, observed, levels, chunk_s)
+
+
+# ----------------------------------------------------------------------
+# The selectors client engine
+# ----------------------------------------------------------------------
+
+
+class _Client:
+    __slots__ = (
+        "script",
+        "sock",
+        "decoder",
+        "step",
+        "buffer_s",
+        "last_level",
+        "observed",
+        "t_send",
+        "latencies_ns",
+        "predictions",
+        "collect",
+        "abort_after",
+        "outbuf",
+        "state",
+        "bye",
+        "error",
+        "mask",
+    )
+
+    def __init__(self, script: ClientScript, collect: bool, abort_after: int | None):
+        self.script = script
+        self.sock: socket.socket | None = None
+        self.decoder = FrameDecoder()
+        self.step = 0
+        self.buffer_s = START_BUFFER_S
+        self.last_level = 0
+        self.observed = 0.0
+        self.t_send = 0
+        self.latencies_ns: list[int] = []
+        self.predictions: list[tuple] = []
+        self.collect = collect
+        self.abort_after = abort_after
+        self.outbuf = b""
+        self.state = "hello"
+        self.bye: dict | None = None
+        self.error: str | None = None
+        self.mask = 0
+
+
+def run_load(
+    port: int,
+    scripts: list[ClientScript],
+    *,
+    host: str = "127.0.0.1",
+    collect: bool = False,
+    abort_after: dict[str, int] | None = None,
+    timeout_s: float = 600.0,
+) -> "LoadgenResult":
+    """Drive every script to completion against a running server."""
+    sel = selectors.DefaultSelector()
+    abort_after = abort_after or {}
+    clients = [
+        _Client(script, collect, abort_after.get(script.session_id))
+        for script in scripts
+    ]
+    t0 = time.perf_counter_ns()
+    for client in clients:
+        sock = socket.socket()
+        sock.setblocking(False)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.connect_ex((host, port))
+        client.sock = sock
+        client.mask = selectors.EVENT_READ
+        sel.register(sock, client.mask, client)
+        _send(sel, client, frame(protocol.encode_json(client.script.hello)))
+    active = sum(1 for c in clients if c.state != "done")
+    deadline = time.monotonic() + timeout_s
+    while active:
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"load run stalled with {active} clients active")
+        for key, mask in sel.select(timeout=1.0):
+            client = key.data
+            if client.state == "done":
+                continue
+            if mask & selectors.EVENT_WRITE:
+                _flush(sel, client)
+            if mask & selectors.EVENT_READ:
+                _drain_socket(sel, client)
+            if client.state == "done":
+                active -= 1
+    wall_s = (time.perf_counter_ns() - t0) / 1e9
+    return LoadgenResult.aggregate(clients, wall_s)
+
+
+def _set_mask(sel, client, mask) -> None:
+    if mask != client.mask:
+        client.mask = mask
+        sel.modify(client.sock, mask, client)
+
+
+def _finish(sel, client, error: str | None = None) -> None:
+    if client.state == "done":
+        return
+    client.state = "done"
+    client.error = error
+    try:
+        sel.unregister(client.sock)
+    except KeyError:
+        pass
+    client.sock.close()
+
+
+def _send(sel, client, data: bytes) -> None:
+    client.outbuf += data
+    _flush(sel, client)
+
+
+def _flush(sel, client) -> None:
+    while client.outbuf:
+        try:
+            sent = client.sock.send(client.outbuf)
+        except (BlockingIOError, InterruptedError):
+            break
+        except OSError as exc:
+            _finish(sel, client, f"send failed: {exc}")
+            return
+        client.outbuf = client.outbuf[sent:]
+    want = selectors.EVENT_READ
+    if client.outbuf:
+        want |= selectors.EVENT_WRITE
+    _set_mask(sel, client, want)
+
+
+def _send_step(sel, client) -> None:
+    script = client.script
+    buf, tick_off = script.steps[client.step]
+    client.observed = script.observed_mbps[client.step]
+    ABR_PATCH.pack_into(
+        buf,
+        tick_off + ABR_PATCH_OFFSET,
+        client.observed,
+        client.buffer_s,
+        client.last_level,
+    )
+    client.t_send = time.perf_counter_ns()
+    _send(sel, client, bytes(buf))
+
+
+def _drain_socket(sel, client) -> None:
+    try:
+        data = client.sock.recv(1 << 16)
+    except (BlockingIOError, InterruptedError):
+        return
+    except OSError as exc:
+        _finish(sel, client, f"recv failed: {exc}")
+        return
+    if not data:
+        _finish(sel, client, "server closed the connection")
+        return
+    try:
+        frames = client.decoder.feed(data)
+    except protocol.FrameError as exc:
+        _finish(sel, client, f"bad frame from server: {exc}")
+        return
+    for payload in frames:
+        _handle_frame(sel, client, payload)
+        if client.state == "done":
+            return
+
+
+def _handle_frame(sel, client, payload: bytes) -> None:
+    tag = payload[:1]
+    if tag == b"{":
+        message = protocol.decode_json(payload)
+        kind = message.get("type")
+        if kind == "welcome" and client.state == "hello":
+            client.state = "run"
+            if client.script.n_ticks == 0:
+                client.state = "bye"
+                _send(sel, client, frame(b"B"))
+            else:
+                _send_step(sel, client)
+        elif kind == "bye":
+            client.bye = message
+            _finish(sel, client)
+        elif kind == "error":
+            _finish(sel, client, f"server error: {message.get('error')}")
+        else:
+            _finish(sel, client, f"unexpected control frame {kind!r}")
+        return
+    if tag != b"P" or client.state != "run":
+        _finish(sel, client, f"unexpected frame tag {tag!r} in state {client.state}")
+        return
+    client.latencies_ns.append(time.perf_counter_ns() - client.t_send)
+    time_s, ho_type, score, similarity, lead, level, dropped = (
+        protocol.decode_prediction(payload)
+    )
+    if client.collect:
+        client.predictions.append((time_s, ho_type, score, similarity, lead, level))
+    if level >= 0:
+        # Deterministic playout-buffer evolution: download the chosen
+        # chunk at the observed rate, then play one chunk.
+        rate = max(client.observed, 0.1)
+        download_s = client.script.levels_mbps[level] * client.script.chunk_s / rate
+        client.buffer_s = min(
+            max(client.buffer_s - download_s, 0.0) + client.script.chunk_s,
+            MAX_BUFFER_S,
+        )
+        client.last_level = level
+    client.step += 1
+    if client.abort_after is not None and client.step >= client.abort_after:
+        # Fault injection: vanish mid-stream, no goodbye.
+        _finish(sel, client, "aborted (injected)")
+        return
+    if client.step >= client.script.n_ticks:
+        client.state = "bye"
+        _send(sel, client, frame(b"B"))
+    else:
+        _send_step(sel, client)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LoadgenResult:
+    """Aggregate of one closed-loop run."""
+
+    sessions: int
+    completed: int
+    aborted: int
+    failed: int
+    ticks: int
+    wall_s: float
+    sessions_per_s: float
+    ticks_per_s: float
+    p50_ms: float
+    p99_ms: float
+    p999_ms: float
+    byes: dict = field(default_factory=dict)
+    predictions: dict = field(default_factory=dict)
+    errors: dict = field(default_factory=dict)
+
+    @classmethod
+    def aggregate(cls, clients: list[_Client], wall_s: float) -> "LoadgenResult":
+        latencies = np.array(
+            [ns for c in clients for ns in c.latencies_ns], dtype=float
+        )
+        ticks = int(latencies.size)
+        if ticks:
+            p50, p99, p999 = np.percentile(latencies, [50.0, 99.0, 99.9]) / 1e6
+        else:
+            p50 = p99 = p999 = float("nan")
+        completed = sum(1 for c in clients if c.bye is not None)
+        aborted = sum(1 for c in clients if c.error and c.error.startswith("aborted"))
+        failed = sum(
+            1
+            for c in clients
+            if c.bye is None and not (c.error and c.error.startswith("aborted"))
+        )
+        return cls(
+            sessions=len(clients),
+            completed=completed,
+            aborted=aborted,
+            failed=failed,
+            ticks=ticks,
+            wall_s=wall_s,
+            sessions_per_s=completed / wall_s if wall_s > 0 else 0.0,
+            ticks_per_s=ticks / wall_s if wall_s > 0 else 0.0,
+            p50_ms=float(p50),
+            p99_ms=float(p99),
+            p999_ms=float(p999),
+            byes={c.script.session_id: c.bye for c in clients if c.bye is not None},
+            predictions={
+                c.script.session_id: c.predictions for c in clients if c.collect
+            },
+            errors={c.script.session_id: c.error for c in clients if c.error},
+        )
+
+    def summary(self) -> dict:
+        return {
+            "sessions": self.sessions,
+            "completed": self.completed,
+            "aborted": self.aborted,
+            "failed": self.failed,
+            "ticks": self.ticks,
+            "wall_s": round(self.wall_s, 3),
+            "sessions_per_s": round(self.sessions_per_s, 3),
+            "ticks_per_s": round(self.ticks_per_s, 1),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "p999_ms": round(self.p999_ms, 3),
+        }
+
+
+# ----------------------------------------------------------------------
+# Forked serving daemon (benches, tests, CI smoke)
+# ----------------------------------------------------------------------
+
+
+async def _serve_until_sigterm(config: ServerConfig, write_fd: int) -> None:
+    server = PrognosServer(config)
+    await server.start()
+    os.write(write_fd, f"{server.port}\n".encode())
+    os.close(write_fd)
+    stop = asyncio.Event()
+    asyncio.get_running_loop().add_signal_handler(signal.SIGTERM, stop.set)
+    await stop.wait()
+    await server.shutdown()
+
+
+def spawn_server(config: ServerConfig) -> tuple[int, int]:
+    """Fork a serving daemon; returns ``(pid, port)`` once it listens."""
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        os.close(read_fd)
+        status = 0
+        try:
+            asyncio.run(_serve_until_sigterm(config, write_fd))
+        except BaseException:
+            status = 1
+        os._exit(status)
+    os.close(write_fd)
+    with os.fdopen(read_fd) as fh:
+        line = fh.readline().strip()
+    if not line:
+        raise RuntimeError("server child died before listening")
+    return pid, int(line)
+
+
+def stop_server(pid: int) -> int:
+    """SIGTERM the daemon; returns its exit code (0 = clean shutdown)."""
+    os.kill(pid, signal.SIGTERM)
+    _, status = os.waitpid(pid, 0)
+    return os.waitstatus_to_exitcode(status)
+
+
+# ----------------------------------------------------------------------
+# CLI (the CI serving smoke)
+# ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Spawn a Prognos server and drive simulated UE sessions at it."
+    )
+    parser.add_argument("--sessions", type=int, default=4)
+    parser.add_argument("--drives", type=int, default=2)
+    parser.add_argument("--length-km", type=float, default=0.6)
+    parser.add_argument("--max-ticks", type=int, default=None)
+    parser.add_argument(
+        "--mode", choices=("batched", "sequential"), default="batched"
+    )
+    parser.add_argument("--seed", type=int, default=101)
+    args = parser.parse_args(argv)
+
+    from repro.radio.bands import BandClass
+    from repro.ran import OPX
+    from repro.simulate.runner import run_drives
+    from repro.simulate.scenarios import freeway_scenario
+
+    logs = run_drives(
+        [
+            freeway_scenario(
+                OPX, BandClass.LOW, length_km=args.length_km, seed=args.seed + i
+            )
+            for i in range(args.drives)
+        ]
+    )
+    configs = configs_for_log(OPX, (BandClass.LOW,))
+    scripts = [
+        build_script(
+            logs[i % len(logs)],
+            f"ue-{i:04d}",
+            configs,
+            max_ticks=args.max_ticks,
+        )
+        for i in range(args.sessions)
+    ]
+    pid, port = spawn_server(ServerConfig(batched=args.mode == "batched"))
+    try:
+        result = run_load(port, scripts)
+    finally:
+        exit_code = stop_server(pid)
+    summary = result.summary()
+    summary["mode"] = args.mode
+    summary["server_exit"] = exit_code
+    print(json.dumps(summary, indent=2))
+    if exit_code != 0:
+        print("server did not shut down cleanly", file=sys.stderr)
+        return 1
+    if result.failed or result.completed != args.sessions:
+        print("not all sessions completed cleanly", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

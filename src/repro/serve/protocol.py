@@ -1,0 +1,429 @@
+"""Wire protocol for the serving layer: length-prefixed binary frames.
+
+Every frame is a 4-byte big-endian length followed by the payload. The
+first frame a client sends is a JSON handshake (``{"type": "hello",
+...}``); after the server's JSON ``welcome`` the stream switches to
+compact binary frames whose first payload byte is the kind tag:
+
+======  ==========  ====================================================
+tag     direction   payload
+======  ==========  ====================================================
+``T``   c → s       one measurement tick (header + per-cell entries)
+``R``   c → s       an actual measurement report (time + label)
+``C``   c → s       a handover command (time + HandoverType index)
+``S``   c → s       log boundary — reset the session's radio state
+``B``   c → s       clean goodbye (server replies with a JSON ``bye``)
+``P``   s → c       prediction (HO type/score/lead + MPC level)
+``{``   both        JSON control frame (hello/welcome/error/bye)
+======  ==========  ====================================================
+
+The tick payload encodes exactly the ``(rsrp, serving, neighbours,
+scoped)`` tuple :func:`repro.core.evaluation._tick_inputs` builds from a
+:class:`~repro.simulate.records.TickRecord`: cells ride in rsrp-dict
+insertion order and carry membership flags, so decoding rebuilds the
+dicts with identical iteration order — the forecaster's arithmetic (and
+therefore its bitwise output) depends on that order. The encoder raises
+on aliasing (a serving cell doubling as a neighbour, or one cell in two
+neighbour lists) so the reconstruction is provably faithful.
+
+Enum indices on the wire follow Python member order
+(:class:`~repro.rrc.taxonomy.HandoverType`), matching the columnar
+store's in-file name tables in spirit but fixed per protocol version.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+
+from repro.rrc.events import EventConfig, EventType, MeasurementObject
+from repro.rrc.taxonomy import HandoverType
+
+#: Hard per-frame ceiling. A tick for even a dense urban cell sweep is
+#: a few hundred bytes; anything near this is a corrupt or hostile
+#: length prefix and the connection is dropped.
+MAX_FRAME = 1 << 20
+
+PROTOCOL_VERSION = 1
+
+_LEN = struct.Struct(">I")
+#: time_s, flags, lte serving gci, nr serving gci, observed_mbps,
+#: buffer_s, last_level, n_cells.
+_TICK_HEAD = struct.Struct("<dBqqddiH")
+#: gci, rsrp_dbm, membership flags.
+_CELL = struct.Struct("<qdB")
+#: time_s, report label (utf-8 tail).
+_REPORT_HEAD = struct.Struct("<d")
+#: time_s, HandoverType index.
+_COMMAND = struct.Struct("<dB")
+#: time_s, HandoverType index, ho_score, similarity, lead_time_s
+#: (NaN = None), level (-1 = no ABR decision), dropped counter.
+_PRED = struct.Struct("<dBdddiI")
+
+#: Tick flags.
+TICK_WANTS_ABR = 0x01
+
+#: Per-cell membership flags.
+_LTE_NEIGHBOUR = 0x01
+_NR_NEIGHBOUR = 0x02
+_LTE_SCOPED = 0x04
+_NR_SCOPED = 0x08
+
+_HO_TYPES: tuple[HandoverType, ...] = tuple(HandoverType)
+_HO_INDEX = {t: i for i, t in enumerate(_HO_TYPES)}
+
+
+class FrameError(Exception):
+    """A malformed, oversized, or out-of-protocol frame."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+def frame(payload: bytes) -> bytes:
+    """Length-prefix ``payload`` for the wire."""
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    return _LEN.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame splitter for a byte stream.
+
+    Synchronous on purpose: the load generator's selector clients and
+    the protocol tests feed it arbitrary chunk boundaries (including
+    mid-prefix and mid-payload splits) and it yields exactly the frames
+    the stream carries.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb ``data``; return every frame completed by it."""
+        self._buffer.extend(data)
+        frames: list[bytes] = []
+        buffer = self._buffer
+        while True:
+            if len(buffer) < _LEN.size:
+                break
+            (length,) = _LEN.unpack_from(buffer)
+            if length > MAX_FRAME:
+                raise FrameError(f"frame length {length} exceeds MAX_FRAME")
+            end = _LEN.size + length
+            if len(buffer) < end:
+                break
+            frames.append(bytes(buffer[_LEN.size : end]))
+            del buffer[:end]
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+async def read_frame(reader) -> bytes | None:
+    """Read one frame from an asyncio stream; None on clean EOF."""
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except Exception:
+        return None
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME:
+        raise FrameError(f"frame length {length} exceeds MAX_FRAME")
+    try:
+        return await reader.readexactly(length)
+    except Exception:
+        return None
+
+
+# ----------------------------------------------------------------------
+# JSON control frames
+# ----------------------------------------------------------------------
+
+
+def encode_json(message: dict) -> bytes:
+    payload = json.dumps(message, separators=(",", ":")).encode()
+    if not payload.startswith(b"{"):
+        raise FrameError("JSON control frames must encode objects")
+    return payload
+
+
+def decode_json(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable JSON control frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise FrameError("JSON control frame is not an object")
+    return message
+
+
+# ----------------------------------------------------------------------
+# Tick frames
+# ----------------------------------------------------------------------
+
+
+def encode_tick(
+    time_s: float,
+    rsrp: dict,
+    serving: dict,
+    neighbours: dict,
+    scoped: dict,
+    *,
+    wants_abr: bool = False,
+    observed_mbps: float = 0.0,
+    buffer_s: float = 0.0,
+    last_level: int = 0,
+) -> bytes:
+    """Pack one ``_tick_inputs``-shaped tuple into a ``T`` frame.
+
+    Raises :class:`FrameError` when the dicts alias (the decode side
+    could not tell the memberships apart), when a neighbour lacks an
+    rsrp entry, or when a scoped cell is not in its neighbour list —
+    none of which :func:`_tick_inputs` ever produces.
+    """
+    lte_serving = serving.get(MeasurementObject.LTE)
+    nr_serving = serving.get(MeasurementObject.NR)
+    lte_nb = neighbours.get(MeasurementObject.LTE, [])
+    nr_nb = neighbours.get(MeasurementObject.NR, [])
+    lte_scoped = set(scoped.get(MeasurementObject.LTE, []))
+    nr_scoped = set(scoped.get(MeasurementObject.NR, []))
+    lte_set, nr_set = set(lte_nb), set(nr_nb)
+    if len(lte_set) != len(lte_nb) or len(nr_set) != len(nr_nb):
+        raise FrameError("duplicate gci within a neighbour list")
+    if lte_set & nr_set:
+        raise FrameError("gci present in both neighbour lists")
+    for cell in (lte_serving, nr_serving):
+        if cell is not None and (cell in lte_set or cell in nr_set):
+            raise FrameError("serving cell aliases a neighbour entry")
+    if not (lte_scoped <= lte_set and nr_scoped <= nr_set):
+        raise FrameError("scoped cell missing from its neighbour list")
+
+    parts = [b"T"]
+    cells = []
+    for gci, value in rsrp.items():
+        flags = 0
+        if gci in lte_set:
+            flags |= _LTE_NEIGHBOUR
+            if gci in lte_scoped:
+                flags |= _LTE_SCOPED
+        elif gci in nr_set:
+            flags |= _NR_NEIGHBOUR
+            if gci in nr_scoped:
+                flags |= _NR_SCOPED
+        elif gci != lte_serving and gci != nr_serving:
+            raise FrameError(f"rsrp entry {gci!r} is neither serving nor neighbour")
+        cells.append((int(gci), float(value), flags))
+    if len(cells) != len(lte_set) + len(nr_set) + sum(
+        1
+        for cell in (lte_serving, nr_serving)
+        if cell is not None and cell in rsrp
+    ):
+        raise FrameError("neighbour entries missing from the rsrp dict")
+
+    tick_flags = TICK_WANTS_ABR if wants_abr else 0
+    parts.append(
+        _TICK_HEAD.pack(
+            float(time_s),
+            tick_flags,
+            -1 if lte_serving is None else int(lte_serving),
+            -1 if nr_serving is None else int(nr_serving),
+            float(observed_mbps),
+            float(buffer_s),
+            int(last_level),
+            len(cells),
+        )
+    )
+    for gci, value, flags in cells:
+        parts.append(_CELL.pack(gci, value, flags))
+    return b"".join(parts)
+
+
+def decode_tick(payload: bytes):
+    """Unpack a ``T`` frame (after the kind byte has been checked).
+
+    Returns ``(time_s, rsrp, serving, neighbours, scoped, wants_abr,
+    observed_mbps, buffer_s, last_level)`` with the dicts laid out
+    exactly as :func:`repro.core.evaluation._tick_inputs` builds them.
+    """
+    try:
+        (
+            time_s,
+            tick_flags,
+            lte_raw,
+            nr_raw,
+            observed_mbps,
+            buffer_s,
+            last_level,
+            n_cells,
+        ) = _TICK_HEAD.unpack_from(payload, 1)
+    except struct.error as exc:
+        raise FrameError(f"truncated tick header: {exc}") from exc
+    expected = 1 + _TICK_HEAD.size + n_cells * _CELL.size
+    if len(payload) != expected:
+        raise FrameError(
+            f"tick frame of {len(payload)} bytes, expected {expected}"
+        )
+    rsrp: dict = {}
+    serving = {
+        MeasurementObject.LTE: None if lte_raw == -1 else lte_raw,
+        MeasurementObject.NR: None if nr_raw == -1 else nr_raw,
+    }
+    neighbours: dict = {MeasurementObject.LTE: [], MeasurementObject.NR: []}
+    scoped: dict = {MeasurementObject.LTE: [], MeasurementObject.NR: []}
+    cells_at = 1 + _TICK_HEAD.size
+    for gci, value, flags in _CELL.iter_unpack(payload[cells_at:]):
+        rsrp[gci] = value
+        if flags & _LTE_NEIGHBOUR:
+            neighbours[MeasurementObject.LTE].append(gci)
+            if flags & _LTE_SCOPED:
+                scoped[MeasurementObject.LTE].append(gci)
+        elif flags & _NR_NEIGHBOUR:
+            neighbours[MeasurementObject.NR].append(gci)
+            if flags & _NR_SCOPED:
+                scoped[MeasurementObject.NR].append(gci)
+    return (
+        time_s,
+        rsrp,
+        serving,
+        neighbours,
+        scoped,
+        bool(tick_flags & TICK_WANTS_ABR),
+        observed_mbps,
+        buffer_s,
+        last_level,
+    )
+
+
+#: Byte offsets (within a complete *frame*, prefix included) of the ABR
+#: fields the load generator patches per send on pre-encoded ticks:
+#: observed_mbps, buffer_s (f64) and last_level (i32) inside _TICK_HEAD.
+ABR_PATCH = struct.Struct("<ddi")
+ABR_PATCH_OFFSET = _LEN.size + 1 + struct.calcsize("<dBqq")
+
+
+# ----------------------------------------------------------------------
+# Report / command / prediction frames
+# ----------------------------------------------------------------------
+
+
+def encode_report(label: str, time_s: float) -> bytes:
+    return b"R" + _REPORT_HEAD.pack(float(time_s)) + label.encode()
+
+
+def decode_report(payload: bytes) -> tuple[str, float]:
+    try:
+        (time_s,) = _REPORT_HEAD.unpack_from(payload, 1)
+    except struct.error as exc:
+        raise FrameError(f"truncated report frame: {exc}") from exc
+    try:
+        label = payload[1 + _REPORT_HEAD.size :].decode()
+    except UnicodeDecodeError as exc:
+        raise FrameError(f"undecodable report label: {exc}") from exc
+    return label, time_s
+
+
+def encode_command(ho_type: HandoverType, time_s: float) -> bytes:
+    return b"C" + _COMMAND.pack(float(time_s), _HO_INDEX[ho_type])
+
+
+def decode_command(payload: bytes) -> tuple[HandoverType, float]:
+    try:
+        time_s, index = _COMMAND.unpack_from(payload, 1)
+    except struct.error as exc:
+        raise FrameError(f"truncated command frame: {exc}") from exc
+    if index >= len(_HO_TYPES):
+        raise FrameError(f"unknown handover type index {index}")
+    return _HO_TYPES[index], time_s
+
+
+def encode_prediction(
+    time_s: float,
+    ho_type: HandoverType,
+    ho_score: float,
+    similarity: float,
+    lead_time_s: float | None,
+    level: int,
+    dropped: int,
+) -> bytes:
+    return b"P" + _PRED.pack(
+        float(time_s),
+        _HO_INDEX[ho_type],
+        float(ho_score),
+        float(similarity),
+        float("nan") if lead_time_s is None else float(lead_time_s),
+        int(level),
+        int(dropped),
+    )
+
+
+def encode_event_configs(configs: list[EventConfig]) -> list[dict]:
+    """Event configuration as a JSON-able handshake field."""
+    return [
+        {
+            "event": c.event.name,
+            "measurement": c.measurement.name,
+            "threshold_dbm": c.threshold_dbm,
+            "threshold2_dbm": c.threshold2_dbm,
+            "offset_db": c.offset_db,
+            "hysteresis_db": c.hysteresis_db,
+            "time_to_trigger_s": c.time_to_trigger_s,
+            "intra_node_only": c.intra_node_only,
+            "intra_frequency_only": c.intra_frequency_only,
+            "only_when_detached": c.only_when_detached,
+        }
+        for c in configs
+    ]
+
+
+def decode_event_configs(spec: list) -> list[EventConfig]:
+    """Rebuild the handshake's event configuration; FrameError on junk."""
+    if not isinstance(spec, list) or not spec:
+        raise FrameError("hello carries no event configuration")
+    configs: list[EventConfig] = []
+    for entry in spec:
+        if not isinstance(entry, dict):
+            raise FrameError("event config entries must be objects")
+        try:
+            configs.append(
+                EventConfig(
+                    event=EventType[entry["event"]],
+                    measurement=MeasurementObject[entry["measurement"]],
+                    threshold_dbm=float(entry.get("threshold_dbm", 0.0)),
+                    threshold2_dbm=float(entry.get("threshold2_dbm", 0.0)),
+                    offset_db=float(entry.get("offset_db", 0.0)),
+                    hysteresis_db=float(entry.get("hysteresis_db", 0.0)),
+                    time_to_trigger_s=float(entry.get("time_to_trigger_s", 0.0)),
+                    intra_node_only=bool(entry.get("intra_node_only", False)),
+                    intra_frequency_only=bool(entry.get("intra_frequency_only", False)),
+                    only_when_detached=bool(entry.get("only_when_detached", False)),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FrameError(f"bad event config entry: {exc}") from exc
+    return configs
+
+
+def decode_prediction(payload: bytes):
+    """Returns (time_s, ho_type, ho_score, similarity, lead, level, dropped)."""
+    try:
+        time_s, index, score, similarity, lead, level, dropped = _PRED.unpack_from(
+            payload, 1
+        )
+    except struct.error as exc:
+        raise FrameError(f"truncated prediction frame: {exc}") from exc
+    if index >= len(_HO_TYPES):
+        raise FrameError(f"unknown handover type index {index}")
+    return (
+        time_s,
+        _HO_TYPES[index],
+        score,
+        similarity,
+        None if math.isnan(lead) else lead,
+        level,
+        dropped,
+    )

@@ -1,0 +1,581 @@
+"""The Prognos serving daemon: asyncio TCP, micro-batched inference.
+
+One process serves many concurrent UE sessions. Readers do protocol
+work only (decode, order-preserving per-session inboxes); all model
+work happens on one engine task that drains the
+:class:`~repro.serve.batcher.BatchCollector`, runs the cross-session
+:func:`~repro.serve.forecast.forecast_batch` and one
+:func:`~repro.apps.abr.algorithms.mpc_select_many` call per batch, and
+hands encoded predictions to per-session outboxes. A server built with
+``batched=False`` short-circuits everything in the reader with the
+scalar per-session pipeline — that is the bench's baseline mode, not a
+degraded afterthought.
+
+Backpressure, per session and never global:
+
+* **inbound** — a session may have at most ``inbox_limit`` unanswered
+  ticks; past that its reader stops reading, which pushes back through
+  TCP to the client. Other sessions are unaffected.
+* **outbound** — predictions queue in a per-session outbox flushed by a
+  small writer task that respects the transport's write buffer. A slow
+  consumer fills its outbox; policy ``"drop"`` (default) then evicts
+  the oldest prediction and counts it (the ``dropped`` field of every
+  later prediction frame carries the running count), policy
+  ``"disconnect"`` aborts the connection. The engine never blocks on
+  either.
+
+Failure ladder for the engine (see DESIGN.md): an engine crash loses at
+most the in-flight batch — the supervisor resyncs every session's
+accounting (lost ticks are counted, never silently swallowed), restarts
+the engine, and after ``engine_restarts`` strikes degrades the server
+to inline sequential serving (each session taking a forced log
+boundary) rather than going dark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import socket
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.apps.abr.algorithms import mpc_select_many
+from repro.core.patterns import Pattern
+from repro.core.prognos import PrognosConfig
+from repro.serve import protocol
+from repro.serve.batcher import BatchCollector, BatchTuning
+from repro.serve.protocol import FrameError, frame, read_frame
+from repro.serve.forecast import forecast_batch
+from repro.serve.session import ServingSession
+
+_POLICIES = ("drop", "disconnect")
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one serving daemon."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Micro-batched engine vs inline per-session sequential serving.
+    batched: bool = True
+    tuning: BatchTuning = field(default_factory=BatchTuning.from_env)
+    #: Max unanswered ticks per session before its reader stops reading.
+    inbox_limit: int = 64
+    #: Max queued predictions per slow session before the policy bites.
+    outbox_limit: int = 256
+    #: Transport write-buffer high water (bytes) the flusher respects.
+    write_high_water: int = 256 * 1024
+    #: Engine crash budget before the server degrades to sequential.
+    engine_restarts: int = 2
+    prognos_config: PrognosConfig | None = None
+    #: Offline-mined patterns every new session warm-starts from.
+    bootstrap: dict[Pattern, int] | None = None
+
+
+class _Connection:
+    """Connection plumbing around one :class:`ServingSession`."""
+
+    __slots__ = (
+        "session",
+        "reader",
+        "writer",
+        "policy",
+        "inbox",
+        "outbox",
+        "outbox_limit",
+        "pending",
+        "dropped",
+        "lost",
+        "ticks_in",
+        "drain",
+        "out_event",
+        "closed",
+        "flusher",
+    )
+
+    def __init__(self, session, reader, writer, policy, outbox_limit) -> None:
+        self.session = session
+        self.reader = reader
+        self.writer = writer
+        self.policy = policy
+        self.inbox: deque = deque()
+        self.outbox: deque = (
+            deque(maxlen=outbox_limit) if policy == "drop" else deque()
+        )
+        self.outbox_limit = outbox_limit
+        self.pending = 0
+        self.dropped = 0
+        self.lost = 0
+        self.ticks_in = 0
+        self.drain = asyncio.Event()
+        self.out_event = asyncio.Event()
+        self.closed = False
+        self.flusher: asyncio.Task | None = None
+
+    def deliver(self, data: bytes) -> None:
+        """Queue an encoded frame for the flusher; never blocks."""
+        if self.closed:
+            return
+        if self.policy == "disconnect":
+            if len(self.outbox) >= self.outbox_limit:
+                self.kill()
+                return
+        elif len(self.outbox) == self.outbox.maxlen:
+            self.dropped += 1  # the append below evicts the oldest
+        self.outbox.append(data)
+        self.out_event.set()
+
+    def kill(self) -> None:
+        """Abort the transport (policy violation or shutdown)."""
+        if self.closed:
+            return
+        self.closed = True
+        self.drain.set()
+        self.out_event.set()
+        with contextlib.suppress(Exception):
+            self.writer.transport.abort()
+
+
+class PrognosServer:
+    """Long-lived serving daemon; see the module docstring."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self._sessions: dict[str, _Connection] = {}
+        #: Sessions with equal event-config lists must share one list
+        #: object — the forecast engine keys trigger cohorts by id().
+        self._config_intern: dict[tuple, list] = {}
+        self._collector: BatchCollector | None = None
+        self._server: asyncio.Server | None = None
+        self._engine_task: asyncio.Task | None = None
+        self._running = False
+        self._degraded = False
+        self.engine_restarts = 0
+        self.batches = 0
+        self.batch_ticks = 0
+        #: Test hook: an exception instance raised at the top of the
+        #: next engine pass (exercises the supervision ladder).
+        self._inject_engine_fault: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._running = True
+        self._collector = BatchCollector(self.config.tuning)
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        if self.config.batched:
+            self._engine_task = asyncio.create_task(self._engine_supervisor())
+
+    async def shutdown(self) -> None:
+        """Stop accepting, stop the engine, drop every connection."""
+        self._running = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._engine_task is not None:
+            self._engine_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._engine_task
+            self._engine_task = None
+        for conn in list(self._sessions.values()):
+            if conn.flusher is not None:
+                conn.flusher.cancel()
+            conn.kill()
+        self._sessions.clear()
+
+    async def __aenter__(self) -> "PrognosServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.shutdown()
+
+    def stats(self) -> dict:
+        return {
+            "sessions": len(self._sessions),
+            "batched": self.config.batched,
+            "degraded": self._degraded,
+            "engine_restarts": self.engine_restarts,
+            "batches": self.batches,
+            "batch_ticks": self.batch_ticks,
+        }
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _intern_configs(self, spec: list) -> list:
+        configs = protocol.decode_event_configs(spec)
+        return self._config_intern.setdefault(tuple(configs), configs)
+
+    async def _handle_client(self, reader, writer) -> None:
+        conn: _Connection | None = None
+        session_id: str | None = None
+        try:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                # Predictions are latency-sensitive single small frames;
+                # never let them sit behind Nagle waiting for an ACK.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = await self._handshake(reader, writer)
+            if conn is None:
+                return
+            session_id = conn.session.session_id
+            writer.transport.set_write_buffer_limits(
+                high=self.config.write_high_water
+            )
+            if self.config.batched:
+                conn.flusher = asyncio.create_task(self._flush_loop(conn))
+            await self._read_loop(conn)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except FrameError as exc:
+            await self._send_error(writer, str(exc))
+        finally:
+            if session_id is not None and self._sessions.get(session_id) is conn:
+                del self._sessions[session_id]
+            if conn is not None:
+                if conn.flusher is not None:
+                    conn.flusher.cancel()
+                conn.kill()
+            else:
+                with contextlib.suppress(Exception):
+                    writer.close()
+
+    async def _handshake(self, reader, writer) -> _Connection | None:
+        payload = await read_frame(reader)
+        if payload is None:
+            with contextlib.suppress(Exception):
+                writer.close()
+            return None
+        hello = protocol.decode_json(payload)
+        if hello.get("type") != "hello":
+            raise FrameError("first frame must be a hello")
+        if hello.get("version") != protocol.PROTOCOL_VERSION:
+            raise FrameError(f"unsupported protocol version {hello.get('version')!r}")
+        session_id = hello.get("session")
+        if not isinstance(session_id, str) or not session_id:
+            raise FrameError("hello carries no session id")
+        if session_id in self._sessions:
+            raise FrameError(f"duplicate session id {session_id!r}")
+        policy = hello.get("policy", "drop")
+        if policy not in _POLICIES:
+            raise FrameError(f"unknown backpressure policy {policy!r}")
+        configs = self._intern_configs(hello.get("events"))
+        abr = hello.get("abr") or {}
+        levels = abr.get("levels_mbps")
+        session = ServingSession(
+            session_id,
+            configs,
+            prognos_config=self.config.prognos_config,
+            standalone=bool(hello.get("standalone", False)),
+            bootstrap=self.config.bootstrap,
+            levels_mbps=levels,
+            chunk_s=float(abr.get("chunk_s", 4.0)),
+            batched=self.config.batched,
+        )
+        conn = _Connection(
+            session, reader, writer, policy, self.config.outbox_limit
+        )
+        self._sessions[session_id] = conn
+        writer.write(
+            frame(
+                protocol.encode_json(
+                    {
+                        "type": "welcome",
+                        "version": protocol.PROTOCOL_VERSION,
+                        "session": session_id,
+                        "batched": self.config.batched,
+                    }
+                )
+            )
+        )
+        await writer.drain()
+        return conn
+
+    async def _send_error(self, writer, message: str) -> None:
+        with contextlib.suppress(Exception):
+            writer.write(
+                frame(protocol.encode_json({"type": "error", "error": message}))
+            )
+            await writer.drain()
+            writer.close()
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        inline = not self.config.batched
+        limit = self.config.inbox_limit
+        while not conn.closed:
+            payload = await read_frame(conn.reader)
+            if payload is None:
+                return  # disconnect (clean EOF or reset)
+            tag = payload[:1]
+            if tag == b"T":
+                tick = protocol.decode_tick(payload)
+                conn.ticks_in += 1
+                if inline or self._degraded:
+                    conn.writer.write(self._serve_tick_inline(conn, tick))
+                    await conn.writer.drain()
+                    continue
+                conn.inbox.append(("T", tick))
+                conn.pending += 1
+                self._collector.put(conn)
+                while conn.pending >= limit and not conn.closed:
+                    conn.drain.clear()
+                    if conn.pending >= limit:
+                        await conn.drain.wait()
+            elif tag == b"R":
+                label, time_s = protocol.decode_report(payload)
+                if inline or self._degraded:
+                    conn.session.observe_report(label, time_s)
+                else:
+                    conn.inbox.append(("R", label, time_s))
+            elif tag == b"C":
+                ho_type, time_s = protocol.decode_command(payload)
+                if inline or self._degraded:
+                    conn.session.observe_command(ho_type, time_s)
+                else:
+                    conn.inbox.append(("C", ho_type, time_s))
+            elif tag == b"S":
+                if inline or self._degraded:
+                    conn.session.start_log()
+                else:
+                    conn.inbox.append(("S",))
+            elif tag == b"B":
+                while conn.pending > 0 and not conn.closed:
+                    conn.drain.clear()
+                    if conn.pending > 0:
+                        await conn.drain.wait()
+                # Let the flusher empty the outbox before the goodbye.
+                while conn.outbox and not conn.closed:
+                    await asyncio.sleep(0)
+                conn.writer.write(
+                    frame(
+                        protocol.encode_json(
+                            {
+                                "type": "bye",
+                                "session": conn.session.session_id,
+                                "ticks": conn.ticks_in,
+                                "answered": conn.session.ticks,
+                                "dropped": conn.dropped,
+                                "lost": conn.lost,
+                            }
+                        )
+                    )
+                )
+                await conn.writer.drain()
+                return
+            elif tag == b"{":
+                raise FrameError("unexpected control frame mid-stream")
+            else:
+                raise FrameError(f"unknown frame tag {tag!r}")
+
+    def _serve_tick_inline(self, conn: _Connection, tick) -> bytes:
+        """The scalar per-session pipeline (baseline + degraded mode)."""
+        (
+            time_s,
+            rsrp,
+            serving,
+            neighbours,
+            scoped,
+            wants_abr,
+            observed_mbps,
+            buffer_s,
+            last_level,
+        ) = tick
+        session = conn.session
+        prediction = session.step_sequential(time_s, rsrp, serving, neighbours, scoped)
+        level = -1
+        if wants_abr:
+            entry = session.abr_entry(observed_mbps, buffer_s, last_level)
+            if entry is not None:
+                algo, levels, buf, last, predicted, chunk_s = entry
+                level = algo.select(levels, buf, last, predicted, chunk_s)
+        return frame(
+            protocol.encode_prediction(
+                time_s,
+                prediction.ho_type,
+                prediction.ho_score,
+                prediction.similarity,
+                prediction.lead_time_s,
+                level,
+                conn.dropped,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Outbound flusher
+    # ------------------------------------------------------------------
+
+    async def _flush_loop(self, conn: _Connection) -> None:
+        transport = conn.writer.transport
+        high = self.config.write_high_water
+        try:
+            while not conn.closed:
+                await conn.out_event.wait()
+                conn.out_event.clear()
+                while conn.outbox and not conn.closed:
+                    conn.writer.write(conn.outbox.popleft())
+                    if transport.get_write_buffer_size() > high:
+                        # The consumer is behind; wait here, not in the
+                        # engine. The outbox keeps absorbing (and, under
+                        # the drop policy, evicting) meanwhile.
+                        await conn.writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Engine
+    # ------------------------------------------------------------------
+
+    async def _engine_supervisor(self) -> None:
+        """Restart a crashed engine; degrade after the crash budget."""
+        while self._running:
+            try:
+                await self._engine_loop()
+                return
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self.engine_restarts += 1
+                self._resync_after_crash()
+                if self.engine_restarts > self.config.engine_restarts:
+                    self._degrade()
+                    return
+
+    def _resync_after_crash(self) -> None:
+        """Recount every session's in-flight ticks after an engine loss.
+
+        Ticks the dead engine consumed but never answered are gone —
+        counted in ``lost``, surfaced in the bye frame. Ticks still in
+        the inbox are re-advertised to the new engine.
+        """
+        for conn in self._sessions.values():
+            remaining = sum(1 for item in conn.inbox if item[0] == "T")
+            missing = conn.pending - remaining
+            if missing > 0:
+                conn.lost += missing
+            conn.pending = remaining
+            for _ in range(remaining):
+                self._collector.put(conn)
+            conn.drain.set()
+
+    def _degrade(self) -> None:
+        """Last rung: serve inline-sequential instead of going dark.
+
+        Each session takes a forced log boundary (its radio history
+        lived in the batched forecaster, which is no longer trusted) and
+        every queued inbox item is served inline before readers take
+        over.
+        """
+        self._degraded = True
+        for conn in self._sessions.values():
+            conn.session.start_log()
+            while conn.inbox:
+                item = conn.inbox.popleft()
+                kind = item[0]
+                if kind == "R":
+                    conn.session.observe_report(item[1], item[2])
+                elif kind == "C":
+                    conn.session.observe_command(item[1], item[2])
+                elif kind == "S":
+                    conn.session.start_log()
+                else:
+                    conn.deliver(self._serve_tick_inline(conn, item[1]))
+            conn.pending = 0
+            conn.drain.set()
+
+    async def _engine_loop(self) -> None:
+        collector = self._collector
+        while self._running:
+            batch = await collector.collect()
+            if self._inject_engine_fault is not None:
+                fault, self._inject_engine_fault = self._inject_engine_fault, None
+                raise fault
+            jobs: list = []
+            meta: list = []
+            taken: set[int] = set()
+            requeue: list = []
+            for conn in batch:
+                if conn.closed:
+                    continue
+                if id(conn) in taken:
+                    # A pipelining client may have several ticks queued.
+                    # One per batch: tick i+1's ring observation must not
+                    # land before tick i's forecast is fitted, or the
+                    # prediction stream diverges from the offline replay.
+                    requeue.append(conn)
+                    continue
+                taken.add(id(conn))
+                session = conn.session
+                tick = None
+                inbox = conn.inbox
+                while inbox:
+                    item = inbox.popleft()
+                    kind = item[0]
+                    if kind == "R":
+                        session.observe_report(item[1], item[2])
+                    elif kind == "C":
+                        session.observe_command(item[1], item[2])
+                    elif kind == "S":
+                        session.start_log()
+                    else:
+                        tick = item[1]
+                        break
+                if tick is None:
+                    continue
+                plan = session.begin_tick(tick[0], tick[1], tick[2], tick[3], tick[4])
+                jobs.append((session.forecaster, plan))
+                meta.append((conn, tick))
+            for conn in requeue:
+                collector.put(conn)
+            if not jobs:
+                continue
+            self.batches += 1
+            self.batch_ticks += len(jobs)
+            forecasts = forecast_batch(jobs)
+            outputs: list = []
+            abr_rows: list = []
+            abr_idx: list[int] = []
+            for k, (conn, tick) in enumerate(meta):
+                time_s, _rsrp, serving = tick[0], tick[1], tick[2]
+                wants_abr, observed_mbps, buffer_s, last_level = tick[5:9]
+                prediction = conn.session.finish_tick(time_s, serving, forecasts[k])
+                if wants_abr:
+                    entry = conn.session.abr_entry(
+                        observed_mbps, buffer_s, last_level
+                    )
+                    if entry is not None:
+                        abr_rows.append(entry)
+                        abr_idx.append(k)
+                outputs.append((conn, time_s, prediction))
+            levels: dict[int, int] = {}
+            if abr_rows:
+                for k, level in zip(abr_idx, mpc_select_many(abr_rows)):
+                    levels[k] = level
+            for k, (conn, time_s, prediction) in enumerate(outputs):
+                conn.deliver(
+                    frame(
+                        protocol.encode_prediction(
+                            time_s,
+                            prediction.ho_type,
+                            prediction.ho_score,
+                            prediction.similarity,
+                            prediction.lead_time_s,
+                            levels.get(k, -1),
+                            conn.dropped,
+                        )
+                    )
+                )
+                conn.pending -= 1
+                conn.drain.set()

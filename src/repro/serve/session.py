@@ -1,0 +1,158 @@
+"""Per-UE serving state: Prognos + streaming forecaster + ABR loop.
+
+One :class:`ServingSession` holds everything the server keeps per
+connected UE, with no asyncio in sight — the tests drive it directly
+and the server wraps it with connection plumbing. Both server modes go
+through the same state transitions:
+
+* **sequential** — :meth:`step_sequential` runs the scalar
+  :meth:`~repro.core.prognos.Prognos.step` per frame (the per-session
+  baseline the bench compares against);
+* **micro-batched** — :meth:`begin_tick` feeds the shared
+  :class:`~repro.serve.forecast.StreamingForecaster` and gates the
+  tick's configs, the engine runs the cross-session
+  :func:`~repro.serve.forecast.forecast_batch`, and
+  :meth:`finish_tick` runs the learner-coupled tail
+  (:meth:`~repro.core.prognos.Prognos.step_with_forecast`).
+
+The split is exactly the offline evaluator's plan/stream split, so both
+modes produce bit-identical predictions to
+:func:`repro.core.evaluation.run_prognos_over_logs` on the same frames.
+
+The ABR leg mirrors §7.4's player loop: observe the finished chunk's
+throughput (feeding the robustMPC error discount and the harmonic-mean
+predictor), then select the next chunk's level. :meth:`abr_entry`
+performs the state advance and returns an
+:func:`~repro.apps.abr.algorithms.mpc_select_many` row, so the batched
+engine can score every ready session against one shared plan matrix;
+sequential mode calls :meth:`~repro.apps.abr.algorithms._MpcBase.select`
+on the same row.
+"""
+
+from __future__ import annotations
+
+from repro.apps.abr.algorithms import RobustMpc
+from repro.apps.abr.prediction import HarmonicMeanPredictor
+from repro.core.patterns import Pattern
+from repro.core.prognos import Prognos, PrognosConfig
+from repro.rrc.events import EventConfig
+from repro.rrc.taxonomy import HandoverType
+from repro.serve.forecast import StreamingForecaster
+
+
+class ServingSession:
+    """Everything the server holds for one connected UE."""
+
+    def __init__(
+        self,
+        session_id: str,
+        event_configs: list[EventConfig],
+        *,
+        prognos_config: PrognosConfig | None = None,
+        standalone: bool = False,
+        bootstrap: dict[Pattern, int] | None = None,
+        levels_mbps: list[float] | None = None,
+        chunk_s: float = 4.0,
+        batched: bool = True,
+    ) -> None:
+        self.session_id = session_id
+        self.standalone = standalone
+        self.prognos = Prognos(event_configs, prognos_config)
+        if bootstrap:
+            self.prognos.bootstrap(bootstrap)
+        # A fresh connection is a log boundary by definition.
+        self.prognos.start_log()
+        self.forecaster = (
+            StreamingForecaster(event_configs, config=prognos_config)
+            if batched
+            else None
+        )
+        self.levels_mbps = [float(x) for x in levels_mbps] if levels_mbps else None
+        self.chunk_s = float(chunk_s)
+        self.abr = RobustMpc() if self.levels_mbps else None
+        self.throughput = HarmonicMeanPredictor() if self.levels_mbps else None
+        self._last_predicted: float | None = None
+        self.ticks = 0
+
+    # ------------------------------------------------------------------
+    # RRC event stream (identical in both modes).
+    # ------------------------------------------------------------------
+
+    def observe_report(self, label: str, time_s: float) -> None:
+        self.prognos.observe_report(label, time_s)
+
+    def observe_command(self, ho_type: HandoverType, time_s: float) -> None:
+        self.prognos.observe_command(ho_type, time_s)
+
+    def start_log(self) -> None:
+        """Log boundary: reset radio history, keep the learner."""
+        self.prognos.start_log()
+        if self.forecaster is not None:
+            self.forecaster.reset()
+
+    # ------------------------------------------------------------------
+    # Per-tick prediction.
+    # ------------------------------------------------------------------
+
+    def step_sequential(self, time_s, rsrp, serving, neighbours, scoped):
+        """One scalar Prognos step (the per-session baseline path)."""
+        self.ticks += 1
+        return self.prognos.step(
+            time_s,
+            rsrp,
+            serving,
+            neighbours,
+            standalone=self.standalone,
+            scoped_neighbours=scoped,
+        )
+
+    def begin_tick(self, time_s, rsrp, serving, neighbours, scoped):
+        """Batched front half: RRS observe + config gating.
+
+        Returns the :class:`~repro.serve.forecast.TickPlan` the engine
+        feeds to :func:`~repro.serve.forecast.forecast_batch` alongside
+        every other ready session's.
+        """
+        self.forecaster.observe(time_s, rsrp)
+        return self.forecaster.prepare(serving, neighbours, scoped)
+
+    def finish_tick(self, time_s, serving, predicted):
+        """Batched back half: the learner-coupled prediction tail."""
+        self.ticks += 1
+        return self.prognos.step_with_forecast(
+            time_s, serving, predicted, standalone=self.standalone
+        )
+
+    # ------------------------------------------------------------------
+    # ABR leg.
+    # ------------------------------------------------------------------
+
+    def abr_entry(
+        self, observed_mbps: float, buffer_s: float, last_level: int
+    ) -> tuple | None:
+        """Advance the throughput/error state; return a select row.
+
+        The row is ``(algo, levels, buffer_s, last_level, predicted,
+        chunk_s)`` — sequential mode calls ``algo.select(*row[1:])`` on
+        it, the batched engine collects rows across sessions into one
+        :func:`~repro.apps.abr.algorithms.mpc_select_many` call. The
+        state advance (error feedback before the rate observation,
+        prediction recorded for the next chunk's error) is the player
+        loop order, identical either way.
+        """
+        if self.abr is None:
+            return None
+        if observed_mbps > 0:
+            if self._last_predicted is not None:
+                self.abr.observe_error(self._last_predicted, observed_mbps)
+            self.throughput.observe(observed_mbps)
+        predicted = self.throughput.predict_mbps()
+        self._last_predicted = predicted
+        return (
+            self.abr,
+            self.levels_mbps,
+            buffer_s,
+            int(last_level),
+            predicted,
+            self.chunk_s,
+        )

@@ -1,0 +1,131 @@
+"""Streaming forecaster equivalence: bit-identity with the per-session
+report predictor, across staggered multi-session cohorts and resets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import _replay_plan, configs_for_log
+from repro.core.prognos import PrognosConfig
+from repro.core.report_predictor import ReportPredictor
+from repro.core.rrs_predictor import RRSPredictor
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+from repro.serve.forecast import StreamingForecaster, forecast_batch
+
+
+def _reference_predictor(configs, config: PrognosConfig):
+    rrs = RRSPredictor(
+        history_window_ticks=config.history_window_ticks,
+        smoother_window=config.smoother_window,
+    )
+    return ReportPredictor(
+        configs, rrs, prediction_window_s=config.prediction_window_s
+    )
+
+
+def _forecasts(predictor, inputs):
+    _, serving, neighbours, scoped = inputs
+    return [
+        (r.label, r.fire_in_s)
+        for r in predictor.predict_reports_batched(serving, neighbours, scoped)
+    ]
+
+
+def test_single_session_bit_identity(freeway_low_log):
+    config = PrognosConfig()
+    configs = configs_for_log(OPX, (BandClass.LOW,))
+    plan = _replay_plan(freeway_low_log, 1.0, 1)
+    reference = _reference_predictor(configs, config)
+    streaming = StreamingForecaster(configs, config=config)
+    for now, inputs in zip(plan.step_times, plan.step_inputs):
+        rsrp = inputs[0]
+        reference.observe(now, rsrp)
+        streaming.observe(now, rsrp)
+        expected = _forecasts(reference, inputs)
+        tick_plan = streaming.prepare(inputs[1], inputs[2], inputs[3])
+        (got,) = forecast_batch([(streaming, tick_plan)])
+        assert got == expected
+
+
+def test_mmwave_session_bit_identity(mmwave_walk_log):
+    config = PrognosConfig()
+    configs = configs_for_log(OPX, (BandClass.MMWAVE,))
+    plan = _replay_plan(mmwave_walk_log, 1.0, 1)
+    reference = _reference_predictor(configs, config)
+    streaming = StreamingForecaster(configs, config=config)
+    for now, inputs in zip(plan.step_times, plan.step_inputs):
+        rsrp = inputs[0]
+        reference.observe(now, rsrp)
+        streaming.observe(now, rsrp)
+        expected = _forecasts(reference, inputs)
+        tick_plan = streaming.prepare(inputs[1], inputs[2], inputs[3])
+        (got,) = forecast_batch([(streaming, tick_plan)])
+        assert got == expected
+
+
+def test_staggered_cohort_with_midstream_reset(freeway_low_log):
+    """Three sessions offset in time, one reset mid-run, batched
+    together every tick — each must still match its own per-session
+    reference exactly."""
+    config = PrognosConfig()
+    configs = configs_for_log(OPX, (BandClass.LOW,))
+    plan = _replay_plan(freeway_low_log, 1.0, 1)
+    n = len(plan.step_times)
+    offsets = [0, 7, 31]
+    reset_at = {1: n // 3}  # session 1 resets a third of the way in
+    references = [_reference_predictor(configs, config) for _ in offsets]
+    streamings = [StreamingForecaster(configs, config=config) for _ in offsets]
+    compared = 0
+    for pos in range(n):
+        jobs, expected = [], []
+        for k, offset in enumerate(offsets):
+            idx = pos - offset
+            if idx < 0 or idx >= n:
+                continue
+            if reset_at.get(k) == idx:
+                references[k] = _reference_predictor(configs, config)
+                streamings[k].reset()
+            now, inputs = plan.step_times[idx], plan.step_inputs[idx]
+            references[k].observe(now, inputs[0])
+            streamings[k].observe(now, inputs[0])
+            expected.append(_forecasts(references[k], inputs))
+            jobs.append(
+                (streamings[k], streamings[k].prepare(inputs[1], inputs[2], inputs[3]))
+            )
+        got = forecast_batch(jobs)
+        assert got == expected
+        compared += len(jobs)
+    assert compared > 2 * n  # the cohort really overlapped
+
+
+def test_row_sum_matches_1d_sum():
+    """Pin the BLAS assumption _fit_group leans on: a C-contiguous
+    row-wise ``.sum(axis=1)`` must equal each row's 1-D ``.sum()``
+    bitwise. If a BLAS/numpy upgrade breaks this, the batched fit must
+    go back to per-row sums."""
+    rng = np.random.default_rng(7)
+    for rows, cols in ((3, 5), (17, 16), (64, 20)):
+        matrix = np.ascontiguousarray(rng.normal(-90.0, 7.0, size=(rows, cols)))
+        batched = matrix.sum(axis=1)
+        singly = np.array([matrix[r].sum() for r in range(rows)])
+        assert all(
+            batched[r] == singly[r] for r in range(rows)
+        ), "row-wise sum is no longer bitwise-identical to 1-D sum"
+
+
+def test_forecast_batch_warmup_returns_none():
+    configs = configs_for_log(OPX, (BandClass.LOW,))
+    streaming = StreamingForecaster(configs)
+    # Fewer than 4 observed ticks: no forecast yet (matches the
+    # reference predictor's minimum-history behaviour downstream).
+    for t in (0.0, 1.0):
+        streaming.observe(t, {10: -85.0})
+    from repro.rrc.events import MeasurementObject
+
+    serving = {MeasurementObject.LTE: 10, MeasurementObject.NR: None}
+    neighbours = {MeasurementObject.LTE: [], MeasurementObject.NR: []}
+    plan = streaming.prepare(serving, neighbours, neighbours)
+    (got,) = forecast_batch([(streaming, plan)])
+    assert got == []

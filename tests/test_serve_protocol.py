@@ -1,0 +1,219 @@
+"""Wire-protocol edge cases: framing, codecs, malformed input."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.core.evaluation import _tick_inputs, configs_for_log
+from repro.radio.bands import BandClass
+from repro.ran import OPX
+from repro.rrc.events import EventConfig, EventType, MeasurementObject
+from repro.rrc.taxonomy import HandoverType
+from repro.serve import protocol
+from repro.serve.protocol import FrameDecoder, FrameError, MAX_FRAME, frame
+
+
+def _sample_tick():
+    rsrp = {10: -81.5, 11: -95.25, 20: -90.0, 21: -101.0}
+    serving = {MeasurementObject.LTE: 10, MeasurementObject.NR: 20}
+    neighbours = {MeasurementObject.LTE: [11], MeasurementObject.NR: [21]}
+    scoped = {MeasurementObject.LTE: [11], MeasurementObject.NR: []}
+    return rsrp, serving, neighbours, scoped
+
+
+class TestFraming:
+    def test_roundtrip_arbitrary_split_points(self):
+        payloads = [b"T" + bytes(range(40)), b"{}", b"R" + b"\x00" * 8 + b"NR-B1"]
+        stream = b"".join(frame(p) for p in payloads)
+        # Every split point, including mid-length-prefix and
+        # mid-payload, must reassemble the same frame sequence.
+        for cut in range(len(stream) + 1):
+            decoder = FrameDecoder()
+            got = decoder.feed(stream[:cut]) + decoder.feed(stream[cut:])
+            assert got == payloads
+            assert decoder.pending_bytes == 0
+
+    def test_byte_at_a_time(self):
+        payloads = [b"A" * 3, b"", b"Z"]
+        stream = b"".join(frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        got = []
+        for i in range(len(stream)):
+            got.extend(decoder.feed(stream[i : i + 1]))
+        assert got == payloads
+
+    def test_oversized_length_prefix_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(struct.pack(">I", MAX_FRAME + 1))
+
+    def test_oversized_payload_rejected_on_encode(self):
+        with pytest.raises(FrameError):
+            frame(b"x" * (MAX_FRAME + 1))
+
+    def test_truncated_stream_yields_nothing(self):
+        decoder = FrameDecoder()
+        framed = frame(b"hello")
+        assert decoder.feed(framed[:-1]) == []
+        assert decoder.pending_bytes == len(framed) - 1
+
+
+class TestTickCodec:
+    def test_roundtrip_preserves_tick_inputs_shape(self):
+        rsrp, serving, neighbours, scoped = _sample_tick()
+        payload = protocol.encode_tick(
+            12.5,
+            rsrp,
+            serving,
+            neighbours,
+            scoped,
+            wants_abr=True,
+            observed_mbps=42.25,
+            buffer_s=7.5,
+            last_level=3,
+        )
+        decoded = protocol.decode_tick(payload)
+        assert decoded[0] == 12.5
+        assert decoded[1] == rsrp
+        assert list(decoded[1]) == list(rsrp)  # insertion order preserved
+        assert decoded[2] == serving
+        assert decoded[3] == neighbours
+        assert decoded[4] == scoped
+        assert decoded[5] is True
+        assert decoded[6:] == (42.25, 7.5, 3)
+
+    def test_roundtrip_matches_simulated_tick_inputs(self, freeway_low_log):
+        for tick in freeway_low_log.ticks[:50]:
+            rsrp, serving, neighbours, scoped = _tick_inputs(tick)
+            decoded = protocol.decode_tick(
+                protocol.encode_tick(tick.time_s, rsrp, serving, neighbours, scoped)
+            )
+            assert decoded[1] == rsrp and list(decoded[1]) == list(rsrp)
+            assert decoded[2] == serving
+            assert decoded[3] == neighbours
+            assert decoded[4] == scoped
+
+    def test_detached_serving_encodes_as_none(self):
+        rsrp = {11: -90.0}
+        serving = {MeasurementObject.LTE: None, MeasurementObject.NR: None}
+        neighbours = {MeasurementObject.LTE: [11], MeasurementObject.NR: []}
+        scoped = {MeasurementObject.LTE: [], MeasurementObject.NR: []}
+        decoded = protocol.decode_tick(
+            protocol.encode_tick(0.0, rsrp, serving, neighbours, scoped)
+        )
+        assert decoded[2] == serving
+
+    def test_aliasing_rejected(self):
+        rsrp, serving, neighbours, scoped = _sample_tick()
+        bad = dict(neighbours)
+        bad[MeasurementObject.NR] = [10]  # serving LTE cell as NR neighbour
+        with pytest.raises(FrameError):
+            protocol.encode_tick(0.0, rsrp, serving, bad, scoped)
+        with pytest.raises(FrameError):
+            protocol.encode_tick(
+                0.0,
+                rsrp,
+                serving,
+                neighbours,
+                {MeasurementObject.LTE: [99], MeasurementObject.NR: []},
+            )
+        with pytest.raises(FrameError):
+            # Neighbour missing from the rsrp dict.
+            protocol.encode_tick(
+                0.0, {10: -81.5}, serving, neighbours, scoped
+            )
+
+    def test_truncated_tick_rejected(self):
+        rsrp, serving, neighbours, scoped = _sample_tick()
+        payload = protocol.encode_tick(1.0, rsrp, serving, neighbours, scoped)
+        with pytest.raises(FrameError):
+            protocol.decode_tick(payload[:-3])
+        with pytest.raises(FrameError):
+            protocol.decode_tick(payload[:5])
+        with pytest.raises(FrameError):
+            protocol.decode_tick(payload + b"\x00")
+
+    def test_abr_patch_offsets_hit_the_header_fields(self):
+        rsrp, serving, neighbours, scoped = _sample_tick()
+        framed = bytearray(
+            frame(
+                protocol.encode_tick(
+                    3.0,
+                    rsrp,
+                    serving,
+                    neighbours,
+                    scoped,
+                    wants_abr=True,
+                    observed_mbps=1.0,
+                    buffer_s=2.0,
+                    last_level=0,
+                )
+            )
+        )
+        protocol.ABR_PATCH.pack_into(
+            framed, protocol.ABR_PATCH_OFFSET, 55.5, 11.25, 4
+        )
+        decoded = protocol.decode_tick(bytes(framed[4:]))
+        assert decoded[6:] == (55.5, 11.25, 4)
+        assert decoded[0] == 3.0 and decoded[1] == rsrp  # rest untouched
+
+
+class TestEventAndControlCodecs:
+    def test_report_roundtrip(self):
+        label, time_s = protocol.decode_report(protocol.encode_report("NR-A3", 9.25))
+        assert (label, time_s) == ("NR-A3", 9.25)
+
+    def test_command_roundtrip_and_bad_index(self):
+        for ho_type in HandoverType:
+            got, t = protocol.decode_command(protocol.encode_command(ho_type, 1.5))
+            assert got is ho_type and t == 1.5
+        bad = b"C" + struct.pack("<dB", 0.0, 250)
+        with pytest.raises(FrameError):
+            protocol.decode_command(bad)
+        with pytest.raises(FrameError):
+            protocol.decode_command(b"C\x00\x01")
+
+    def test_prediction_roundtrip_nan_lead(self):
+        payload = protocol.encode_prediction(
+            8.0, HandoverType.SCGC, 0.86, 0.5, None, -1, 7
+        )
+        time_s, ho_type, score, sim, lead, level, dropped = (
+            protocol.decode_prediction(payload)
+        )
+        assert (time_s, ho_type, score, sim) == (8.0, HandoverType.SCGC, 0.86, 0.5)
+        assert lead is None and level == -1 and dropped == 7
+        with_lead = protocol.decode_prediction(
+            protocol.encode_prediction(8.0, HandoverType.LTEH, 1.0, 0.0, 0.75, 2, 0)
+        )
+        assert with_lead[4] == 0.75 and with_lead[5] == 2
+
+    def test_event_config_roundtrip(self):
+        configs = configs_for_log(OPX, (BandClass.LOW,))
+        decoded = protocol.decode_event_configs(
+            protocol.encode_event_configs(configs)
+        )
+        assert decoded == list(configs)
+
+    def test_event_config_junk_rejected(self):
+        with pytest.raises(FrameError):
+            protocol.decode_event_configs([])
+        with pytest.raises(FrameError):
+            protocol.decode_event_configs("not a list")
+        with pytest.raises(FrameError):
+            protocol.decode_event_configs(["not a dict"])
+        with pytest.raises(FrameError):
+            protocol.decode_event_configs([{"event": "NO_SUCH", "measurement": "LTE"}])
+        with pytest.raises(FrameError):
+            protocol.decode_event_configs([{"event": "A3"}])  # no measurement
+
+    def test_json_frames(self):
+        message = {"type": "hello", "version": 1}
+        assert protocol.decode_json(protocol.encode_json(message)) == message
+        with pytest.raises(FrameError):
+            protocol.decode_json(b"\xff\xfe")
+        with pytest.raises(FrameError):
+            protocol.decode_json(b"[1,2]")
+        with pytest.raises(FrameError):
+            protocol.encode_json([1, 2])  # only objects on the wire
