@@ -15,6 +15,13 @@ drive, and the batched and sequential streams must agree on every field
 (including the MPC bitrate decisions). The ≥3x sessions/sec gate runs
 under the repo's usual timing-assert convention (multi-core, non-smoke).
 
+``test_shard_scaling`` sweeps the multi-core serving layer
+(:mod:`repro.serve.shard`): the same fixed session cohort against 1,
+2, 4, and ``cpu_count()`` engine shard processes, load-generated from
+a matching number of forked client processes, recording sessions/s,
+latency percentiles, and scaling efficiency. Every swept run is held
+to the same offline bit-identity bar.
+
 Results land in ``BENCH_serving.json`` at the repo root.
 ``REPRO_BENCH_SMOKE=1`` shrinks drives and cohort to a CI smoke budget.
 """
@@ -44,7 +51,9 @@ OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
 
 
 def _run_mode(batched: bool, scripts):
-    pid, port = spawn_server(ServerConfig(batched=batched))
+    # shards pinned to 1: this comparison isolates the micro-batch
+    # engine itself from multi-process scaling (swept separately below).
+    pid, port = spawn_server(ServerConfig(batched=batched, shards=1))
     try:
         start = time.perf_counter()
         result = run_load(port, scripts, collect=True)
@@ -138,3 +147,102 @@ def test_serving_throughput(corpus):
             f"p99.9 {res.p999_ms:8.3f} ms"
         )
     print(f"  speedup: {speedup:.2f}x sessions/s (identical prediction streams)")
+
+
+def test_shard_scaling(corpus):
+    """Core-scaling sweep: fixed cohort, growing engine shard counts."""
+    cpus = os.cpu_count() or 1
+    shard_counts = sorted({1, 2, 4, cpus})
+    shard_counts = [n for n in shard_counts if n <= max(2, cpus)]
+
+    logs = run_drives(
+        [
+            freeway_scenario(OPX, BandClass.LOW, length_km=LENGTH_KM, seed=331 + i)
+            for i in range(DRIVES)
+        ],
+        cache=corpus.drive_cache,
+    )
+    configs = configs_for_log(OPX, (BandClass.LOW,))
+    offline = []
+    for log in logs:
+        run = run_prognos_over_logs([log], configs)
+        offline.append(
+            [(float(t), p) for t, p in zip(run.times_s, run.predictions)]
+        )
+    scripts = [
+        build_script(logs[i % DRIVES], f"ue-{i:03d}", configs)
+        for i in range(SESSIONS)
+    ]
+
+    sweep = []
+    for n_shards in shard_counts:
+        # The load generator forks alongside the server so a single
+        # client core can never be the bottleneck being measured.
+        processes = min(n_shards, 8)
+        pid, port = spawn_server(
+            ServerConfig(batched=True, shards=n_shards, routing="auto")
+        )
+        try:
+            result = run_load(port, scripts, collect=True, processes=processes)
+        finally:
+            exit_code = stop_server(pid)
+        assert exit_code == 0, f"{n_shards}-shard daemon did not exit cleanly"
+        assert result.failed == 0 and result.completed == len(scripts)
+        for i, script in enumerate(scripts):
+            bye = result.byes[script.session_id]
+            assert bye["answered"] == script.n_ticks
+            assert bye["dropped"] == 0 and bye["lost"] == 0
+            expected = offline[i % DRIVES]
+            got = result.predictions[script.session_id]
+            assert len(got) == len(expected)
+            for (t, ho, _sc, _sim, _lead, _lvl), (rt, rho) in zip(got, expected):
+                assert t == rt and ho is rho, (
+                    f"{n_shards}-shard serving diverged from the offline "
+                    f"replay ({script.session_id} @ t={t})"
+                )
+        entry = result.summary()
+        entry["shards"] = n_shards
+        entry["loadgen_processes"] = processes
+        sweep.append(entry)
+
+    baseline = sweep[0]["sessions_per_s"]
+    for entry in sweep:
+        entry["speedup_vs_1_shard"] = round(entry["sessions_per_s"] / baseline, 3)
+        entry["scaling_efficiency"] = round(
+            entry["speedup_vs_1_shard"] / entry["shards"], 3
+        )
+    at_cpus = next(e for e in sweep if e["shards"] == min(cpus, max(shard_counts)))
+    if not SMOKE:
+        if cpus >= 4:
+            assert at_cpus["speedup_vs_1_shard"] >= 1.8, (
+                f"{at_cpus['shards']} shards on {cpus} cores must clear 1.8x "
+                f"one shard (got {at_cpus['speedup_vs_1_shard']:.2f}x)"
+            )
+        else:
+            # Single-core (and 2-3 core) guard: the sharded path must
+            # not tank throughput even without cores to scale onto.
+            assert at_cpus["speedup_vs_1_shard"] >= 0.9, (
+                f"sharding regressed throughput on {cpus} core(s) "
+                f"(got {at_cpus['speedup_vs_1_shard']:.2f}x)"
+            )
+
+    payload = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
+    payload["shard_scaling"] = {
+        "cpus": cpus,
+        "sessions": SESSIONS,
+        "smoke": SMOKE,
+        "sweep": sweep,
+        "identical_to_offline": True,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_header("Serving layer: engine shard scaling")
+    print(f"  {cpus} cpu(s), {SESSIONS} sessions per run")
+    for entry in sweep:
+        print(
+            f"  {entry['shards']:>2} shard(s): {entry['sessions_per_s']:8.3f} "
+            f"sessions/s  p50 {entry['p50_ms']:7.3f} ms  "
+            f"p99 {entry['p99_ms']:8.3f} ms  "
+            f"{entry['speedup_vs_1_shard']:5.2f}x "
+            f"(efficiency {entry['scaling_efficiency']:.2f})"
+        )

@@ -7,18 +7,20 @@ duration decompositions (§5.2), energy budgets (§5.3), coverage
 footprints (§6.1), around-handover throughput phases (§6.2), and
 co-location effects (§6.3).
 
-The §5.1 frequency and §5.3 energy analyses additionally accept
-:class:`~repro.simulate.columnar.ColumnarLog` packed arrays directly —
-including memory-mapped corpus-store slices — and run as column scans
-without materialising tick or handover objects. Their original
-per-record list scans are kept as ``*_reference`` functions and pinned
-bit-identical by the equivalence tests.
+Every analysis runs columnar: inputs are normalised through
+:func:`repro.analysis.inputs.columnar_logs` (``DriveLog``,
+``ColumnarLog``, ``DriveRef``, or a whole memory-mapped
+``CorpusView``) and scanned as packed arrays without materialising
+tick or handover objects. The original per-record list scans are kept
+as ``*_reference`` functions and pinned bit-identical by the
+equivalence tests.
 """
 
 from repro.analysis.stats import SeriesSummary, summarize
 from repro.analysis.frequency import (
     handover_spacing_km,
     handover_rate_per_km,
+    signaling_breakdown,
     signaling_per_km,
     FrequencyBreakdown,
     frequency_breakdown,
@@ -64,6 +66,7 @@ __all__ = [
     "hourly_energy_budget",
     "nr_coverage_segments_m",
     "phase_throughput",
+    "signaling_breakdown",
     "signaling_per_km",
     "stage_durations_ms",
     "summarize",

@@ -8,25 +8,25 @@ handovers per hour costing ~34.7 mAh (mmWave: ~998 / ~81.7 mAh;
 Runs on :class:`~repro.simulate.columnar.ColumnarLog` packed arrays
 (``ho_energy_j``, ``ho_t1_ms``/``ho_t2_ms``, the ``ho_type`` index
 column), so memory-mapped corpus slices are analysed without
-materialising handover records. ``DriveLog`` inputs are accepted too
-(their memoized packing is used). The original list scans survive as
-``*_reference`` implementations for the equivalence tests.
+materialising handover records. Inputs are the full union of
+:func:`repro.analysis.inputs.columnar_logs` — ``DriveLog``,
+``ColumnarLog``, ``DriveRef``, or a whole ``CorpusView``. The original
+list scans survive as ``*_reference`` implementations for the
+equivalence tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
 from repro.analysis.frequency import FIVE_G_NSA_TYPES, FOUR_G_TYPES, _distance_km
+from repro.analysis.inputs import Logs, columnar_logs
 from repro.rrc.taxonomy import HandoverType
-from repro.simulate.columnar import ColumnarLog, as_columnar
+from repro.simulate.columnar import ColumnarLog
 from repro.simulate.records import DriveLog
 from repro.ue.energy import joules_to_mah
-
-Logs = Sequence["DriveLog | ColumnarLog"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,7 +59,7 @@ def _type_mask(clog: ColumnarLog, wanted: set[HandoverType]) -> np.ndarray:
 
 def energy_breakdown(logs: Logs, types: tuple[HandoverType, ...]) -> EnergyBreakdown:
     """Per-HO and per-km energy for the given procedure types."""
-    clogs = [as_columnar(log) for log in logs]
+    clogs = columnar_logs(logs)
     distance = _distance_km(clogs)
     if distance <= 0:
         raise ValueError("logs cover no distance")

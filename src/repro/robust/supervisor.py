@@ -45,6 +45,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import signal
 import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -114,6 +115,39 @@ def backoff_s(round_no: int, salt: object = "") -> float:
     digest = hashlib.sha256(f"{round_no}|{salt}".encode()).digest()
     jitter = int.from_bytes(digest[:8], "big") / 2.0**64
     return BACKOFF_BASE_S * (2 ** min(round_no, 3)) * (0.5 + jitter)
+
+
+def reap_process(
+    pid: int,
+    *,
+    timeout_s: float = 10.0,
+    term: bool = False,
+    poll_s: float = 0.02,
+) -> int:
+    """Reap a direct child with a kill ladder; returns its exit code.
+
+    Optionally SIGTERMs first (``term=True``), then polls ``waitpid``
+    for up to ``timeout_s``; a child that has not exited by then is
+    SIGKILLed and reaped unconditionally, so a wedged serving daemon or
+    shard can never leave an orphan behind a crashed client
+    (:func:`repro.serve.loadgen.stop_server` and the shard controller
+    both sit on this ladder). An already-reaped pid returns 0.
+    """
+    try:
+        if term:
+            os.kill(pid, signal.SIGTERM)
+        deadline = time.monotonic() + timeout_s
+        while True:
+            done, status = os.waitpid(pid, os.WNOHANG)
+            if done == pid:
+                return os.waitstatus_to_exitcode(status)
+            if time.monotonic() >= deadline:
+                os.kill(pid, signal.SIGKILL)
+                _, status = os.waitpid(pid, 0)
+                return os.waitstatus_to_exitcode(status)
+            time.sleep(poll_s)
+    except (ChildProcessError, ProcessLookupError):
+        return 0
 
 
 def _run_chunk(

@@ -11,6 +11,13 @@ cross-session micro-batcher (:mod:`repro.serve.batcher` +
 into single batched forecast/trigger/MPC passes that are bit-identical
 to the per-session scalar pipeline.
 
+One engine process is one core; :mod:`repro.serve.shard` scales the
+daemon across cores by forking ``REPRO_SERVE_SHARDS`` engine worker
+processes behind an acceptor/controller that routes each UE session to
+a shard — kernel-side via ``SO_REUSEPORT`` listeners or user-side via
+consistent-hash fd handoff — and respawns/degrades crashed shards
+individually.
+
 The closed-loop load generator (:mod:`repro.serve.loadgen`) drives
 simulated clients from drive logs or corpus slices and measures
 sessions/sec and per-tick latency percentiles for the bench
@@ -20,6 +27,7 @@ sessions/sec and per-tick latency percentiles for the bench
 from repro.serve.batcher import BatchTuning
 from repro.serve.protocol import FrameDecoder, FrameError, MAX_FRAME
 from repro.serve.server import PrognosServer, ServerConfig
+from repro.serve.shard import ShardedPrognosServer, make_server
 
 __all__ = [
     "BatchTuning",
@@ -28,4 +36,6 @@ __all__ = [
     "MAX_FRAME",
     "PrognosServer",
     "ServerConfig",
+    "ShardedPrognosServer",
+    "make_server",
 ]

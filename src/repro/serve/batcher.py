@@ -28,24 +28,19 @@ Knobs (read once at server construction):
 from __future__ import annotations
 
 import asyncio
-import os
 from dataclasses import dataclass
 
-
-def _env_int(name: str, default: int, minimum: int) -> int:
-    raw = os.environ.get(name, "")
-    if not raw:
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        return default
-    return max(value, minimum)
+from repro.serve.env import env_int
 
 
 @dataclass(frozen=True)
 class BatchTuning:
-    """Micro-batcher knobs (``REPRO_SERVE_BATCH*``)."""
+    """Micro-batcher knobs (``REPRO_SERVE_BATCH*``).
+
+    Malformed or negative values warn once and fall back to the
+    defaults (:mod:`repro.serve.env`) instead of raising inside the
+    server.
+    """
 
     max_batch: int = 64
     max_wait_us: int = 0
@@ -53,8 +48,8 @@ class BatchTuning:
     @classmethod
     def from_env(cls) -> "BatchTuning":
         return cls(
-            max_batch=_env_int("REPRO_SERVE_BATCH", 64, 1),
-            max_wait_us=_env_int("REPRO_SERVE_BATCH_WAIT_US", 0, 0),
+            max_batch=env_int("REPRO_SERVE_BATCH", 64, minimum=1),
+            max_wait_us=env_int("REPRO_SERVE_BATCH_WAIT_US", 0, minimum=0),
         )
 
 

@@ -1,0 +1,63 @@
+"""Validated ``REPRO_SERVE_*`` environment knobs.
+
+Every serving knob goes through these helpers, which follow the
+``default_workers`` convention (:func:`repro.simulate.runner.
+default_workers`): a malformed, negative, or out-of-range value earns
+one :class:`RuntimeWarning` naming the variable and the fallback, and
+the default is used — the server never raises deep inside its event
+loop because an operator exported ``REPRO_SERVE_SHARDS=lots``.
+
+"Warn once" is per (variable, raw value) per process, so a daemon that
+re-reads its knobs on every accepted session does not spam the log,
+while changing the broken value to a differently broken one still
+warns.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+#: (name, raw value) pairs already warned about in this process.
+_warned: set[tuple[str, str]] = set()
+
+
+def _warn_once(name: str, raw: str, why: str, default) -> None:
+    key = (name, raw)
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(
+        f"{name}={raw!r} {why}; falling back to the default {default!r}",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+def env_int(name: str, default: int, minimum: int = 0) -> int:
+    """An integer knob; non-integers and values below ``minimum`` warn
+    once and fall back to ``default``."""
+    raw = os.environ.get(name, "")
+    if raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        _warn_once(name, raw, "is not an integer", default)
+        return default
+    if value < minimum:
+        _warn_once(name, raw, f"is below the minimum {minimum}", default)
+        return default
+    return value
+
+
+def env_choice(name: str, default: str, choices: tuple[str, ...]) -> str:
+    """An enumerated knob; unknown values warn once and fall back."""
+    raw = os.environ.get(name, "")
+    if raw == "":
+        return default
+    value = raw.strip().lower()
+    if value not in choices:
+        _warn_once(name, raw, f"is not one of {choices}", default)
+        return default
+    return value

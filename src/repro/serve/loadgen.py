@@ -17,18 +17,22 @@ of the measurement as far as possible. The client's buffer model is
 deterministic, so two runs over the same scripts (e.g. the bench's
 sequential vs micro-batched servers) present byte-identical inputs.
 
-All clients run in one process on a ``selectors`` loop —
-``run_load`` — and the helpers :func:`spawn_server` /
-:func:`stop_server` fork a serving daemon for benches, tests, and the
-CI smoke CLI (``python -m repro.serve.loadgen``).
+Clients run on a ``selectors`` loop — ``run_load``, optionally forked
+across ``processes`` worker processes so a single generator core can't
+bottleneck a multi-shard server under test — and the helpers
+:func:`spawn_server` / :func:`stop_server` fork a serving daemon
+(sharded when the config resolves to more than one engine process) for
+benches, tests, and the CI smoke CLI (``python -m repro.serve.loadgen``).
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import json
 import os
+import pickle
 import selectors
 import signal
 import socket
@@ -39,9 +43,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.evaluation import _replay_plan, configs_for_log
+from repro.robust.supervisor import reap_process
 from repro.serve import protocol
 from repro.serve.protocol import ABR_PATCH, ABR_PATCH_OFFSET, FrameDecoder, frame
-from repro.serve.server import PrognosServer, ServerConfig
+from repro.serve.server import ServerConfig
+from repro.serve.shard import make_server, resolve_shards
 
 #: A DASH-style ladder spanning the simulated capacity range (Mbps).
 DEFAULT_LEVELS_MBPS = [3.0, 7.5, 12.0, 18.5, 28.5, 43.0]
@@ -198,8 +204,27 @@ def run_load(
     collect: bool = False,
     abort_after: dict[str, int] | None = None,
     timeout_s: float = 600.0,
+    processes: int = 1,
 ) -> "LoadgenResult":
-    """Drive every script to completion against a running server."""
+    """Drive every script to completion against a running server.
+
+    With ``processes > 1`` the scripts are struck round-robin across
+    that many forked generator processes (each its own ``selectors``
+    loop and core) and the per-process results are merged — raw
+    latencies included, so percentiles stay exact. Required to
+    saturate a multi-shard server: one generator process is itself a
+    single-core closed loop.
+    """
+    if processes > 1 and len(scripts) > 1:
+        return _run_load_forked(
+            port,
+            scripts,
+            host=host,
+            collect=collect,
+            abort_after=abort_after,
+            timeout_s=timeout_s,
+            processes=min(processes, len(scripts)),
+        )
     sel = selectors.DefaultSelector()
     abort_after = abort_after or {}
     clients = [
@@ -233,6 +258,59 @@ def run_load(
                 active -= 1
     wall_s = (time.perf_counter_ns() - t0) / 1e9
     return LoadgenResult.aggregate(clients, wall_s)
+
+
+def _run_load_forked(
+    port: int,
+    scripts: list[ClientScript],
+    *,
+    host: str,
+    collect: bool,
+    abort_after: dict[str, int] | None,
+    timeout_s: float,
+    processes: int,
+) -> "LoadgenResult":
+    slices = [scripts[i::processes] for i in range(processes)]
+    t0 = time.perf_counter_ns()
+    children: list[tuple[int, int]] = []
+    for chunk in slices:
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            os.close(read_fd)
+            status = 0
+            try:
+                result = run_load(
+                    port,
+                    chunk,
+                    host=host,
+                    collect=collect,
+                    abort_after=abort_after,
+                    timeout_s=timeout_s,
+                )
+                with os.fdopen(write_fd, "wb") as fh:
+                    fh.write(pickle.dumps(result))
+            except BaseException:
+                status = 1
+                with contextlib.suppress(OSError):
+                    os.close(write_fd)
+            os._exit(status)
+        os.close(write_fd)
+        children.append((pid, read_fd))
+    parts: list[LoadgenResult] = []
+    failures = 0
+    for pid, read_fd in children:
+        with os.fdopen(read_fd, "rb") as fh:
+            blob = fh.read()
+        _, status = os.waitpid(pid, 0)
+        if os.waitstatus_to_exitcode(status) != 0 or not blob:
+            failures += 1
+            continue
+        parts.append(pickle.loads(blob))
+    wall_s = (time.perf_counter_ns() - t0) / 1e9
+    if failures:
+        raise RuntimeError(f"{failures} load generator worker(s) crashed")
+    return LoadgenResult.merge(parts, wall_s)
 
 
 def _set_mask(sel, client, mask) -> None:
@@ -385,12 +463,14 @@ class LoadgenResult:
     byes: dict = field(default_factory=dict)
     predictions: dict = field(default_factory=dict)
     errors: dict = field(default_factory=dict)
+    #: Raw per-tick latencies, kept so merging per-process results
+    #: (:meth:`merge`) recomputes percentiles exactly.
+    latencies_ns: list = field(default_factory=list, repr=False)
 
     @classmethod
     def aggregate(cls, clients: list[_Client], wall_s: float) -> "LoadgenResult":
-        latencies = np.array(
-            [ns for c in clients for ns in c.latencies_ns], dtype=float
-        )
+        raw = [ns for c in clients for ns in c.latencies_ns]
+        latencies = np.array(raw, dtype=float)
         ticks = int(latencies.size)
         if ticks:
             p50, p99, p999 = np.percentile(latencies, [50.0, 99.0, 99.9]) / 1e6
@@ -420,6 +500,43 @@ class LoadgenResult:
                 c.script.session_id: c.predictions for c in clients if c.collect
             },
             errors={c.script.session_id: c.error for c in clients if c.error},
+            latencies_ns=raw,
+        )
+
+    @classmethod
+    def merge(cls, parts: list["LoadgenResult"], wall_s: float) -> "LoadgenResult":
+        """Combine per-process results under the parent's wall clock."""
+        raw = [ns for p in parts for ns in p.latencies_ns]
+        latencies = np.array(raw, dtype=float)
+        ticks = int(latencies.size)
+        if ticks:
+            p50, p99, p999 = np.percentile(latencies, [50.0, 99.0, 99.9]) / 1e6
+        else:
+            p50 = p99 = p999 = float("nan")
+        completed = sum(p.completed for p in parts)
+        byes: dict = {}
+        predictions: dict = {}
+        errors: dict = {}
+        for part in parts:
+            byes.update(part.byes)
+            predictions.update(part.predictions)
+            errors.update(part.errors)
+        return cls(
+            sessions=sum(p.sessions for p in parts),
+            completed=completed,
+            aborted=sum(p.aborted for p in parts),
+            failed=sum(p.failed for p in parts),
+            ticks=ticks,
+            wall_s=wall_s,
+            sessions_per_s=completed / wall_s if wall_s > 0 else 0.0,
+            ticks_per_s=ticks / wall_s if wall_s > 0 else 0.0,
+            p50_ms=float(p50),
+            p99_ms=float(p99),
+            p999_ms=float(p999),
+            byes=byes,
+            predictions=predictions,
+            errors=errors,
+            latencies_ns=raw,
         )
 
     def summary(self) -> dict:
@@ -444,7 +561,7 @@ class LoadgenResult:
 
 
 async def _serve_until_sigterm(config: ServerConfig, write_fd: int) -> None:
-    server = PrognosServer(config)
+    server = make_server(config)
     await server.start()
     os.write(write_fd, f"{server.port}\n".encode())
     os.close(write_fd)
@@ -455,7 +572,13 @@ async def _serve_until_sigterm(config: ServerConfig, write_fd: int) -> None:
 
 
 def spawn_server(config: ServerConfig) -> tuple[int, int]:
-    """Fork a serving daemon; returns ``(pid, port)`` once it listens."""
+    """Fork a serving daemon; returns ``(pid, port)`` once it listens.
+
+    When ``config`` resolves to more than one shard
+    (:func:`repro.serve.shard.resolve_shards`) the daemon is the
+    sharded controller and the returned pid is the controller's — its
+    engine workers are the controller's own children and die with it.
+    """
     read_fd, write_fd = os.pipe()
     pid = os.fork()
     if pid == 0:
@@ -470,15 +593,20 @@ def spawn_server(config: ServerConfig) -> tuple[int, int]:
     with os.fdopen(read_fd) as fh:
         line = fh.readline().strip()
     if not line:
+        with contextlib.suppress(ChildProcessError):
+            reap_process(pid, timeout_s=5.0)
         raise RuntimeError("server child died before listening")
     return pid, int(line)
 
 
-def stop_server(pid: int) -> int:
-    """SIGTERM the daemon; returns its exit code (0 = clean shutdown)."""
-    os.kill(pid, signal.SIGTERM)
-    _, status = os.waitpid(pid, 0)
-    return os.waitstatus_to_exitcode(status)
+def stop_server(pid: int, *, timeout_s: float = 15.0) -> int:
+    """SIGTERM the daemon and reap it; returns its exit code.
+
+    Escalates to SIGKILL after ``timeout_s`` so a daemon wedged in
+    shutdown — or orphaned by a client that died mid-handshake and left
+    a connection half-routed — can never leak past the caller.
+    """
+    return reap_process(pid, term=True, timeout_s=timeout_s)
 
 
 # ----------------------------------------------------------------------
@@ -498,6 +626,21 @@ def main(argv: list[str] | None = None) -> int:
         "--mode", choices=("batched", "sequential"), default="batched"
     )
     parser.add_argument("--seed", type=int, default=101)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="engine shard processes (default: REPRO_SERVE_SHARDS / cpus-1)",
+    )
+    parser.add_argument(
+        "--routing", choices=("auto", "reuseport", "handoff"), default="auto"
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="load generator worker processes",
+    )
     args = parser.parse_args(argv)
 
     from repro.radio.bands import BandClass
@@ -523,13 +666,17 @@ def main(argv: list[str] | None = None) -> int:
         )
         for i in range(args.sessions)
     ]
-    pid, port = spawn_server(ServerConfig(batched=args.mode == "batched"))
+    config = ServerConfig(
+        batched=args.mode == "batched", shards=args.shards, routing=args.routing
+    )
+    pid, port = spawn_server(config)
     try:
-        result = run_load(port, scripts)
+        result = run_load(port, scripts, processes=args.processes)
     finally:
         exit_code = stop_server(pid)
     summary = result.summary()
     summary["mode"] = args.mode
+    summary["shards"] = resolve_shards(config)
     summary["server_exit"] = exit_code
     print(json.dumps(summary, indent=2))
     if exit_code != 0:

@@ -125,6 +125,34 @@ class FrameDecoder:
         return len(self._buffer)
 
 
+async def read_frame_sock(loop, sock) -> bytes | None:
+    """Read exactly one frame off a non-blocking socket; None on EOF.
+
+    Used by the shard controller to pull the handshake frame — and not
+    one byte more — before handing the connection fd to a shard. An
+    asyncio ``StreamReader`` buffers greedily, so a pipelining client's
+    tick frames would be stranded in the controller; ``loop.sock_recv``
+    is capped at the bytes still owed, so everything after the hello
+    stays in the kernel buffer and travels with the fd.
+    """
+    buf = bytearray()
+    while len(buf) < _LEN.size:
+        chunk = await loop.sock_recv(sock, _LEN.size - len(buf))
+        if not chunk:
+            return None
+        buf += chunk
+    (length,) = _LEN.unpack(bytes(buf))
+    if length > MAX_FRAME:
+        raise FrameError(f"frame length {length} exceeds MAX_FRAME")
+    payload = bytearray()
+    while len(payload) < length:
+        chunk = await loop.sock_recv(sock, length - len(payload))
+        if not chunk:
+            return None
+        payload += chunk
+    return bytes(payload)
+
+
 async def read_frame(reader) -> bytes | None:
     """Read one frame from an asyncio stream; None on clean EOF."""
     try:

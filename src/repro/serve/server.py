@@ -69,6 +69,21 @@ class ServerConfig:
     write_high_water: int = 256 * 1024
     #: Engine crash budget before the server degrades to sequential.
     engine_restarts: int = 2
+    #: Engine worker processes. ``None`` reads ``REPRO_SERVE_SHARDS``
+    #: (default ``cpu_count() - 1``); a resolved count > 1 makes
+    #: ``spawn_server`` run the multi-process
+    #: :class:`~repro.serve.shard.ShardedPrognosServer` instead of one
+    #: :class:`PrognosServer`. Direct ``PrognosServer`` construction
+    #: always serves single-process and ignores this field.
+    shards: int | None = None
+    #: Session→shard routing: ``"auto"`` picks kernel ``SO_REUSEPORT``
+    #: listeners where available, else the user-level consistent-hash
+    #: fd handoff; ``"reuseport"`` / ``"handoff"`` force a mode.
+    routing: str = "auto"
+    #: Shard process crash budget before a shard is respawned degraded
+    #: (inline-sequential). Per shard, on top of the per-process engine
+    #: ladder above.
+    shard_restarts: int = 2
     prognos_config: PrognosConfig | None = None
     #: Offline-mined patterns every new session warm-starts from.
     bootstrap: dict[Pattern, int] | None = None
@@ -141,8 +156,19 @@ class _Connection:
 class PrognosServer:
     """Long-lived serving daemon; see the module docstring."""
 
-    def __init__(self, config: ServerConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        *,
+        shard_id: int | None = None,
+        generation: int = 0,
+    ) -> None:
         self.config = config or ServerConfig()
+        #: Which shard of a sharded daemon this engine is (None when it
+        #: is the whole daemon) and how many times the controller has
+        #: respawned it; both surface in stats and every bye frame.
+        self.shard_id = shard_id
+        self.generation = generation
         self._sessions: dict[str, _Connection] = {}
         #: Sessions with equal event-config lists must share one list
         #: object — the forecast engine keys trigger cohorts by id().
@@ -150,11 +176,15 @@ class PrognosServer:
         self._collector: BatchCollector | None = None
         self._server: asyncio.Server | None = None
         self._engine_task: asyncio.Task | None = None
+        self._adopted: set[asyncio.Task] = set()
         self._running = False
         self._degraded = False
         self.engine_restarts = 0
         self.batches = 0
         self.batch_ticks = 0
+        self.sessions_total = 0
+        self.dropped_total = 0
+        self.lost_total = 0
         #: Test hook: an exception instance raised at the top of the
         #: next engine pass (exercises the supervision ladder).
         self._inject_engine_fault: BaseException | None = None
@@ -168,14 +198,47 @@ class PrognosServer:
         assert self._server is not None, "server not started"
         return self._server.sockets[0].getsockname()[1]
 
-    async def start(self) -> None:
+    async def start_engine(self) -> None:
+        """Arm the engine without a TCP listener (fd-handoff shards)."""
         self._running = True
         self._collector = BatchCollector(self.config.tuning)
-        self._server = await asyncio.start_server(
-            self._handle_client, self.config.host, self.config.port
-        )
         if self.config.batched:
             self._engine_task = asyncio.create_task(self._engine_supervisor())
+
+    async def start(self, *, sock: socket.socket | None = None) -> None:
+        """Start the engine and listen — on ``sock`` when given (a
+        pre-bound ``SO_REUSEPORT`` shard listener), else on the
+        configured host/port."""
+        await self.start_engine()
+        if sock is not None:
+            self._server = await asyncio.start_server(self._handle_client, sock=sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, self.config.host, self.config.port
+            )
+
+    def adopt(self, sock: socket.socket, first_payload: bytes) -> asyncio.Task:
+        """Serve a connection handed over by the shard controller.
+
+        ``first_payload`` is the handshake frame the controller already
+        consumed for routing; everything after it is still in the
+        socket and is read here, so tick frames never transit the
+        controller.
+        """
+
+        async def _serve() -> None:
+            try:
+                reader, writer = await asyncio.open_connection(sock=sock)
+            except OSError:
+                with contextlib.suppress(OSError):
+                    sock.close()
+                return
+            await self._handle_client(reader, writer, first_payload=first_payload)
+
+        task = asyncio.create_task(_serve())
+        self._adopted.add(task)
+        task.add_done_callback(self._adopted.discard)
+        return task
 
     async def shutdown(self) -> None:
         """Stop accepting, stop the engine, drop every connection."""
@@ -188,6 +251,8 @@ class PrognosServer:
             with contextlib.suppress(asyncio.CancelledError):
                 await self._engine_task
             self._engine_task = None
+        for task in list(self._adopted):
+            task.cancel()
         for conn in list(self._sessions.values()):
             if conn.flusher is not None:
                 conn.flusher.cancel()
@@ -202,14 +267,26 @@ class PrognosServer:
         await self.shutdown()
 
     def stats(self) -> dict:
-        return {
-            "sessions": len(self._sessions),
+        live = list(self._sessions.values())
+        stats = {
+            "sessions": len(live),
+            "sessions_total": self.sessions_total,
             "batched": self.config.batched,
             "degraded": self._degraded,
             "engine_restarts": self.engine_restarts,
             "batches": self.batches,
             "batch_ticks": self.batch_ticks,
+            #: Queue depths right now: unanswered ticks and undelivered
+            #: predictions, summed across live sessions.
+            "inbox_depth": sum(c.pending for c in live),
+            "outbox_depth": sum(len(c.outbox) for c in live),
+            "dropped": self.dropped_total + sum(c.dropped for c in live),
+            "lost": self.lost_total + sum(c.lost for c in live),
         }
+        if self.shard_id is not None:
+            stats["shard"] = self.shard_id
+            stats["shard_restarts"] = self.generation
+        return stats
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -219,7 +296,7 @@ class PrognosServer:
         configs = protocol.decode_event_configs(spec)
         return self._config_intern.setdefault(tuple(configs), configs)
 
-    async def _handle_client(self, reader, writer) -> None:
+    async def _handle_client(self, reader, writer, first_payload=None) -> None:
         conn: _Connection | None = None
         session_id: str | None = None
         try:
@@ -228,7 +305,7 @@ class PrognosServer:
                 # Predictions are latency-sensitive single small frames;
                 # never let them sit behind Nagle waiting for an ACK.
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            conn = await self._handshake(reader, writer)
+            conn = await self._handshake(reader, writer, first_payload)
             if conn is None:
                 return
             session_id = conn.session.session_id
@@ -246,6 +323,8 @@ class PrognosServer:
             if session_id is not None and self._sessions.get(session_id) is conn:
                 del self._sessions[session_id]
             if conn is not None:
+                self.dropped_total += conn.dropped
+                self.lost_total += conn.lost
                 if conn.flusher is not None:
                     conn.flusher.cancel()
                 conn.kill()
@@ -253,8 +332,12 @@ class PrognosServer:
                 with contextlib.suppress(Exception):
                     writer.close()
 
-    async def _handshake(self, reader, writer) -> _Connection | None:
-        payload = await read_frame(reader)
+    async def _handshake(
+        self, reader, writer, first_payload: bytes | None = None
+    ) -> _Connection | None:
+        payload = (
+            first_payload if first_payload is not None else await read_frame(reader)
+        )
         if payload is None:
             with contextlib.suppress(Exception):
                 writer.close()
@@ -289,18 +372,16 @@ class PrognosServer:
             session, reader, writer, policy, self.config.outbox_limit
         )
         self._sessions[session_id] = conn
-        writer.write(
-            frame(
-                protocol.encode_json(
-                    {
-                        "type": "welcome",
-                        "version": protocol.PROTOCOL_VERSION,
-                        "session": session_id,
-                        "batched": self.config.batched,
-                    }
-                )
-            )
-        )
+        self.sessions_total += 1
+        welcome = {
+            "type": "welcome",
+            "version": protocol.PROTOCOL_VERSION,
+            "session": session_id,
+            "batched": self.config.batched,
+        }
+        if self.shard_id is not None:
+            welcome["shard"] = self.shard_id
+        writer.write(frame(protocol.encode_json(welcome)))
         await writer.drain()
         return conn
 
@@ -359,20 +440,18 @@ class PrognosServer:
                 # Let the flusher empty the outbox before the goodbye.
                 while conn.outbox and not conn.closed:
                     await asyncio.sleep(0)
-                conn.writer.write(
-                    frame(
-                        protocol.encode_json(
-                            {
-                                "type": "bye",
-                                "session": conn.session.session_id,
-                                "ticks": conn.ticks_in,
-                                "answered": conn.session.ticks,
-                                "dropped": conn.dropped,
-                                "lost": conn.lost,
-                            }
-                        )
-                    )
-                )
+                bye = {
+                    "type": "bye",
+                    "session": conn.session.session_id,
+                    "ticks": conn.ticks_in,
+                    "answered": conn.session.ticks,
+                    "dropped": conn.dropped,
+                    "lost": conn.lost,
+                }
+                if self.shard_id is not None:
+                    bye["shard"] = self.shard_id
+                    bye["shard_restarts"] = self.generation
+                conn.writer.write(frame(protocol.encode_json(bye)))
                 await conn.writer.drain()
                 return
             elif tag == b"{":

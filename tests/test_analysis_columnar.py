@@ -21,6 +21,24 @@ from repro.analysis.duration import (
     stage_durations_ms,
     stage_durations_ms_reference,
 )
+from repro.analysis.energy import (
+    energy_breakdown,
+    energy_breakdown_reference,
+    hourly_energy_budget,
+)
+from repro.analysis.frequency import (
+    FIVE_G_NSA_TYPES,
+    FOUR_G_TYPES,
+    SA_TYPES,
+    frequency_breakdown,
+    frequency_breakdown_reference,
+    handover_rate_per_km,
+    handover_rate_per_km_reference,
+    signaling_breakdown,
+    signaling_breakdown_reference,
+    signaling_per_km,
+    signaling_per_km_reference,
+)
 from repro.radio.bands import BandClass
 from repro.rrc.taxonomy import HandoverType
 from repro.simulate.columnar import as_columnar
@@ -149,3 +167,59 @@ def test_ho_score_table_matches_across_input_shapes(drive_logs, store_view):
     from_logs = ho_score_table(drive_logs)
     assert from_logs
     assert ho_score_table(store_view) == from_logs
+
+
+# ----------------------------------------------------------------------
+# Frequency, signaling, and energy (§5.1/§5.3): the last list-scan
+# consumers, now normalised through analysis.inputs.columnar_logs
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("types", [FOUR_G_TYPES, FIVE_G_NSA_TYPES, SA_TYPES])
+def test_handover_rate_matches_reference(drive_logs, store_view, types):
+    expected = handover_rate_per_km_reference(drive_logs, types)
+    assert handover_rate_per_km(drive_logs, types) == expected
+    assert handover_rate_per_km(store_view, types) == expected
+
+
+def test_frequency_breakdown_matches_reference(drive_logs, store_view):
+    expected = frequency_breakdown_reference(drive_logs)
+    assert expected.count_by_type  # the corpus exercises the path
+    assert frequency_breakdown(drive_logs) == expected
+    assert frequency_breakdown(store_view) == expected
+
+
+def test_signaling_per_km_matches_reference(drive_logs, store_view):
+    expected = signaling_per_km_reference(drive_logs)
+    assert expected.total_per_km > 0
+    assert signaling_per_km(drive_logs) == expected
+    assert signaling_per_km(store_view) == expected
+
+
+def test_signaling_breakdown_matches_reference(drive_logs, store_view):
+    expected = signaling_breakdown_reference(drive_logs)
+    assert len(expected) > 1  # more than one procedure type in the corpus
+    assert signaling_breakdown(drive_logs) == expected
+    assert signaling_breakdown(store_view) == expected
+
+
+def test_signaling_breakdown_sums_to_totals(drive_logs):
+    """The per-type decomposition accounts for every tallied message."""
+    per_type = signaling_breakdown(drive_logs)
+    rates = signaling_per_km(drive_logs)
+    distance = frequency_breakdown(drive_logs).distance_km
+    total = sum(t.total for t in per_type.values())
+    assert total == pytest.approx(rates.total_per_km * distance)
+
+
+@pytest.mark.parametrize("types", [FOUR_G_TYPES, FIVE_G_NSA_TYPES])
+def test_energy_breakdown_matches_reference(drive_logs, store_view, types):
+    expected = energy_breakdown_reference(drive_logs, types)
+    assert energy_breakdown(drive_logs, types) == expected
+    assert energy_breakdown(store_view, types) == expected
+
+
+def test_hourly_budget_accepts_store_slices(drive_logs, store_view):
+    assert hourly_energy_budget(store_view, FIVE_G_NSA_TYPES) == hourly_energy_budget(
+        drive_logs, FIVE_G_NSA_TYPES
+    )

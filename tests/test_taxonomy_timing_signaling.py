@@ -168,3 +168,27 @@ class TestSignaling:
             self._model().for_handover(
                 HandoverType.NONE, reports_observed=1, band_class=None
             )
+
+
+class TestSignalingBreakdownConsistency:
+    """The columnar §5.1 per-type decomposition reflects the model's
+    structural rules when scanned off a simulated drive's packed arrays."""
+
+    def test_per_type_tallies_respect_model_structure(self, freeway_low_log):
+        from repro.analysis.frequency import signaling_breakdown
+
+        per_type = signaling_breakdown([freeway_low_log])
+        counts = freeway_low_log.count_by_type()
+        assert set(per_type) == set(counts)
+        for ho_type, tally in per_type.items():
+            n = counts[ho_type]
+            # SCG Change is release + addition: two reconfiguration
+            # exchanges per handover; everything else has one.
+            reconf = (2 if ho_type is HandoverType.SCGC else 1) * n
+            assert tally.rrc_reconfigurations == reconf
+            assert tally.rrc_reconfiguration_completes == reconf
+            assert tally.rrc_measurement_reports >= n
+        if HandoverType.SCGR in per_type:
+            # SCG release needs no random access; only retry jitter shows.
+            n = counts[HandoverType.SCGR]
+            assert per_type[HandoverType.SCGR].rach_procedures <= n
