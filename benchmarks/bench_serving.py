@@ -28,16 +28,21 @@ Results land in ``BENCH_serving.json`` at the repo root.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
+import signal
 import time
+from functools import partial
 from pathlib import Path
 
 from repro.core.evaluation import configs_for_log, run_prognos_over_logs
 from repro.radio.bands import BandClass
 from repro.ran import OPX
+from repro.robust import faults
 from repro.serve.loadgen import build_script, run_load, spawn_server, stop_server
-from repro.serve.server import ServerConfig
+from repro.serve.server import PrognosServer, ServerConfig
+from repro.serve.shard import ShardedPrognosServer
 from repro.simulate.runner import run_drives
 from repro.simulate.scenarios import freeway_scenario
 
@@ -246,3 +251,149 @@ def test_shard_scaling(corpus):
             f"{entry['speedup_vs_1_shard']:5.2f}x "
             f"(efficiency {entry['scaling_efficiency']:.2f})"
         )
+
+
+# ----------------------------------------------------------------------
+# Resilience: chaos survival, resume latency, shed/evict accounting
+# ----------------------------------------------------------------------
+
+CHAOS_SPEC = (
+    "conn_reset:p=0.03,"
+    "frame_truncate:p=0.015,"
+    "byte_corrupt:p=0.015,"
+    "stall_s:p=0.01:hang_s=0.3,"
+    "reconnect_storm:p=0.01"
+)
+RES_SESSIONS = 4 if SMOKE else 8
+RES_LENGTH_KM = 1.0 if SMOKE else 1.6
+
+
+def test_serving_resilience(corpus, monkeypatch):
+    """The full degradation gauntlet in one run — network chaos, a
+    SIGKILLed shard, a rolling drain — against the stream-invariant
+    bar, recording resume latency and the shed/evict counters."""
+    logs = run_drives(
+        [
+            freeway_scenario(OPX, BandClass.LOW, length_km=RES_LENGTH_KM, seed=411 + i)
+            for i in range(2)
+        ],
+        cache=corpus.drive_cache,
+    )
+    configs = configs_for_log(OPX, (BandClass.LOW,))
+    offline = []
+    for log in logs:
+        run = run_prognos_over_logs([log], configs)
+        offline.append(
+            [(float(t), p) for t, p in zip(run.times_s, run.predictions)]
+        )
+    scripts = [
+        build_script(logs[i % 2], f"ue-{i:03d}", configs)
+        for i in range(RES_SESSIONS)
+    ]
+    monkeypatch.setenv(faults.ENV_VAR, CHAOS_SPEC)
+    faults.reset()
+
+    config = ServerConfig(
+        batched=True, shards=2, routing="auto", heartbeat_s=1.0, drain_s=2.0
+    )
+
+    async def chaos_run():
+        async with ShardedPrognosServer(config) as server:
+            loop = asyncio.get_running_loop()
+            start = time.perf_counter()
+            future = loop.run_in_executor(
+                None,
+                partial(run_load, server.port, scripts, collect=True, chaos=True),
+            )
+            await asyncio.sleep(0.6)
+            os.kill(server._shards[0].pid, signal.SIGKILL)
+            await asyncio.sleep(0.6)
+            await server.rolling_drain(1.0)
+            result = await future
+            wall_s = time.perf_counter() - start
+            stats = await server.stats()
+        return result, stats, wall_s
+
+    result, stats, wall_s = asyncio.run(chaos_run())
+    assert result.failed == 0 and result.completed == RES_SESSIONS
+    assert result.resumes > 0, "the chaos spec never bit"
+    for i, script in enumerate(scripts):
+        expected = offline[i % 2][: script.n_ticks]
+        got = result.predictions[script.session_id]
+        assert len(got) == len(expected)
+        for (t, ho, _sc, _sim, _lead, _lvl), (rt, rho) in zip(got, expected):
+            assert t == rt and ho is rho, (
+                f"chaos serving diverged from the offline replay "
+                f"({script.session_id} @ t={t})"
+            )
+
+    # Admission probe: a ceiling at half the cohort sheds hellos with
+    # retry_after; every shed client retries in and still completes.
+    pid, port = spawn_server(
+        ServerConfig(
+            batched=True, shards=1, max_sessions=max(2, RES_SESSIONS // 2)
+        )
+    )
+    try:
+        admission = run_load(port, scripts, resume=True)
+    finally:
+        assert stop_server(pid) == 0
+    assert admission.failed == 0 and admission.completed == RES_SESSIONS
+    assert admission.shed > 0, "the admission ceiling never bit"
+
+    # Eviction probe: stalls past twice the heartbeat trip the
+    # dead-peer sweep; the stalled clients resume and finish anyway.
+    monkeypatch.setenv(faults.ENV_VAR, "stall_s:p=0.02:hang_s=1.0")
+    faults.reset()
+
+    async def evict_run():
+        async with PrognosServer(
+            ServerConfig(batched=True, heartbeat_s=0.4)
+        ) as server:
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                None,
+                partial(run_load, server.port, scripts[:4], chaos=True),
+            )
+            return result, server.stats()
+
+    evict_result, evict_stats = asyncio.run(evict_run())
+    faults.reset()
+    assert evict_result.failed == 0 and evict_result.completed == 4
+    assert evict_stats["evicted_dead"] > 0, "no stall tripped the sweeper"
+
+    entry = {
+        "sessions": RES_SESSIONS,
+        "length_km": RES_LENGTH_KM,
+        "chaos_spec": CHAOS_SPEC,
+        "wall_s": round(wall_s, 3),
+        "resets": result.resets,
+        "resumes": result.resumes,
+        "restarts": result.restarts,
+        "resume_p50_ms": round(result.resume_p50_ms, 3),
+        "resume_p99_ms": round(result.resume_p99_ms, 3),
+        "shed": admission.shed,
+        "evicted_dead": evict_stats["evicted_dead"],
+        "evicted_idle": evict_stats["evicted_idle"],
+        "shard_crash_restarts": stats["restarts"],
+        "orphans_claimed": stats["orphans_claimed"],
+        "identical_to_offline": True,
+        "smoke": SMOKE,
+    }
+    payload = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
+    payload["resilience"] = entry
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_header("Serving layer: resilience under network chaos")
+    print(
+        f"  {RES_SESSIONS} sessions, kill+rolling-drain, spec {CHAOS_SPEC}"
+    )
+    print(
+        f"  resets {result.resets}  resumes {result.resumes}  "
+        f"restarts {result.restarts}  resume p50 "
+        f"{result.resume_p50_ms:.3f} ms  p99 {result.resume_p99_ms:.3f} ms"
+    )
+    print(
+        f"  shed {admission.shed}  evicted_dead {evict_stats['evicted_dead']}  "
+        f"(streams identical to offline)"
+    )

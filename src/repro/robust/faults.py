@@ -21,6 +21,23 @@ Fault names and where they fire:
 * ``cache_truncate`` — a published cache entry is truncated to half
   its bytes, so the next load hits the corrupt-entry branch.
 
+Network family — fired client-side by the serving load generator
+(:mod:`repro.serve.loadgen`) against a live Prognos server, keyed by
+``session@step`` with the reconnect count as the attempt, so a step
+that faulted once re-draws after the resume instead of looping:
+
+* ``conn_reset`` — hard-close the client socket mid-drive (the server
+  sees a reset and parks the session for resumption).
+* ``frame_truncate`` — send only a prefix of the next frame, then
+  hard-close (the server's framer never completes the frame).
+* ``byte_corrupt`` — flip the frame's tag byte before sending (the
+  server rejects the frame and drops the connection; payload bytes are
+  left alone so a resumed stream stays bit-comparable to the oracle).
+* ``stall_s`` — go silent for ``hang_s`` seconds mid-drive (long
+  stalls trip the server's dead-peer eviction; the client resumes).
+* ``reconnect_storm`` — drop and immediately resume several times in a
+  row before sending the step.
+
 Per-entry parameters (all optional):
 
 * ``p`` — firing probability in ``[0, 1]`` (default 1). The draw is a
@@ -32,10 +49,13 @@ Per-entry parameters (all optional):
 * ``attempts`` — fire only while the job's attempt number is below
   this (e.g. ``attempts=1`` fails the first try, lets the retry pass).
 * ``times`` — fire at most this many times per process (counted).
-* ``hang_s`` — ``worker_hang`` sleep length (default 60 s).
+* ``hang_s`` — ``worker_hang`` / ``stall_s`` sleep length (default
+  60 s / 0.5 s).
 
-Unknown names or malformed entries warn once and are ignored — a typo
-in a fault spec must not itself take the run down.
+Unknown names or malformed entries earn one :class:`RuntimeWarning`
+per (entry, reason) per process and are skipped, keeping the valid
+clauses — a typo in a fault spec must not itself take the run down,
+and a daemon that re-reads the spec must not spam the log.
 """
 
 from __future__ import annotations
@@ -50,8 +70,16 @@ from pathlib import Path
 
 ENV_VAR = "REPRO_FAULTS"
 
-KNOWN_FAULTS = frozenset(
-    {"worker_crash", "worker_hang", "cache_write_oserror", "cache_truncate"}
+#: Client-side network faults fired by the serving load generator.
+NETWORK_FAULTS = frozenset(
+    {"conn_reset", "frame_truncate", "byte_corrupt", "stall_s", "reconnect_storm"}
+)
+
+KNOWN_FAULTS = (
+    frozenset(
+        {"worker_crash", "worker_hang", "cache_write_oserror", "cache_truncate"}
+    )
+    | NETWORK_FAULTS
 )
 
 #: Per-process count of fired faults, keyed by fault name (test hook).
@@ -61,6 +89,23 @@ fired_counts: Counter[str] = Counter()
 _spec_fired: Counter["FaultSpec"] = Counter()
 
 _parsed: tuple[str, tuple["FaultSpec", ...]] | None = None
+
+#: (entry, reason) pairs already warned about in this process — the
+#: ``serve.env`` warn-once pattern, so re-parsing the same broken spec
+#: (a daemon re-reads it per session) does not spam the log.
+_warned: set[tuple[str, str]] = set()
+
+
+def _warn_once(entry: str, why: str) -> None:
+    key = (entry, why)
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(
+        f"{ENV_VAR}: {why} in {entry!r}; entry ignored",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 @dataclass(frozen=True)
@@ -77,16 +122,19 @@ class FaultSpec:
 
 
 def parse_spec(raw: str) -> tuple[FaultSpec, ...]:
-    """Parse a ``REPRO_FAULTS`` string; malformed entries warn and drop."""
+    """Parse a ``REPRO_FAULTS`` string.
+
+    Malformed entries warn once per (entry, reason) and are skipped;
+    the valid clauses survive.
+    """
     specs: list[FaultSpec] = []
     for entry in filter(None, (part.strip() for part in raw.split(","))):
         name, _, tail = entry.partition(":")
         if name not in KNOWN_FAULTS:
-            warnings.warn(
-                f"{ENV_VAR}: unknown fault {name!r} in {entry!r} ignored "
+            _warn_once(
+                entry,
+                f"unknown fault {name!r} "
                 f"(known: {', '.join(sorted(KNOWN_FAULTS))})",
-                RuntimeWarning,
-                stacklevel=2,
             )
             continue
         params: dict[str, object] = {}
@@ -103,16 +151,22 @@ def parse_spec(raw: str) -> tuple[FaultSpec, ...]:
                 else:
                     raise ValueError(pkey)
             except ValueError:
-                warnings.warn(
-                    f"{ENV_VAR}: bad parameter {pair!r} in {entry!r}; "
-                    "entry ignored",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
+                _warn_once(entry, f"bad parameter {pair!r}")
                 bad = True
                 break
-        if not bad:
-            specs.append(FaultSpec(name, **params))  # type: ignore[arg-type]
+        if bad:
+            continue
+        p = params.get("p", 1.0)
+        if not 0.0 <= p <= 1.0:  # type: ignore[operator]
+            _warn_once(entry, f"p={p!r} outside [0, 1]")
+            continue
+        hang = params.get("hang_s")
+        if hang is not None and not hang >= 0.0:  # type: ignore[operator]
+            _warn_once(entry, f"hang_s={hang!r} is negative")
+            continue
+        if name == "stall_s" and hang is None:
+            params["hang_s"] = 0.5
+        specs.append(FaultSpec(name, **params))  # type: ignore[arg-type]
     return tuple(specs)
 
 
@@ -126,11 +180,12 @@ def active_faults() -> tuple[FaultSpec, ...]:
 
 
 def reset() -> None:
-    """Clear parse cache and fired tallies (test isolation hook)."""
+    """Clear parse cache, warn dedup, and fired tallies (test hook)."""
     global _parsed
     _parsed = None
     fired_counts.clear()
     _spec_fired.clear()
+    _warned.clear()
 
 
 def _draw(spec: FaultSpec, key: object, attempt: int) -> float:
@@ -173,6 +228,20 @@ def maybe_raise_cache_write(key: object) -> None:
     for spec in active_faults():
         if spec.name == "cache_write_oserror" and _fires(spec, key, 0):
             raise OSError(f"injected cache_write_oserror for {key}")
+
+
+def maybe_network_fault(key: object, attempt: int = 0) -> FaultSpec | None:
+    """Loadgen-side hook: the first network fault firing for ``key``.
+
+    Returns the fired :class:`FaultSpec` (its ``name`` picks the
+    client-side action, ``hang_s`` the stall length) or ``None``. The
+    caller passes its reconnect count as ``attempt`` so a step that
+    faulted before the disconnect re-draws after the resume.
+    """
+    for spec in active_faults():
+        if spec.name in NETWORK_FAULTS and _fires(spec, key, attempt):
+            return spec
+    return None
 
 
 def maybe_truncate(path: Path) -> None:

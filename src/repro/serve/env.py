@@ -51,6 +51,23 @@ def env_int(name: str, default: int, minimum: int = 0) -> int:
     return value
 
 
+def env_float(name: str, default: float, minimum: float = 0.0) -> float:
+    """A float knob; non-numbers, NaN, and values below ``minimum``
+    warn once and fall back to ``default``."""
+    raw = os.environ.get(name, "")
+    if raw == "":
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        _warn_once(name, raw, "is not a number", default)
+        return default
+    if not value >= minimum:  # also catches NaN
+        _warn_once(name, raw, f"is below the minimum {minimum}", default)
+        return default
+    return value
+
+
 def env_choice(name: str, default: str, choices: tuple[str, ...]) -> str:
     """An enumerated knob; unknown values warn once and fall back."""
     raw = os.environ.get(name, "")

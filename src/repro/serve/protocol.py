@@ -14,8 +14,20 @@ tag     direction   payload
 ``S``   c → s       log boundary — reset the session's radio state
 ``B``   c → s       clean goodbye (server replies with a JSON ``bye``)
 ``P``   s → c       prediction (HO type/score/lead + MPC level)
-``{``   both        JSON control frame (hello/welcome/error/bye)
+``H``   both        heartbeat ping/echo (liveness probe, no body)
+``{``   both        JSON control frame (hello/resume/welcome/error/
+                    busy/bye)
 ======  ==========  ====================================================
+
+Protocol version 2 adds **sequence numbers** for session resumption:
+every ``T``/``R``/``C``/``S`` frame carries a client-assigned monotonic
+u64 right after the tag (1-based, no gaps; the server skips duplicates
+after a resume instead of re-applying them), and every ``P`` frame
+carries the server's monotonic prediction sequence. The welcome hands
+the client a resume token; after a disconnect the client reconnects
+with ``{"type": "resume", "session": ..., "token": ..., "seq":
+last_received}`` and the server replays the journalled prediction tail
+byte-identically before new traffic resumes.
 
 The tick payload encodes exactly the ``(rsrp, serving, neighbours,
 scoped)`` tuple :func:`repro.core.evaluation._tick_inputs` builds from a
@@ -45,9 +57,14 @@ from repro.rrc.taxonomy import HandoverType
 #: length prefix and the connection is dropped.
 MAX_FRAME = 1 << 20
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 _LEN = struct.Struct(">I")
+#: Monotonic per-session sequence number (u64) right after the tag on
+#: every ``T``/``R``/``C``/``S`` frame.
+_SEQ = struct.Struct("<Q")
+#: Client-to-server tags that carry a sequence number.
+SEQUENCED_TAGS = (b"T", b"R", b"C", b"S")
 #: time_s, flags, lte serving gci, nr serving gci, observed_mbps,
 #: buffer_s, last_level, n_cells.
 _TICK_HEAD = struct.Struct("<dBqqddiH")
@@ -58,8 +75,9 @@ _REPORT_HEAD = struct.Struct("<d")
 #: time_s, HandoverType index.
 _COMMAND = struct.Struct("<dB")
 #: time_s, HandoverType index, ho_score, similarity, lead_time_s
-#: (NaN = None), level (-1 = no ABR decision), dropped counter.
-_PRED = struct.Struct("<dBdddiI")
+#: (NaN = None), level (-1 = no ABR decision), dropped counter,
+#: server-assigned prediction sequence number.
+_PRED = struct.Struct("<dBdddiIQ")
 
 #: Tick flags.
 TICK_WANTS_ABR = 0x01
@@ -206,6 +224,7 @@ def encode_tick(
     observed_mbps: float = 0.0,
     buffer_s: float = 0.0,
     last_level: int = 0,
+    seq: int = 0,
 ) -> bytes:
     """Pack one ``_tick_inputs``-shaped tuple into a ``T`` frame.
 
@@ -231,7 +250,7 @@ def encode_tick(
     if not (lte_scoped <= lte_set and nr_scoped <= nr_set):
         raise FrameError("scoped cell missing from its neighbour list")
 
-    parts = [b"T"]
+    parts = [b"T", _SEQ.pack(seq)]
     cells = []
     for gci, value in rsrp.items():
         flags = 0
@@ -288,10 +307,10 @@ def decode_tick(payload: bytes):
             buffer_s,
             last_level,
             n_cells,
-        ) = _TICK_HEAD.unpack_from(payload, 1)
+        ) = _TICK_HEAD.unpack_from(payload, 1 + _SEQ.size)
     except struct.error as exc:
         raise FrameError(f"truncated tick header: {exc}") from exc
-    expected = 1 + _TICK_HEAD.size + n_cells * _CELL.size
+    expected = 1 + _SEQ.size + _TICK_HEAD.size + n_cells * _CELL.size
     if len(payload) != expected:
         raise FrameError(
             f"tick frame of {len(payload)} bytes, expected {expected}"
@@ -303,7 +322,7 @@ def decode_tick(payload: bytes):
     }
     neighbours: dict = {MeasurementObject.LTE: [], MeasurementObject.NR: []}
     scoped: dict = {MeasurementObject.LTE: [], MeasurementObject.NR: []}
-    cells_at = 1 + _TICK_HEAD.size
+    cells_at = 1 + _SEQ.size + _TICK_HEAD.size
     for gci, value, flags in _CELL.iter_unpack(payload[cells_at:]):
         rsrp[gci] = value
         if flags & _LTE_NEIGHBOUR:
@@ -331,7 +350,21 @@ def decode_tick(payload: bytes):
 #: fields the load generator patches per send on pre-encoded ticks:
 #: observed_mbps, buffer_s (f64) and last_level (i32) inside _TICK_HEAD.
 ABR_PATCH = struct.Struct("<ddi")
-ABR_PATCH_OFFSET = _LEN.size + 1 + struct.calcsize("<dBqq")
+ABR_PATCH_OFFSET = _LEN.size + 1 + _SEQ.size + struct.calcsize("<dBqq")
+
+
+def frame_seq(payload: bytes) -> int:
+    """The sequence number of a ``T``/``R``/``C``/``S`` frame."""
+    try:
+        (seq,) = _SEQ.unpack_from(payload, 1)
+    except struct.error as exc:
+        raise FrameError(f"frame too short for a sequence number: {exc}") from exc
+    return seq
+
+
+def encode_boundary(seq: int = 0) -> bytes:
+    """An ``S`` frame: reset the session's radio state at a log boundary."""
+    return b"S" + _SEQ.pack(seq)
 
 
 # ----------------------------------------------------------------------
@@ -339,29 +372,29 @@ ABR_PATCH_OFFSET = _LEN.size + 1 + struct.calcsize("<dBqq")
 # ----------------------------------------------------------------------
 
 
-def encode_report(label: str, time_s: float) -> bytes:
-    return b"R" + _REPORT_HEAD.pack(float(time_s)) + label.encode()
+def encode_report(label: str, time_s: float, seq: int = 0) -> bytes:
+    return b"R" + _SEQ.pack(seq) + _REPORT_HEAD.pack(float(time_s)) + label.encode()
 
 
 def decode_report(payload: bytes) -> tuple[str, float]:
     try:
-        (time_s,) = _REPORT_HEAD.unpack_from(payload, 1)
+        (time_s,) = _REPORT_HEAD.unpack_from(payload, 1 + _SEQ.size)
     except struct.error as exc:
         raise FrameError(f"truncated report frame: {exc}") from exc
     try:
-        label = payload[1 + _REPORT_HEAD.size :].decode()
+        label = payload[1 + _SEQ.size + _REPORT_HEAD.size :].decode()
     except UnicodeDecodeError as exc:
         raise FrameError(f"undecodable report label: {exc}") from exc
     return label, time_s
 
 
-def encode_command(ho_type: HandoverType, time_s: float) -> bytes:
-    return b"C" + _COMMAND.pack(float(time_s), _HO_INDEX[ho_type])
+def encode_command(ho_type: HandoverType, time_s: float, seq: int = 0) -> bytes:
+    return b"C" + _SEQ.pack(seq) + _COMMAND.pack(float(time_s), _HO_INDEX[ho_type])
 
 
 def decode_command(payload: bytes) -> tuple[HandoverType, float]:
     try:
-        time_s, index = _COMMAND.unpack_from(payload, 1)
+        time_s, index = _COMMAND.unpack_from(payload, 1 + _SEQ.size)
     except struct.error as exc:
         raise FrameError(f"truncated command frame: {exc}") from exc
     if index >= len(_HO_TYPES):
@@ -377,6 +410,7 @@ def encode_prediction(
     lead_time_s: float | None,
     level: int,
     dropped: int,
+    seq: int = 0,
 ) -> bytes:
     return b"P" + _PRED.pack(
         float(time_s),
@@ -386,6 +420,7 @@ def encode_prediction(
         float("nan") if lead_time_s is None else float(lead_time_s),
         int(level),
         int(dropped),
+        int(seq),
     )
 
 
@@ -437,11 +472,20 @@ def decode_event_configs(spec: list) -> list[EventConfig]:
 
 
 def decode_prediction(payload: bytes):
-    """Returns (time_s, ho_type, ho_score, similarity, lead, level, dropped)."""
+    """Returns (time_s, ho_type, ho_score, similarity, lead, level,
+    dropped, seq) — ``seq`` rides last so index-based consumers of the
+    v1 tuple keep working."""
     try:
-        time_s, index, score, similarity, lead, level, dropped = _PRED.unpack_from(
-            payload, 1
-        )
+        (
+            time_s,
+            index,
+            score,
+            similarity,
+            lead,
+            level,
+            dropped,
+            seq,
+        ) = _PRED.unpack_from(payload, 1)
     except struct.error as exc:
         raise FrameError(f"truncated prediction frame: {exc}") from exc
     if index >= len(_HO_TYPES):
@@ -454,4 +498,5 @@ def decode_prediction(payload: bytes):
         None if math.isnan(lead) else lead,
         level,
         dropped,
+        seq,
     )

@@ -31,6 +31,9 @@ on the same row.
 
 from __future__ import annotations
 
+import itertools
+from collections import deque
+
 from repro.apps.abr.algorithms import RobustMpc
 from repro.apps.abr.prediction import HarmonicMeanPredictor
 from repro.core.patterns import Pattern
@@ -156,3 +159,108 @@ class ServingSession:
             predicted,
             self.chunk_s,
         )
+
+
+class SessionState:
+    """The part of a session that outlives its TCP connection.
+
+    Everything resumption needs rides here: the resume token handed out
+    in the welcome, both sequence counters, a bounded replay journal of
+    fully-framed prediction bytes (so a replayed tail is bit-identical
+    to the original sends), the ordered inbox of accepted-but-unserved
+    frames, and the accounting the bye frame reports. The live
+    ``_Connection`` is deliberately *not* part of the state — it is the
+    one field dropped on pickling, which is how a shard exports a
+    detached session over the control channel for a successor (or a
+    sibling, under ``SO_REUSEPORT`` routing) to adopt.
+    """
+
+    __slots__ = (
+        "session_id",
+        "session",
+        "token",
+        "policy",
+        "replay_limit",
+        "out_seq",
+        "in_seq",
+        "journal",
+        "overflow",
+        "dropped",
+        "lost",
+        "ticks_in",
+        "resumes",
+        "inbox",
+        "pending",
+        "finished",
+        "gone",
+        "detached_at",
+        "conn",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        session: ServingSession | None,
+        *,
+        token: str,
+        policy: str = "drop",
+        replay_limit: int = 0,
+    ) -> None:
+        self.session_id = session_id
+        self.session = session
+        self.token = token
+        self.policy = policy
+        self.replay_limit = int(replay_limit)
+        #: Last prediction sequence sent / last client sequence applied.
+        self.out_seq = 0
+        self.in_seq = 0
+        self.journal: deque[bytes] = deque()
+        #: Predictions aged out of the journal (no longer replayable).
+        self.overflow = 0
+        self.dropped = 0
+        self.lost = 0
+        self.ticks_in = 0
+        self.resumes = 0
+        self.inbox: deque = deque()
+        #: Accepted-but-unanswered ticks (inbound backpressure unit).
+        self.pending = 0
+        self.finished = False
+        #: Retired, replaced, or exported — the engine must skip it.
+        self.gone = False
+        self.detached_at: float | None = None
+        self.conn = None
+
+    def __getstate__(self) -> dict:
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["conn"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def record(self, payload: bytes) -> None:
+        """Journal one framed prediction; the caller encoded it with
+        sequence ``out_seq + 1``."""
+        self.out_seq += 1
+        if self.replay_limit <= 0:
+            self.overflow += 1
+            return
+        if len(self.journal) >= self.replay_limit:
+            self.journal.popleft()
+            self.overflow += 1
+        self.journal.append(payload)
+
+    def replay_from(self, last_seq: int) -> list[bytes] | None:
+        """The framed tail after ``last_seq``, oldest first.
+
+        ``None`` when the journal has overflowed past the client's
+        cursor — the tail cannot be replayed bit-identically, so the
+        resume must be refused and the client restarts the drive.
+        """
+        start = self.out_seq - len(self.journal) + 1
+        if last_seq + 1 < start:
+            return None
+        if last_seq >= self.out_seq:
+            return []
+        return list(itertools.islice(self.journal, last_seq + 1 - start, None))

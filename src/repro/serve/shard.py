@@ -44,25 +44,45 @@ unacknowledged handoffs are resynced to the new process. Past the
 ``shard_restarts`` budget the shard is respawned *degraded* — inline
 sequential serving, that shard alone — while sibling shards keep their
 micro-batch engines and their sessions' byte streams untouched.
+
+**Session resumption across shards.** When a shard parks a session
+(unclean disconnect) it exports the pickled
+:class:`~repro.serve.session.SessionState` — journal, inbox, learner —
+over the control channel into the controller's bounded **orphan
+pool**; the local copy is dropped. A resume landing on *any* shard
+thus misses locally and claims the state back from the controller by
+``(session, token)``, so both routing modes survive reconnects that
+land on a different process, and a shard refork hands its sessions to
+the successor for free. **Graceful drain** builds on the same path:
+``drain`` over the control channel makes a shard stop accepting, flush
+in-flight ticks, send byes carrying resume tokens, export every
+remaining session, and exit — :meth:`ShardedPrognosServer.
+rolling_drain` does this one slot at a time (the planned exit skips
+the restart penalty and backoff), while SIGTERM drains the whole
+daemon in parallel before shutdown.
 """
 
 from __future__ import annotations
 
 import asyncio
+import base64
 import contextlib
 import hashlib
+import hmac
 import json
 import os
+import pickle
 import signal
 import socket
 import struct
+from collections import OrderedDict
 from dataclasses import replace
 from functools import partial
 
 from repro.robust.supervisor import backoff_s, reap_process
 from repro.serve import protocol
 from repro.serve.env import env_choice, env_int
-from repro.serve.server import PrognosServer, ServerConfig
+from repro.serve.server import MAX_EXPORT, PrognosServer, ServerConfig
 
 #: Largest handshake frame the controller will hand off (a hello is
 #: JSON and small; a Unix datagram comfortably carries this).
@@ -72,6 +92,12 @@ HANDOFF_MAX = 1 << 17
 HANDSHAKE_TIMEOUT_S = 30.0
 #: How long a respawn waits to reap the dead shard before SIGKILL.
 REAP_TIMEOUT_S = 5.0
+#: Control-channel line limit: an exported session blob rides base64
+#: on one newline-JSON line, so the default 64 KiB would truncate it.
+CONTROL_LIMIT = 8 << 20
+#: Most parked sessions the controller holds for adoption; past this
+#: the oldest orphan is dropped (its client restarts the drive).
+ORPHAN_POOL_MAX = 4096
 
 _SEQ = struct.Struct("<Q")
 
@@ -219,14 +245,77 @@ async def _shard_serve(
         await server.start_engine()
 
     control_sock.setblocking(False)
-    creader, cwriter = await asyncio.open_connection(sock=control_sock)
+    creader, cwriter = await asyncio.open_connection(
+        sock=control_sock, limit=CONTROL_LIMIT
+    )
     stop = asyncio.Event()
-    loop.add_signal_handler(signal.SIGTERM, stop.set)
     adopted = 0
+    draining = False
+    claims: dict[int, asyncio.Future] = {}
+    next_claim = 0
 
     def _send_control(message: dict) -> None:
         with contextlib.suppress(Exception):
             cwriter.write(json.dumps(message, separators=(",", ":")).encode() + b"\n")
+
+    def _export_state(session_id: str, token: str, blob: bytes) -> None:
+        _send_control(
+            {
+                "t": "export",
+                "session": session_id,
+                "token": token,
+                "blob": base64.b64encode(blob).decode(),
+            }
+        )
+
+    async def _claim_state(session_id: str, token: str) -> bytes | None:
+        nonlocal next_claim
+        claim_id = next_claim
+        next_claim += 1
+        future = loop.create_future()
+        claims[claim_id] = future
+        _send_control(
+            {"t": "claim", "id": claim_id, "session": session_id, "token": token}
+        )
+        try:
+            blob64 = await asyncio.wait_for(future, timeout=5.0)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            return None
+        finally:
+            claims.pop(claim_id, None)
+        if not blob64:
+            return None
+        try:
+            return base64.b64decode(blob64)
+        except (ValueError, TypeError):
+            return None
+
+    server.export_state_cb = _export_state
+    server.claim_state_cb = _claim_state
+
+    async def _do_drain(deadline) -> None:
+        """Drain, export every surviving session, report, exit."""
+        nonlocal draining
+        if draining:
+            return
+        draining = True
+        await server.drain(deadline if isinstance(deadline, (int, float)) else None)
+        for state in server.extract_states():
+            try:
+                blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                continue
+            if len(blob) > MAX_EXPORT:
+                continue
+            _export_state(state.session_id, state.token, blob)
+        _send_control({"t": "drained"})
+        with contextlib.suppress(Exception):
+            await cwriter.drain()
+        stop.set()
+
+    loop.add_signal_handler(
+        signal.SIGTERM, lambda: loop.create_task(_do_drain(None))
+    )
 
     if handoff_sock is not None:
         handoff_sock.setblocking(False)
@@ -266,10 +355,31 @@ async def _shard_serve(
                 message = json.loads(line)
             except json.JSONDecodeError:
                 continue
-            if message.get("t") == "stats":
+            kind = message.get("t")
+            if kind == "stats":
                 stats = server.stats()
                 stats["adopted"] = adopted
                 _send_control({"t": "stats", "stats": stats})
+            elif kind == "state":
+                future = claims.get(message.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(message.get("blob"))
+            elif kind == "yank":
+                # A resume for a session this shard still holds landed
+                # on a sibling; surrender the state through the
+                # controller (token-checked inside yank_state).
+                blob = server.yank_state(
+                    message.get("session"), message.get("token")
+                )
+                _send_control(
+                    {
+                        "t": "yanked",
+                        "id": message.get("id"),
+                        "blob": base64.b64encode(blob).decode() if blob else None,
+                    }
+                )
+            elif kind == "drain":
+                loop.create_task(_do_drain(message.get("deadline")))
 
     control_task = asyncio.create_task(_control_loop())
     _send_control({"t": "ready", "port": port})
@@ -307,6 +417,8 @@ class _Shard:
         "writer_armed",
         "monitor",
         "stats_future",
+        "draining",
+        "drained",
     )
 
     def __init__(self, shard_id: int) -> None:
@@ -327,6 +439,10 @@ class _Shard:
         self.writer_armed = False
         self.monitor: asyncio.Task | None = None
         self.stats_future: asyncio.Future | None = None
+        #: A planned (rolling-drain) exit is underway: the respawn
+        #: skips the crash penalty and the backoff.
+        self.draining = False
+        self.drained = asyncio.Event()
 
 
 class ShardedPrognosServer:
@@ -353,6 +469,15 @@ class ShardedPrognosServer:
         self._next_seq = 0
         self._port = 0
         self._running = False
+        self._draining = False
+        #: Parked sessions exported by shards, keyed by session id;
+        #: bounded FIFO — see ORPHAN_POOL_MAX.
+        self._orphans: OrderedDict[str, tuple[str, str]] = OrderedDict()
+        self.orphans_claimed = 0
+        self.orphans_dropped = 0
+        #: In-flight claim-miss yanks: yank id → pending record.
+        self._yanks: dict[int, dict] = {}
+        self._next_yank = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -399,6 +524,71 @@ class ShardedPrognosServer:
         )
         if self._listen_sock is not None:
             self._accept_task = asyncio.create_task(self._accept_loop())
+
+    def _send_drain(self, shard: _Shard, deadline_s: float | None) -> bool:
+        if not shard.ready.is_set() or shard.control_writer is None:
+            return False
+        shard.drained = asyncio.Event()
+        message = {"t": "drain", "deadline": deadline_s}
+        try:
+            shard.control_writer.write(
+                json.dumps(message, separators=(",", ":")).encode() + b"\n"
+            )
+        except Exception:
+            return False
+        return True
+
+    async def drain(self, deadline_s: float | None = None) -> None:
+        """Full-daemon graceful drain (SIGTERM path): every shard
+        drains in parallel — byes with resume tokens, sessions exported
+        — then exits; no successors are forked."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._accept_task is not None:
+            self._accept_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._accept_task
+            self._accept_task = None
+        sent = [s for s in self._shards if self._send_drain(s, deadline_s)]
+        budget = (deadline_s if deadline_s is not None else 30.0) + 10.0
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(
+                asyncio.gather(*(s.drained.wait() for s in sent)), timeout=budget
+            )
+
+    async def rolling_drain(self, deadline_s: float | None = None) -> None:
+        """Drain and refork one shard at a time.
+
+        While a slot is down, its sessions' resumes land on siblings
+        (``reuseport``) or park in the controller's pending handoffs
+        until the successor reports ready (``handoff``); either way the
+        exported state is claimed from the orphan pool, so no session
+        restarts. The planned exit skips the crash penalty, leaving the
+        restart budget intact.
+        """
+        loop = asyncio.get_running_loop()
+        for shard in self._shards:
+            if not self._running or self._draining:
+                return
+            old_pid = shard.pid
+            shard.draining = True
+            if not self._send_drain(shard, deadline_s):
+                shard.draining = False
+                continue
+            budget = (deadline_s if deadline_s is not None else 30.0) + 10.0
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(shard.drained.wait(), timeout=budget)
+            # The child exits after reporting drained; the monitor
+            # reforks the slot (planned, no backoff). Wait for the
+            # successor so at most one slot is ever down.
+            deadline = loop.time() + 60.0
+            while loop.time() < deadline and (
+                shard.pid == old_pid or not shard.ready.is_set()
+            ):
+                if not self._running:
+                    return
+                await asyncio.sleep(0.02)
 
     async def shutdown(self) -> None:
         self._running = False
@@ -541,7 +731,9 @@ class ShardedPrognosServer:
         sock = shard.control_sock
         sock.setblocking(False)
         try:
-            reader, writer = await asyncio.open_connection(sock=sock)
+            reader, writer = await asyncio.open_connection(
+                sock=sock, limit=CONTROL_LIMIT
+            )
         except OSError:
             return
         shard.control_reader = reader
@@ -570,19 +762,158 @@ class ShardedPrognosServer:
                     future = shard.stats_future
                     if future is not None and not future.done():
                         future.set_result(message.get("stats"))
+                elif kind == "export":
+                    self._store_orphan(message)
+                elif kind == "claim":
+                    self._answer_claim(shard, message)
+                elif kind == "yanked":
+                    self._on_yanked(message)
+                elif kind == "drained":
+                    shard.drained.set()
         except (ConnectionError, OSError):
             pass
-        if not self._running:
+        if not self._running or self._draining:
             return
-        await self._respawn(shard)
+        planned = shard.draining
+        shard.draining = False
+        await self._respawn(shard, planned=planned)
 
-    async def _respawn(self, shard: _Shard) -> None:
+    def _store_orphan(self, message: dict) -> None:
+        """Bank one exported session for a later claim."""
+        session_id = message.get("session")
+        token = message.get("token")
+        blob64 = message.get("blob")
+        if not (
+            isinstance(session_id, str)
+            and isinstance(token, str)
+            and isinstance(blob64, str)
+        ):
+            return
+        self._orphans.pop(session_id, None)
+        self._orphans[session_id] = (token, blob64)
+        while len(self._orphans) > ORPHAN_POOL_MAX:
+            self._orphans.popitem(last=False)
+            self.orphans_dropped += 1
+
+    def _reply_claim(self, shard: _Shard, req_id, blob64) -> None:
+        reply = {"t": "state", "id": req_id, "blob": blob64}
+        if shard.control_writer is not None:
+            with contextlib.suppress(Exception):
+                shard.control_writer.write(
+                    json.dumps(reply, separators=(",", ":")).encode() + b"\n"
+                )
+
+    def _answer_claim(self, shard: _Shard, message: dict) -> None:
+        """Resolve a shard's resume miss — orphan pool first, then yank.
+
+        A resume can land on a sibling before the owner shard has even
+        noticed the disconnect (``SO_REUSEPORT`` picks listeners at
+        random), so a pool miss fans a token-carrying yank out to every
+        other live shard; the first shard holding the session exports it
+        on demand and the claim is answered with that blob. Only when
+        every shard denies it (or the backstop timer fires — a yanked
+        shard can die mid-answer) does the claimant get a miss and the
+        client a restart.
+        """
+        session_id = message.get("session")
+        token = message.get("token")
+        req_id = message.get("id")
+        entry = self._orphans.get(session_id) if isinstance(session_id, str) else None
+        if (
+            entry is not None
+            and isinstance(token, str)
+            and hmac.compare_digest(entry[0], token)
+        ):
+            self.orphans_claimed += 1
+            self._reply_claim(shard, req_id, self._orphans.pop(session_id)[1])
+            return
+        others = [
+            s
+            for s in self._shards
+            if s is not shard and s.ready.is_set() and s.control_writer is not None
+        ]
+        if not (others and isinstance(session_id, str) and isinstance(token, str)):
+            self._reply_claim(shard, req_id, None)
+            return
+        self._next_yank += 1
+        yank_id = self._next_yank
+        record = {
+            "shard": shard,
+            "req": req_id,
+            "left": 0,
+            "session": session_id,
+            "token": token,
+        }
+        self._yanks[yank_id] = record
+        data = (
+            json.dumps(
+                {"t": "yank", "id": yank_id, "session": session_id, "token": token},
+                separators=(",", ":"),
+            ).encode()
+            + b"\n"
+        )
+        for other in others:
+            try:
+                other.control_writer.write(data)
+            except Exception:
+                continue
+            record["left"] += 1
+        if record["left"] == 0:
+            del self._yanks[yank_id]
+            self._reply_claim(shard, req_id, None)
+            return
+        # Backstop under the claimant's own 5 s wait.
+        asyncio.get_running_loop().call_later(2.0, self._expire_yank, yank_id)
+
+    def _finish_yank_miss(self, record: dict) -> None:
+        """Every shard denied the yank (or the backstop fired).
+
+        Re-check the orphan pool before giving up: the owner may have
+        been exporting the session while the claim raced past it, and
+        its control channel is ordered — the export message lands here
+        before its yank denial does.
+        """
+        entry = self._orphans.get(record["session"])
+        if entry is not None and hmac.compare_digest(entry[0], record["token"]):
+            self.orphans_claimed += 1
+            self._reply_claim(
+                record["shard"],
+                record["req"],
+                self._orphans.pop(record["session"])[1],
+            )
+        else:
+            self._reply_claim(record["shard"], record["req"], None)
+
+    def _expire_yank(self, yank_id: int) -> None:
+        record = self._yanks.pop(yank_id, None)
+        if record is not None:
+            self._finish_yank_miss(record)
+
+    def _on_yanked(self, message: dict) -> None:
+        yank_id = message.get("id")
+        record = self._yanks.get(yank_id)
+        if record is None:
+            return
+        blob64 = message.get("blob")
+        if isinstance(blob64, str) and blob64:
+            del self._yanks[yank_id]
+            self.orphans_claimed += 1
+            self._reply_claim(record["shard"], record["req"], blob64)
+            return
+        record["left"] -= 1
+        if record["left"] <= 0:
+            del self._yanks[yank_id]
+            self._finish_yank_miss(record)
+
+    async def _respawn(self, shard: _Shard, planned: bool = False) -> None:
         """The shard process died: reap, back off, fork a successor.
 
         Unacknowledged handoffs stay in ``shard.pending`` — their
         client fds are still open here — and are re-sent to the new
         process once it reports ready. Past the restart budget the
-        successor runs degraded (inline sequential), alone.
+        successor runs degraded (inline sequential), alone. A
+        ``planned`` exit (rolling drain) is not a crash: no restart
+        strike, no backoff — the slot reforks immediately.
         """
         shard.ready = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -591,13 +922,15 @@ class ShardedPrognosServer:
                 None, partial(reap_process, shard.pid, timeout_s=REAP_TIMEOUT_S)
             )
         self._close_shard_sockets(shard)
-        shard.restarts += 1
-        if shard.restarts > self.config.shard_restarts:
-            shard.degraded = True
+        if not planned:
+            shard.restarts += 1
+            if shard.restarts > self.config.shard_restarts:
+                shard.degraded = True
         future = shard.stats_future
         if future is not None and not future.done():
             future.cancel()
-        await asyncio.sleep(backoff_s(shard.restarts, salt=f"shard-{shard.id}"))
+        if not planned:
+            await asyncio.sleep(backoff_s(shard.restarts, salt=f"shard-{shard.id}"))
         if not self._running:
             return
         self._spawn(shard)
@@ -720,6 +1053,14 @@ class ShardedPrognosServer:
             "restarts": sum(s["restarts"] for s in per_shard),
             "dropped": sum(e["dropped"] for e in engines),
             "lost": sum(e["lost"] for e in engines),
+            "shed": sum(e.get("shed", 0) for e in engines),
+            "resumed": sum(e.get("resumed", 0) for e in engines),
+            "resume_misses": sum(e.get("resume_misses", 0) for e in engines),
+            "replayed": sum(e.get("replayed", 0) for e in engines),
+            "evicted_idle": sum(e.get("evicted_idle", 0) for e in engines),
+            "evicted_dead": sum(e.get("evicted_dead", 0) for e in engines),
+            "orphans": len(self._orphans),
+            "orphans_claimed": self.orphans_claimed,
             "per_shard": per_shard,
         }
 

@@ -107,3 +107,97 @@ class TestFiring:
             faults.maybe_truncate(path)
         assert path.read_bytes() == b"0123456789"
         assert not faults.fired_counts
+
+
+class TestWarnOnce:
+    """S1: a broken entry warns once per (entry, reason), not per parse."""
+
+    def test_repeated_parse_warns_once(self):
+        with pytest.warns(RuntimeWarning, match="unknown fault"):
+            parse_spec("worker_crush")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            # Same broken entry again: silent skip, valid clauses kept.
+            specs = parse_spec("worker_crush,worker_hang")
+        assert [s.name for s in specs] == ["worker_hang"]
+
+    def test_distinct_reasons_each_warn(self):
+        with pytest.warns(RuntimeWarning, match="unknown fault"):
+            parse_spec("worker_crush")
+        with pytest.warns(RuntimeWarning, match="bad parameter"):
+            parse_spec("worker_crash:p=often")
+
+    def test_reset_clears_the_dedup(self):
+        with pytest.warns(RuntimeWarning):
+            parse_spec("worker_crush")
+        faults.reset()
+        with pytest.warns(RuntimeWarning):
+            parse_spec("worker_crush")
+
+    def test_out_of_range_p_warns_and_drops(self):
+        with pytest.warns(RuntimeWarning, match="outside"):
+            specs = parse_spec("conn_reset:p=1.5,worker_hang")
+        assert [s.name for s in specs] == ["worker_hang"]
+
+    def test_negative_hang_warns_and_drops(self):
+        with pytest.warns(RuntimeWarning, match="negative"):
+            specs = parse_spec("stall_s:hang_s=-1,conn_reset")
+        assert [s.name for s in specs] == ["conn_reset"]
+
+
+class TestNetworkFamily:
+    def test_network_names_parse(self):
+        specs = parse_spec(
+            "conn_reset:p=0.5,frame_truncate,byte_corrupt,"
+            "stall_s:hang_s=2,reconnect_storm"
+        )
+        assert [s.name for s in specs] == [
+            "conn_reset",
+            "frame_truncate",
+            "byte_corrupt",
+            "stall_s",
+            "reconnect_storm",
+        ]
+        assert all(s.name in faults.NETWORK_FAULTS for s in specs)
+
+    def test_stall_defaults_to_short_hang(self):
+        (spec,) = parse_spec("stall_s")
+        assert spec.hang_s == 0.5  # not the worker_hang 60 s default
+
+    def test_maybe_network_fault_draw_matches_fires(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "conn_reset:p=0.5:seed=3")
+        (spec,) = faults.active_faults()
+        hits = [
+            key
+            for key in (f"s-{i}@{j}" for i in range(4) for j in range(25))
+            if faults._draw(spec, key, 0) < spec.p
+        ]
+        faults.reset()
+        monkeypatch.setenv("REPRO_FAULTS", "conn_reset:p=0.5:seed=3")
+        fired = [
+            key
+            for key in (f"s-{i}@{j}" for i in range(4) for j in range(25))
+            if faults.maybe_network_fault(key) is not None
+        ]
+        assert fired == hits and 0 < len(fired) < 100
+
+    def test_attempt_changes_the_draw(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "conn_reset:p=0.5:seed=1")
+        by_attempt = [
+            {
+                key
+                for key in (f"ue@{i}" for i in range(50))
+                if faults.maybe_network_fault(key, attempt=a) is not None
+            }
+            for a in range(2)
+        ]
+        assert by_attempt[0] != by_attempt[1]
+
+    def test_non_network_faults_do_not_fire_here(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "worker_crash:p=1")
+        assert faults.maybe_network_fault("any@0") is None
+
+    def test_returned_spec_carries_action_parameters(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "stall_s:p=1:hang_s=3")
+        spec = faults.maybe_network_fault("ue@0")
+        assert spec is not None and spec.name == "stall_s" and spec.hang_s == 3.0

@@ -20,6 +20,7 @@ from repro.serve.loadgen import (
 )
 from repro.serve.protocol import frame, read_frame
 from repro.serve.server import PrognosServer, ServerConfig, _Connection
+from repro.serve.session import SessionState
 from repro.simulate.runner import run_drives
 from repro.simulate.scenarios import freeway_scenario
 
@@ -125,7 +126,12 @@ def _tick_frame(i, time_s=None):
     scoped = {MeasurementObject.LTE: [11], MeasurementObject.NR: []}
     return frame(
         protocol.encode_tick(
-            0.25 * i if time_s is None else time_s, rsrp, serving, neighbours, scoped
+            0.25 * i if time_s is None else time_s,
+            rsrp,
+            serving,
+            neighbours,
+            scoped,
+            seq=i + 1,
         )
     )
 
@@ -199,17 +205,19 @@ class _AbortRecorder:
 
 
 def test_drop_policy_unit_semantics():
-    conn = _Connection(None, None, _AbortRecorder(), "drop", 4)
+    state = SessionState("u", None, token="t", policy="drop")
+    conn = _Connection(state, None, _AbortRecorder(), "drop", 4)
     for i in range(10):
         conn.deliver(b"%d" % i)
-    assert conn.dropped == 6
+    assert state.dropped == 6
     assert list(conn.outbox) == [b"6", b"7", b"8", b"9"]
     assert not conn.closed
 
 
 def test_disconnect_policy_unit_semantics():
     writer = _AbortRecorder()
-    conn = _Connection(None, None, writer, "disconnect", 4)
+    state = SessionState("u", None, token="t", policy="disconnect")
+    conn = _Connection(state, None, writer, "disconnect", 4)
     for i in range(10):
         conn.deliver(b"%d" % i)
     assert conn.closed and writer.aborted
@@ -224,15 +232,16 @@ def test_slow_client_drop_policy_end_to_end():
         config = ServerConfig(batched=True, outbox_limit=4)
         async with PrognosServer(config) as server:
             reader, writer, _ = await _connect(server.port, _hello("slow"))
-            conn = server._sessions["slow"]
+            state = server._sessions["slow"]
+            conn = state.conn
             conn.flusher.cancel()  # wedge the consumer side
             for i in range(10):
                 writer.write(_tick_frame(i))
             await writer.drain()
-            while conn.session.ticks < 10:  # all answered, not yet read
+            while state.session.ticks < 10:  # all answered, not yet read
                 await asyncio.sleep(0.01)
-            assert conn.pending == 0
-            assert conn.dropped == 6
+            assert state.pending == 0
+            assert state.dropped == 6
             # Un-wedge: restart the flusher, drain what survived.
             conn.flusher = asyncio.create_task(server._flush_loop(conn))
             conn.out_event.set()
@@ -260,7 +269,7 @@ def test_slow_client_disconnect_policy_end_to_end():
             reader, writer, _ = await _connect(
                 server.port, _hello("strict", policy="disconnect")
             )
-            conn = server._sessions["strict"]
+            conn = server._sessions["strict"].conn
             conn.flusher.cancel()
             for i in range(10):
                 writer.write(_tick_frame(i))
